@@ -1,0 +1,49 @@
+//! Castro: AMReX compressible astrophysics (§IV-C).
+//!
+//! The paper runs 128³ cells with 6 components in each multifab and 2
+//! particles per cell, writing plotfiles through HDF5 in synchronous or
+//! asynchronous mode. Strong scaling (Fig. 4c on Summit, Fig. 4d on
+//! Cori).
+
+use apio_core::history::Direction;
+
+use crate::model::{AppModel, Scaling};
+
+/// The paper's Castro configuration.
+pub fn paper() -> AppModel {
+    let cells: u64 = 128 * 128 * 128;
+    // 6 multifab components (f64) per cell plus 2 particles per cell with
+    // position+id (4 × f64 each).
+    let field_bytes = cells * 6 * 8;
+    let particle_bytes = cells * 2 * 4 * 8;
+    AppModel {
+        name: "castro",
+        bytes: field_bytes + particle_bytes, // ≈ 235 MB per plotfile
+        scaling: Scaling::Strong,
+        steps_per_io: 10,
+        secs_per_step: 2.0,
+        base_ranks: 256,
+        epochs: 5,
+        direction: Direction::Write,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configuration_matches_paper() {
+        let c = paper();
+        let cells = 128u64.pow(3);
+        assert_eq!(c.bytes, cells * 6 * 8 + cells * 2 * 32);
+        assert_eq!(c.scaling, Scaling::Strong);
+        assert_eq!(c.direction, Direction::Write);
+    }
+
+    #[test]
+    fn per_rank_data_shrinks_with_scale() {
+        let c = paper();
+        assert!(c.per_rank_bytes(4096) * 16 <= c.per_rank_bytes(256) + 16);
+    }
+}

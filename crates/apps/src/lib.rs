@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # apps — the paper's four science workloads (§IV-C)
+//!
+//! Application models with each code's data-size and epoch structure:
+//!
+//! - [`nyx`] — AMReX cosmology (adaptive mesh). Two configurations:
+//!   *small* (256³, plotfile every 20 steps, run on Cori) and *large*
+//!   (2048³, every 50 steps, run on Summit). Strong scaling: the grid is
+//!   fixed while ranks grow.
+//! - [`castro`] — AMReX compressible astrophysics at 128³ with 6
+//!   components per multifab and 2 particles per cell. Strong scaling.
+//! - [`eqsim`] — SW4 seismic wave propagation, 30000×30000×17000 at grid
+//!   spacing 50, checkpoint every 100 steps. Strong scaling.
+//! - [`cosmoflow`] — CNN training over 128³ voxel samples, batch size 8,
+//!   4 training epochs; the I/O phase is the DataLoader reading batches.
+//!
+//! Each module exposes the paper's configuration as an [`AppModel`] that
+//! lowers to an [`mpisim::Workload`] for any rank count, and [`plotfile`]
+//! provides a *real* AMReX-style plotfile writer over `h5lite` (used by
+//! the Nyx/Castro examples and tests so the app I/O path exercises actual
+//! bytes, not just the simulator).
+
+pub mod castro;
+pub mod cosmoflow;
+pub mod eqsim;
+pub mod model;
+pub mod nyx;
+pub mod plotfile;
+
+pub use model::AppModel;

@@ -1,0 +1,159 @@
+//! The common application-model shape.
+//!
+//! Every §IV-C workload is an iterative code with a fixed global problem
+//! (strong scaling) or per-rank problem (weak scaling), a checkpoint (or
+//! batch-read) frequency, and a per-step compute cost measured at a
+//! reference rank count.
+
+use apio_core::history::Direction;
+use mpisim::Workload;
+
+/// How the application's data and compute scale with ranks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scaling {
+    /// Problem fixed; per-rank data and compute shrink as ranks grow.
+    Strong,
+    /// Per-rank data and compute fixed; problem grows with ranks.
+    Weak,
+}
+
+/// One application configuration, lowering to a simulator workload at any
+/// rank count.
+#[derive(Clone, Debug)]
+pub struct AppModel {
+    /// Short identifier used in reports.
+    pub name: &'static str,
+    /// Bytes per I/O phase: the whole checkpoint for strong scaling, per
+    /// rank for weak scaling.
+    pub bytes: u64,
+    /// Strong or weak scaling (see [`Scaling`]).
+    pub scaling: Scaling,
+    /// Simulation steps (or training batches) between I/O phases.
+    pub steps_per_io: u32,
+    /// Compute seconds per step at `base_ranks` ranks.
+    pub secs_per_step: f64,
+    /// Reference rank count for `secs_per_step`.
+    pub base_ranks: u32,
+    /// Number of I/O phases to run.
+    pub epochs: u32,
+    /// Whether I/O phases write (checkpoints) or read (batches).
+    pub direction: Direction,
+}
+
+impl AppModel {
+    /// Bytes each rank moves per I/O phase at the given rank count.
+    pub fn per_rank_bytes(&self, ranks: u32) -> u64 {
+        match self.scaling {
+            Scaling::Strong => (self.bytes / ranks as u64).max(1),
+            Scaling::Weak => self.bytes,
+        }
+    }
+
+    /// Compute-phase length at the given rank count. Strong-scaling codes
+    /// speed up proportionally with ranks (the paper's configurations are
+    /// in the scalable regime); weak-scaling codes hold per-step time.
+    pub fn compute_secs(&self, ranks: u32) -> f64 {
+        let per_step = match self.scaling {
+            Scaling::Strong => self.secs_per_step * self.base_ranks as f64 / ranks as f64,
+            Scaling::Weak => self.secs_per_step,
+        };
+        per_step * self.steps_per_io as f64
+    }
+
+    /// Lower to a simulator workload at the given rank count.
+    pub fn workload(&self, ranks: u32) -> Workload {
+        Workload {
+            ranks,
+            per_rank_bytes: self.per_rank_bytes(ranks),
+            epochs: self.epochs,
+            compute_secs: self.compute_secs(ranks),
+            direction: self.direction,
+            t_init: 1.0,
+            t_term: 0.5,
+        }
+    }
+
+    /// The same configuration with a different checkpoint frequency — the
+    /// Fig. 7 sweep knob. Total simulated steps are preserved, so fewer
+    /// steps per I/O phase means more epochs.
+    pub fn with_steps_per_io(&self, steps: u32) -> AppModel {
+        assert!(steps >= 1, "need at least one step per I/O phase");
+        let total_steps = self.steps_per_io as u64 * self.epochs as u64;
+        let epochs = (total_steps / steps as u64).max(1) as u32;
+        AppModel {
+            steps_per_io: steps,
+            epochs,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strong() -> AppModel {
+        AppModel {
+            name: "test-strong",
+            bytes: 1 << 30,
+            scaling: Scaling::Strong,
+            steps_per_io: 20,
+            secs_per_step: 1.0,
+            base_ranks: 64,
+            epochs: 5,
+            direction: Direction::Write,
+        }
+    }
+
+    #[test]
+    fn strong_scaling_divides_data_and_compute() {
+        let m = strong();
+        assert_eq!(m.per_rank_bytes(64), (1 << 30) / 64);
+        assert_eq!(m.per_rank_bytes(128), (1 << 30) / 128);
+        assert!((m.compute_secs(64) - 20.0).abs() < 1e-12);
+        assert!((m.compute_secs(128) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weak_scaling_holds_per_rank() {
+        let m = AppModel {
+            scaling: Scaling::Weak,
+            ..strong()
+        };
+        assert_eq!(m.per_rank_bytes(64), 1 << 30);
+        assert_eq!(m.per_rank_bytes(1024), 1 << 30);
+        assert_eq!(m.compute_secs(64), m.compute_secs(1024));
+    }
+
+    #[test]
+    fn workload_lowering() {
+        let m = strong();
+        let w = m.workload(256);
+        assert_eq!(w.ranks, 256);
+        assert_eq!(w.per_rank_bytes, (1 << 30) / 256);
+        assert_eq!(w.epochs, 5);
+        assert_eq!(w.direction, Direction::Write);
+    }
+
+    #[test]
+    fn steps_sweep_preserves_total_steps() {
+        let m = strong(); // 20 steps × 5 epochs = 100 total steps
+        let fine = m.with_steps_per_io(1);
+        assert_eq!(fine.epochs, 100);
+        let coarse = m.with_steps_per_io(50);
+        assert_eq!(coarse.epochs, 2);
+        // Total compute time is invariant at fixed ranks.
+        let t = |m: &AppModel| m.compute_secs(64) * m.epochs as f64;
+        assert!((t(&fine) - t(&m)).abs() < 1e-9);
+        assert!((t(&coarse) - t(&m)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_per_rank_floors_at_one_byte() {
+        let m = AppModel {
+            bytes: 100,
+            ..strong()
+        };
+        assert_eq!(m.per_rank_bytes(1024), 1);
+    }
+}

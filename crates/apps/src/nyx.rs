@@ -1,0 +1,81 @@
+//! Nyx: AMReX adaptive-mesh cosmology (§IV-C).
+//!
+//! Each I/O phase writes one plotfile with the fields visualization
+//! needs. The paper runs two configurations: *small* (256³ cells,
+//! plotfile every 20 steps, shown on Cori in Fig. 4b) and *large* (2048³,
+//! every 50 steps, shown on Summit in Fig. 4a), both strong scaling. The
+//! Fig. 7 sweep varies the small configuration's steps-per-checkpoint
+//! from 1 to 192 on Cori.
+
+use apio_core::history::Direction;
+
+use crate::model::{AppModel, Scaling};
+
+/// Bytes per cell in a Nyx plotfile: baryon density, temperature, and
+/// velocity components stored as f32 for visualization (5 fields × 4 B).
+const BYTES_PER_CELL: u64 = 5 * 4;
+
+/// The small configuration: 256³, checkpoint every 20 steps.
+pub fn small() -> AppModel {
+    let cells: u64 = 256 * 256 * 256;
+    AppModel {
+        name: "nyx-small",
+        bytes: cells * BYTES_PER_CELL, // ≈ 336 MB per plotfile
+        scaling: Scaling::Strong,
+        steps_per_io: 20,
+        secs_per_step: 0.9,
+        base_ranks: 512,
+        epochs: 5,
+        direction: Direction::Write,
+    }
+}
+
+/// The large configuration: 2048³, checkpoint every 50 steps.
+pub fn large() -> AppModel {
+    let cells: u64 = 2048 * 2048 * 2048;
+    AppModel {
+        name: "nyx-large",
+        bytes: cells * BYTES_PER_CELL, // ≈ 172 GB per plotfile
+        scaling: Scaling::Strong,
+        steps_per_io: 50,
+        secs_per_step: 6.0,
+        base_ranks: 768,
+        epochs: 4,
+        direction: Direction::Write,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configurations_match_paper() {
+        let s = small();
+        assert_eq!(s.steps_per_io, 20);
+        assert_eq!(s.bytes, 256 * 256 * 256 * BYTES_PER_CELL);
+        let l = large();
+        assert_eq!(l.steps_per_io, 50);
+        assert_eq!(l.bytes, 2048u64.pow(3) * BYTES_PER_CELL);
+        assert!(l.bytes > 500 * s.bytes);
+    }
+
+    #[test]
+    fn small_on_cori_has_tiny_requests_at_scale() {
+        // Fig. 4b's premise: per-rank data too small to drive Lustre well.
+        let s = small();
+        assert!(s.per_rank_bytes(1024) < 512 * 1024);
+        assert!(s.per_rank_bytes(4096) < 128 * 1024);
+    }
+
+    #[test]
+    fn fig7_sweep_range_is_valid() {
+        let s = small();
+        for steps in [1u32, 2, 6, 12, 24, 48, 96, 192] {
+            let m = s.with_steps_per_io(steps);
+            assert!(m.epochs >= 1);
+            let w = m.workload(1024);
+            assert!(w.compute_secs > 0.0);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! One-shot value slots (Argobots' `ABT_eventual`).
+//!
+//! An [`Eventual<T>`] is set exactly once by a producer (typically a
+//! background task) and read by any number of consumers, which may block
+//! until the value arrives. Used by the async VOL connector to hand read
+//! results from background streams to the application thread.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+struct Inner<T> {
+    slot: Mutex<Option<T>>,
+    cv: Condvar,
+}
+
+/// A one-shot, thread-safe, cloneable value slot.
+pub struct Eventual<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Eventual<T> {
+    fn clone(&self) -> Self {
+        Eventual {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Default for Eventual<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Eventual<T> {
+    /// Create an empty (unset) eventual.
+    pub fn new() -> Self {
+        Eventual {
+            inner: Arc::new(Inner {
+                slot: Mutex::new(None),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Publish the value. Panics if already set — an eventual is one-shot
+    /// by contract and double-set always indicates a connector bug.
+    pub fn set(&self, value: T) {
+        let mut slot = self.inner.slot.lock();
+        assert!(slot.is_none(), "Eventual::set called twice");
+        *slot = Some(value);
+        drop(slot);
+        self.inner.cv.notify_all();
+    }
+
+    /// Whether the value has been published.
+    pub fn is_set(&self) -> bool {
+        self.inner.slot.lock().is_some()
+    }
+
+    /// Non-blocking read.
+    pub fn try_get(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        self.inner.slot.lock().clone()
+    }
+
+    /// Block until the value is published, then return a clone.
+    pub fn wait(&self) -> T
+    where
+        T: Clone,
+    {
+        let mut slot = self.inner.slot.lock();
+        while slot.is_none() {
+            self.inner.cv.wait(&mut slot);
+        }
+        slot.clone().unwrap()
+    }
+
+    /// Block with a timeout; `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<T>
+    where
+        T: Clone,
+    {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.inner.slot.lock();
+        while slot.is_none() {
+            if self.inner.cv.wait_until(&mut slot, deadline).timed_out() {
+                return slot.clone();
+            }
+        }
+        slot.clone()
+    }
+
+    /// Consume the eventual, returning the value if this was the last
+    /// handle and the value was set.
+    pub fn into_inner(self) -> Option<T> {
+        Arc::try_unwrap(self.inner)
+            .ok()
+            .and_then(|inner| inner.slot.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runtime;
+
+    #[test]
+    fn set_then_wait() {
+        let ev = Eventual::new();
+        ev.set(42);
+        assert!(ev.is_set());
+        assert_eq!(ev.wait(), 42);
+        assert_eq!(ev.try_get(), Some(42));
+    }
+
+    #[test]
+    fn wait_blocks_until_background_set() {
+        let rt = Runtime::new(1);
+        let ev: Eventual<String> = Eventual::new();
+        let ev2 = ev.clone();
+        rt.spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            ev2.set("done".to_owned());
+        });
+        assert_eq!(ev.wait(), "done");
+    }
+
+    #[test]
+    fn try_get_before_set_is_none() {
+        let ev: Eventual<u32> = Eventual::new();
+        assert_eq!(ev.try_get(), None);
+        assert!(!ev.is_set());
+    }
+
+    #[test]
+    fn wait_timeout_expires() {
+        let ev: Eventual<u32> = Eventual::new();
+        assert_eq!(ev.wait_timeout(Duration::from_millis(10)), None);
+        ev.set(7);
+        assert_eq!(ev.wait_timeout(Duration::from_millis(10)), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "called twice")]
+    fn double_set_panics() {
+        let ev = Eventual::new();
+        ev.set(1);
+        ev.set(2);
+    }
+
+    #[test]
+    fn many_waiters_all_wake() {
+        let ev: Eventual<u32> = Eventual::new();
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let ev = ev.clone();
+            joins.push(std::thread::spawn(move || ev.wait()));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        ev.set(99);
+        for j in joins {
+            assert_eq!(j.join().unwrap(), 99);
+        }
+    }
+
+    #[test]
+    fn into_inner_returns_value() {
+        let ev = Eventual::new();
+        ev.set(5);
+        assert_eq!(ev.into_inner(), Some(5));
+        let ev2: Eventual<u32> = Eventual::new();
+        assert_eq!(ev2.into_inner(), None);
+    }
+}

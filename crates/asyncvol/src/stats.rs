@@ -1,0 +1,203 @@
+//! Instrumentation: the measurements the paper's model consumes.
+//!
+//! Every completed operation updates lock-free counters; [`OpRecord`]s go
+//! to the optional observer for the model's feedback loop (Fig. 2). Times
+//! are accumulated as integer nanoseconds so the counters stay atomic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which kind of operation an [`OpRecord`] describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// Background dataset write (already snapshotted).
+    Write,
+    /// Blocking (cold) dataset read.
+    Read,
+    /// Background prefetch read.
+    Prefetch,
+}
+
+/// One completed operation, as delivered to the observer.
+#[derive(Clone, Copy, Debug)]
+pub struct OpRecord {
+    /// Which operation completed.
+    pub kind: OpKind,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Time spent in the container/storage (seconds).
+    pub io_secs: f64,
+    /// Transactional (snapshot) time charged to the caller (seconds);
+    /// nonzero only for writes.
+    pub overhead_secs: f64,
+}
+
+#[derive(Default)]
+struct Cells {
+    writes: AtomicU64,
+    reads_blocking: AtomicU64,
+    prefetches: AtomicU64,
+    prefetch_hits: AtomicU64,
+    snapshot_bytes: AtomicU64,
+    snapshot_nanos: AtomicU64,
+    write_bytes: AtomicU64,
+    write_io_nanos: AtomicU64,
+    read_bytes: AtomicU64,
+    read_io_nanos: AtomicU64,
+}
+
+/// Shared handle to the connector's counters.
+#[derive(Clone, Default)]
+pub(crate) struct StatsCells {
+    cells: Arc<Cells>,
+}
+
+fn to_nanos(secs: f64) -> u64 {
+    (secs.max(0.0) * 1e9) as u64
+}
+
+impl StatsCells {
+    pub(crate) fn new() -> Self {
+        StatsCells::default()
+    }
+
+    pub(crate) fn record_snapshot(&self, bytes: u64, secs: f64) {
+        self.cells.snapshot_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.cells
+            .snapshot_nanos
+            .fetch_add(to_nanos(secs), Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64, io_secs: f64) {
+        self.cells.writes.fetch_add(1, Ordering::Relaxed);
+        self.cells.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.cells
+            .write_io_nanos
+            .fetch_add(to_nanos(io_secs), Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_read(&self, bytes: u64, io_secs: f64, prefetch: bool) {
+        if prefetch {
+            self.cells.prefetches.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cells.reads_blocking.fetch_add(1, Ordering::Relaxed);
+        }
+        self.cells.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.cells
+            .read_io_nanos
+            .fetch_add(to_nanos(io_secs), Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_prefetch_hit(&self) {
+        self.cells.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> AsyncVolStats {
+        let c = &self.cells;
+        AsyncVolStats {
+            writes: c.writes.load(Ordering::Relaxed),
+            blocking_reads: c.reads_blocking.load(Ordering::Relaxed),
+            prefetches: c.prefetches.load(Ordering::Relaxed),
+            prefetch_hits: c.prefetch_hits.load(Ordering::Relaxed),
+            snapshot_bytes: c.snapshot_bytes.load(Ordering::Relaxed),
+            snapshot_secs: c.snapshot_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            write_bytes: c.write_bytes.load(Ordering::Relaxed),
+            write_io_secs: c.write_io_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            read_bytes: c.read_bytes.load(Ordering::Relaxed),
+            read_io_secs: c.read_io_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+/// A point-in-time copy of the connector's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AsyncVolStats {
+    /// Background writes completed.
+    pub writes: u64,
+    /// Cold (blocking) reads served on the caller's thread.
+    pub blocking_reads: u64,
+    /// Background prefetch reads completed.
+    pub prefetches: u64,
+    /// Reads served from a warm prefetch slot.
+    pub prefetch_hits: u64,
+    /// Bytes copied into snapshot buffers (transactional overhead volume).
+    pub snapshot_bytes: u64,
+    /// Seconds spent in snapshot copies, charged to the application thread.
+    pub snapshot_secs: f64,
+    /// Bytes written to the container by background tasks.
+    pub write_bytes: u64,
+    /// Seconds background tasks spent writing.
+    pub write_io_secs: f64,
+    /// Bytes read (blocking + prefetch).
+    pub read_bytes: u64,
+    /// Seconds spent reading (blocking + prefetch).
+    pub read_io_secs: f64,
+}
+
+impl AsyncVolStats {
+    /// Mean snapshot (transactional) bandwidth, bytes/s.
+    pub fn snapshot_bw(&self) -> f64 {
+        if self.snapshot_secs > 0.0 {
+            self.snapshot_bytes as f64 / self.snapshot_secs
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Mean background write bandwidth, bytes/s.
+    pub fn write_bw(&self) -> f64 {
+        if self.write_io_secs > 0.0 {
+            self.write_bytes as f64 / self.write_io_secs
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = StatsCells::new();
+        s.record_snapshot(1000, 0.5);
+        s.record_snapshot(1000, 0.5);
+        s.record_write(2000, 1.0);
+        s.record_read(100, 0.1, false);
+        s.record_read(100, 0.2, true);
+        s.record_prefetch_hit();
+        let snap = s.snapshot();
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.blocking_reads, 1);
+        assert_eq!(snap.prefetches, 1);
+        assert_eq!(snap.prefetch_hits, 1);
+        assert_eq!(snap.snapshot_bytes, 2000);
+        assert!((snap.snapshot_secs - 1.0).abs() < 1e-6);
+        assert!((snap.snapshot_bw() - 2000.0).abs() < 1.0);
+        assert!((snap.write_bw() - 2000.0).abs() < 1.0);
+        assert_eq!(snap.read_bytes, 200);
+    }
+
+    #[test]
+    fn empty_stats_have_nan_bandwidths() {
+        let snap = StatsCells::new().snapshot();
+        assert!(snap.snapshot_bw().is_nan());
+        assert!(snap.write_bw().is_nan());
+    }
+
+    #[test]
+    fn clones_share_cells() {
+        let a = StatsCells::new();
+        let b = a.clone();
+        b.record_write(10, 0.0);
+        assert_eq!(a.snapshot().writes, 1);
+    }
+
+    #[test]
+    fn negative_time_clamps_to_zero() {
+        let s = StatsCells::new();
+        s.record_snapshot(1, -5.0);
+        assert_eq!(s.snapshot().snapshot_secs, 0.0);
+    }
+}

@@ -1,0 +1,594 @@
+//! Integration tests: the async connector against real containers,
+//! exercised through both the raw VOL interface and the public h5lite API.
+
+use std::sync::Arc;
+
+use asyncvol::{AsyncVol, OpKind};
+use h5lite::{
+    Container, Dataspace, File, H5Error, Hyperslab, Selection, Vol,
+};
+
+fn to_bytes_f64(data: &[f64]) -> Vec<u8> {
+    h5lite::datatype::to_bytes(data)
+}
+
+fn mem_container() -> Arc<Container> {
+    Arc::new(Container::create_mem())
+}
+
+#[test]
+fn async_write_then_wait_then_read() {
+    let c = mem_container();
+    let vol = AsyncVol::new();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::F64,
+            &Dataspace::d1(64),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    let data: Vec<f64> = (0..64).map(|i| i as f64).collect();
+    let req = vol
+        .dataset_write(&c, ds, &Selection::All, &to_bytes_f64(&data))
+        .unwrap();
+    assert!(!req.is_sync(), "async connector must defer");
+    vol.wait(req).unwrap();
+    let back = vol
+        .dataset_read(&c, ds, &Selection::All)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(h5lite::datatype::from_bytes::<f64>(&back).unwrap(), data);
+}
+
+#[test]
+fn caller_buffer_can_be_reused_immediately() {
+    // The defining property of the transactional snapshot: mutating the
+    // caller's buffer after the call must not corrupt the write.
+    let c = mem_container();
+    let vol = AsyncVol::new();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::U8,
+            &Dataspace::d1(1 << 20),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    let mut buf = vec![7u8; 1 << 20];
+    let req = vol.dataset_write(&c, ds, &Selection::All, &buf).unwrap();
+    // Clobber the buffer while the background write may still be running.
+    buf.iter_mut().for_each(|b| *b = 0);
+    vol.wait(req).unwrap();
+    let back = vol
+        .dataset_read(&c, ds, &Selection::All)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(back.iter().all(|&b| b == 7), "snapshot must isolate caller");
+}
+
+#[test]
+fn writes_to_same_dataset_apply_in_issue_order() {
+    let c = mem_container();
+    let vol = AsyncVol::new();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::I32,
+            &Dataspace::d1(8),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    // Issue 20 overlapping full writes; the last one must win.
+    for round in 0..20i32 {
+        let data: Vec<i32> = vec![round; 8];
+        vol.dataset_write(&c, ds, &Selection::All, &h5lite::datatype::to_bytes(&data))
+            .unwrap();
+    }
+    vol.wait_all().unwrap();
+    let back = vol
+        .dataset_read(&c, ds, &Selection::All)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(
+        h5lite::datatype::from_bytes::<i32>(&back).unwrap(),
+        vec![19; 8]
+    );
+}
+
+#[test]
+fn read_after_write_sees_the_write() {
+    let c = mem_container();
+    let vol = AsyncVol::new();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::I32,
+            &Dataspace::d1(4),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    vol.dataset_write(
+        &c,
+        ds,
+        &Selection::All,
+        &h5lite::datatype::to_bytes(&[1i32, 2, 3, 4]),
+    )
+    .unwrap();
+    // No explicit wait: the cold read must order itself after the write.
+    let back = vol
+        .dataset_read(&c, ds, &Selection::All)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(
+        h5lite::datatype::from_bytes::<i32>(&back).unwrap(),
+        vec![1, 2, 3, 4]
+    );
+}
+
+#[test]
+fn background_error_surfaces_at_wait() {
+    let c = mem_container();
+    let vol = AsyncVol::new();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::F64,
+            &Dataspace::d1(4),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    // Wrong buffer size: the shape check happens in the background task.
+    let req = vol
+        .dataset_write(&c, ds, &Selection::All, &[0u8; 3])
+        .unwrap();
+    let err = vol.wait(req).unwrap_err();
+    assert!(matches!(err, H5Error::Async(_)), "got {err:?}");
+}
+
+#[test]
+fn wait_all_reports_background_error() {
+    let c = mem_container();
+    let vol = AsyncVol::new();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::F64,
+            &Dataspace::d1(4),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    vol.dataset_write(&c, ds, &Selection::All, &[0u8; 3]).unwrap();
+    assert!(vol.wait_all().is_err());
+    // Second wait_all is clean: errors are reported exactly once.
+    vol.wait_all().unwrap();
+}
+
+#[test]
+fn prefetch_hit_serves_without_reading_again() {
+    let c = mem_container();
+    let vol = AsyncVol::new();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "ts1",
+            h5lite::Datatype::F64,
+            &Dataspace::d1(128),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    let data: Vec<f64> = (0..128).map(|i| (i as f64).sin()).collect();
+    let req = vol
+        .dataset_write(&c, ds, &Selection::All, &to_bytes_f64(&data))
+        .unwrap();
+    vol.wait(req).unwrap();
+
+    vol.prefetch(&c, ds, &Selection::All);
+    vol.wait_all().unwrap();
+
+    let rr = vol.dataset_read(&c, ds, &Selection::All).unwrap();
+    assert!(rr.is_ready(), "warm prefetch slot must be ready");
+    assert_eq!(
+        h5lite::datatype::from_bytes::<f64>(&rr.wait().unwrap()).unwrap(),
+        data
+    );
+    let stats = vol.stats();
+    assert_eq!(stats.prefetch_hits, 1);
+    assert_eq!(stats.prefetches, 1);
+    assert_eq!(stats.blocking_reads, 0);
+}
+
+#[test]
+fn prefetch_slab_keys_are_distinct() {
+    let c = mem_container();
+    let vol = AsyncVol::new();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::I32,
+            &Dataspace::d1(100),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    let all: Vec<i32> = (0..100).collect();
+    let req = vol
+        .dataset_write(&c, ds, &Selection::All, &h5lite::datatype::to_bytes(&all))
+        .unwrap();
+    vol.wait(req).unwrap();
+
+    let sel_a = Selection::Slab(Hyperslab::range1(0, 10));
+    let sel_b = Selection::Slab(Hyperslab::range1(10, 10));
+    vol.prefetch(&c, ds, &sel_a);
+    vol.wait_all().unwrap();
+
+    // sel_b was not prefetched: cold read.
+    let back_b = vol.dataset_read(&c, ds, &sel_b).unwrap().wait().unwrap();
+    assert_eq!(
+        h5lite::datatype::from_bytes::<i32>(&back_b).unwrap(),
+        (10..20).collect::<Vec<i32>>()
+    );
+    // sel_a is warm.
+    let rr = vol.dataset_read(&c, ds, &sel_a).unwrap();
+    assert!(rr.is_ready());
+    let stats = vol.stats();
+    assert_eq!(stats.prefetch_hits, 1);
+    assert_eq!(stats.blocking_reads, 1);
+}
+
+#[test]
+fn double_prefetch_is_idempotent() {
+    let c = mem_container();
+    let vol = AsyncVol::new();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::U8,
+            &Dataspace::d1(10),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    let req = vol
+        .dataset_write(&c, ds, &Selection::All, &[1u8; 10])
+        .unwrap();
+    vol.wait(req).unwrap();
+    vol.prefetch(&c, ds, &Selection::All);
+    let second = vol.prefetch(&c, ds, &Selection::All);
+    assert!(second.is_sync(), "second prefetch is a warm no-op");
+    vol.wait_all().unwrap();
+    assert_eq!(vol.stats().prefetches, 1);
+}
+
+#[test]
+fn observer_sees_every_operation() {
+    use std::sync::Mutex;
+    let records: Arc<Mutex<Vec<OpKind>>> = Arc::new(Mutex::new(Vec::new()));
+    let r2 = records.clone();
+    let vol = AsyncVol::builder()
+        .observer(Arc::new(move |rec| r2.lock().unwrap().push(rec.kind)))
+        .build();
+    let c = mem_container();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::U8,
+            &Dataspace::d1(4),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    let req = vol.dataset_write(&c, ds, &Selection::All, &[1u8; 4]).unwrap();
+    vol.wait(req).unwrap();
+    vol.dataset_read(&c, ds, &Selection::All).unwrap().wait().unwrap();
+    vol.prefetch(&c, ds, &Selection::All);
+    vol.wait_all().unwrap();
+    let seen = records.lock().unwrap().clone();
+    assert!(seen.contains(&OpKind::Write));
+    assert!(seen.contains(&OpKind::Read));
+    assert!(seen.contains(&OpKind::Prefetch));
+}
+
+#[test]
+fn works_through_public_file_api() {
+    let container = mem_container();
+    let vol = Arc::new(AsyncVol::new());
+    let file = File::from_parts(container, vol.clone());
+    let ds = file
+        .root()
+        .create_dataset::<f32>("x", &Dataspace::d1(256))
+        .unwrap();
+    let data: Vec<f32> = (0..256).map(|i| i as f32 * 2.0).collect();
+    let req = ds.write_async(&data).unwrap();
+    assert!(!req.is_sync());
+    file.wait_all().unwrap();
+    assert_eq!(ds.read::<f32>().unwrap(), data);
+    assert!(vol.stats().writes >= 1);
+    assert!(vol.stats().snapshot_bytes >= 1024);
+}
+
+#[test]
+fn flush_drains_outstanding_writes() {
+    let dir = std::env::temp_dir().join(format!("asyncvol-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("drain.h5l");
+    let data: Vec<u64> = (0..4096).collect();
+    {
+        let container = Arc::new(Container::create_file(&path).unwrap());
+        let vol = Arc::new(AsyncVol::new());
+        let file = File::from_parts(container, vol);
+        let ds = file
+            .root()
+            .create_dataset::<u64>("seq", &Dataspace::d1(4096))
+            .unwrap();
+        ds.write_async(&data).unwrap();
+        file.flush().unwrap(); // must wait for the background write
+    }
+    let file = File::open(&path).unwrap();
+    assert_eq!(
+        file.root().open_dataset("seq").unwrap().read::<u64>().unwrap(),
+        data
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn many_datasets_in_flight_concurrently() {
+    let container = mem_container();
+    let vol = Arc::new(AsyncVol::builder().streams(4).build());
+    let file = File::from_parts(container, vol);
+    let n_ds = 32;
+    let mut handles = Vec::new();
+    for i in 0..n_ds {
+        let ds = file
+            .root()
+            .create_dataset::<u32>(&format!("d{i}"), &Dataspace::d1(1024))
+            .unwrap();
+        let data: Vec<u32> = (0..1024).map(|j| j + i).collect();
+        ds.write_async(&data).unwrap();
+        handles.push((ds, data));
+    }
+    file.wait_all().unwrap();
+    for (ds, data) in handles {
+        assert_eq!(ds.read::<u32>().unwrap(), data);
+    }
+}
+
+#[test]
+fn stats_track_transactional_overhead() {
+    let c = mem_container();
+    let vol = AsyncVol::new();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::U8,
+            &Dataspace::d1(1 << 22),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    let buf = vec![3u8; 1 << 22];
+    let req = vol.dataset_write(&c, ds, &Selection::All, &buf).unwrap();
+    vol.wait(req).unwrap();
+    let s = vol.stats();
+    assert_eq!(s.snapshot_bytes, 1 << 22);
+    assert!(s.snapshot_secs > 0.0, "4 MiB memcpy takes measurable time");
+    assert!(s.snapshot_bw().is_finite());
+    assert!(s.write_io_secs > 0.0);
+}
+
+#[test]
+fn device_staging_roundtrip_and_footprint() {
+    let staging_device = Arc::new(h5lite::MemBackend::new());
+    let vol = AsyncVol::builder()
+        .stage_to_device(staging_device)
+        .build();
+    let c = mem_container();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::F64,
+            &Dataspace::d1(1024),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    let data: Vec<f64> = (0..1024).map(|i| i as f64 * 0.25).collect();
+    let req = vol
+        .dataset_write(&c, ds, &Selection::All, &to_bytes_f64(&data))
+        .unwrap();
+    assert_eq!(
+        vol.staging_bytes_used(),
+        1024 * 8,
+        "snapshot lives on the staging device"
+    );
+    vol.wait(req).unwrap();
+    let back = vol
+        .dataset_read(&c, ds, &Selection::All)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(h5lite::datatype::from_bytes::<f64>(&back).unwrap(), data);
+    // Recycling after drain frees the log.
+    vol.recycle_staging().unwrap();
+    assert_eq!(vol.staging_bytes_used(), 0);
+}
+
+#[test]
+fn device_staging_isolates_caller_buffer() {
+    let vol = AsyncVol::builder()
+        .stage_to_device(Arc::new(h5lite::MemBackend::new()))
+        .build();
+    let c = mem_container();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::U8,
+            &Dataspace::d1(1 << 18),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    let mut buf = vec![9u8; 1 << 18];
+    let req = vol.dataset_write(&c, ds, &Selection::All, &buf).unwrap();
+    buf.iter_mut().for_each(|b| *b = 0);
+    vol.wait(req).unwrap();
+    let back = vol
+        .dataset_read(&c, ds, &Selection::All)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(back.iter().all(|&b| b == 9));
+}
+
+#[test]
+fn device_staging_write_order_preserved() {
+    let vol = AsyncVol::builder()
+        .stage_to_device(Arc::new(h5lite::MemBackend::new()))
+        .build();
+    let c = mem_container();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::I32,
+            &Dataspace::d1(16),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    for round in 0..10i32 {
+        vol.dataset_write(
+            &c,
+            ds,
+            &Selection::All,
+            &h5lite::datatype::to_bytes(&vec![round; 16]),
+        )
+        .unwrap();
+    }
+    vol.wait_all().unwrap();
+    let back = vol
+        .dataset_read(&c, ds, &Selection::All)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(
+        h5lite::datatype::from_bytes::<i32>(&back).unwrap(),
+        vec![9; 16]
+    );
+}
+
+#[test]
+fn slow_staging_device_shows_in_overhead() {
+    // A deliberately slow staging device: the transactional overhead is
+    // now a device write, visible in the stats.
+    let device = Arc::new(h5lite::ThrottledBackend::in_memory(50e6, 0.0));
+    let vol = AsyncVol::builder().stage_to_device(device).build();
+    let c = mem_container();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::U8,
+            &Dataspace::d1(1 << 20),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    let buf = vec![1u8; 1 << 20];
+    let req = vol.dataset_write(&c, ds, &Selection::All, &buf).unwrap();
+    vol.wait(req).unwrap();
+    let s = vol.stats();
+    // 1 MiB at 50 MB/s ≈ 21 ms of staging time charged as overhead.
+    assert!(s.snapshot_secs > 0.015, "staging write is the overhead: {s:?}");
+}
+
+#[test]
+fn injected_device_failure_surfaces_as_deferred_async_error() {
+    // The container lives on a device that dies after a few writes: the
+    // async connector must keep accepting work and surface the failure at
+    // wait time, without hanging or panicking the background stream.
+    let backend = Arc::new(h5lite::FaultyBackend::failing_after(
+        Box::new(h5lite::MemBackend::new()),
+        4,
+    ));
+    let c = Arc::new(Container::create(backend));
+    let vol = AsyncVol::new();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::U8,
+            &Dataspace::d1(64),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    let mut requests = Vec::new();
+    for _ in 0..8 {
+        requests.push(
+            vol.dataset_write(&c, ds, &Selection::All, &[1u8; 64])
+                .unwrap(),
+        );
+    }
+    let outcomes: Vec<bool> = requests
+        .into_iter()
+        .map(|r| vol.wait(r).is_ok())
+        .collect();
+    assert!(outcomes.iter().any(|ok| *ok), "early writes succeed");
+    assert!(outcomes.iter().any(|ok| !*ok), "late writes report failure");
+    // The connector is still usable for reads of whatever landed.
+    let _ = vol.dataset_read(&c, ds, &Selection::All).unwrap().wait();
+}
+
+#[test]
+fn staging_device_failure_fails_the_issue_not_the_background() {
+    // When the *staging* device dies, the failure is synchronous (the
+    // snapshot itself cannot be taken) — the paper's transactional copy
+    // is on the caller's critical path.
+    let staging = Arc::new(h5lite::FaultyBackend::failing_after(
+        Box::new(h5lite::MemBackend::new()),
+        1,
+    ));
+    let vol = AsyncVol::builder().stage_to_device(staging).build();
+    let c = mem_container();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::U8,
+            &Dataspace::d1(8),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    assert!(vol.dataset_write(&c, ds, &Selection::All, &[1u8; 8]).is_ok());
+    let err = vol
+        .dataset_write(&c, ds, &Selection::All, &[2u8; 8])
+        .unwrap_err();
+    assert!(matches!(err, H5Error::Storage(_)), "got {err:?}");
+    vol.wait_all().unwrap();
+}

@@ -1,0 +1,90 @@
+//! Regenerate the paper's figures as text tables.
+//!
+//! ```text
+//! figures <target> [<target> ...]
+//! figures all
+//! ```
+//!
+//! Targets: fig3a fig3b fig3c fig3d fig4a fig4b fig4c fig4d fig5 fig6
+//! fig7 fig8 memcpy gpulink r2
+
+use apio_bench::table;
+use apio_bench::*;
+
+fn emit(target: &str) -> bool {
+    match target {
+        "fig3a" => print!("{}", table::render_bw(&fig3a())),
+        "fig3b" => print!("{}", table::render_bw(&fig3b())),
+        "fig3c" => print!("{}", table::render_bw(&fig3c())),
+        "fig3d" => print!("{}", table::render_bw(&fig3d())),
+        "fig4a" => print!("{}", table::render_bw(&fig4a())),
+        "fig4b" => print!("{}", table::render_bw(&fig4b())),
+        "fig4c" => print!("{}", table::render_bw(&fig4c())),
+        "fig4d" => print!("{}", table::render_bw(&fig4d())),
+        "fig5" => print!("{}", table::render_bw(&fig5())),
+        "fig6" => print!("{}", table::render_bw(&fig6())),
+        "fig7" => print!("{}", table::render_durations(&fig7())),
+        "fig8" => print!("{}", table::render_variability(&fig8())),
+        "memcpy" => {
+            print!(
+                "{}",
+                table::render_micro(
+                    "memcpy bandwidth vs size (Summit node)",
+                    &memcpy_micro(&platform::summit())
+                )
+            );
+            print!(
+                "{}",
+                table::render_micro(
+                    "memcpy bandwidth vs size (Cori-Haswell node)",
+                    &memcpy_micro(&platform::cori_haswell())
+                )
+            );
+        }
+        "gpulink" => {
+            println!("# GPU link bandwidth vs size (Summit NVLink 2.0)");
+            println!("{:>14} {:>14} {:>14}", "size", "pinned", "pageable");
+            for (bytes, pinned, pageable) in gpulink_micro() {
+                println!(
+                    "{:>14} {:>14} {:>14}",
+                    platform::units::fmt_bytes(bytes),
+                    platform::units::fmt_bw(pinned),
+                    platform::units::fmt_bw(pageable)
+                );
+            }
+        }
+        "r2" => print!("{}", table::render_r2(&r2_table())),
+        "staging" => print!("{}", table::render_staging(&ablate_staging())),
+        "depth" => print!("{}", table::render_depth(&ablate_buffer_depth())),
+        "collective" => print!("{}", table::render_collective(&ablate_collective())),
+        _ => return false,
+    }
+    true
+}
+
+const ALL: &[&str] = &[
+    "fig3a", "fig3b", "fig3c", "fig3d", "fig4a", "fig4b", "fig4c", "fig4d", "fig5", "fig6",
+    "fig7", "fig8", "memcpy", "gpulink", "r2", "staging", "depth", "collective",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: figures <target>... | all\ntargets: {}", ALL.join(" "));
+        std::process::exit(2);
+    }
+    let targets: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for (i, t) in targets.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        if !emit(t) {
+            eprintln!("unknown target '{t}'; known: {}", ALL.join(" "));
+            std::process::exit(2);
+        }
+    }
+}

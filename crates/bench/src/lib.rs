@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+//! # apio-bench — the figure-regeneration harness
+//!
+//! One function per figure of the paper's evaluation (§V), each returning
+//! typed rows so the `figures` binary, the integration tests, and
+//! EXPERIMENTS.md all consume the same data. The experiment protocol
+//! follows the paper: every configuration runs 5 times with fresh
+//! contention draws ("at least 5 times across multiple days"), plots
+//! report the peak aggregate bandwidth, and the model's estimate (the
+//! dotted line) is a linear/linear-log fit over the collected history.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

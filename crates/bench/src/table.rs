@@ -1,0 +1,216 @@
+//! Plain-text table rendering for the `figures` binary.
+
+use platform::units::{fmt_bw, fmt_bytes};
+
+use crate::experiments::{
+    BwFigure, CollectiveRow, DepthRow, DurationRow, MicroRow, R2Row, StagingRow, VariabilityRow,
+};
+
+/// Render a bandwidth figure as an aligned text table.
+pub fn render_bw(fig: &BwFigure) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {} — {}\n", fig.id, fig.title));
+    out.push_str(&format!(
+        "# model fit: sync r² = {:.3} (relerr {:.1}%), async r² = {:.3} (relerr {:.1}%)\n",
+        fig.sync_r2,
+        fig.sync_relerr * 100.0,
+        fig.async_r2,
+        fig.async_relerr * 100.0
+    ));
+    out.push_str(&format!(
+        "{:>8} {:>7} {:>14} {:>14} {:>14} {:>14}\n",
+        "ranks", "nodes", "sync", "async", "est_sync", "est_async"
+    ));
+    for r in &fig.rows {
+        out.push_str(&format!(
+            "{:>8} {:>7} {:>14} {:>14} {:>14} {:>14}\n",
+            r.ranks,
+            r.nodes,
+            fmt_bw(r.sync_bw),
+            fmt_bw(r.async_bw),
+            fmt_bw(r.est_sync),
+            fmt_bw(r.est_async)
+        ));
+    }
+    out
+}
+
+/// Render the Fig. 7 duration sweep.
+pub fn render_durations(rows: &[DurationRow]) -> String {
+    let mut out = String::new();
+    out.push_str("# fig7 — Nyx (small) on Cori: application duration vs steps per compute phase\n");
+    out.push_str(&format!(
+        "{:>10} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+        "steps/io", "epochs", "sync [s]", "async [s]", "est_sync", "est_async"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10} {:>8} {:>12.1} {:>12.1} {:>12.1} {:>12.1}\n",
+            r.steps_per_io, r.epochs, r.sync_secs, r.async_secs, r.est_sync_secs, r.est_async_secs
+        ));
+    }
+    out
+}
+
+/// Render the Fig. 8 variability samples.
+pub fn render_variability(rows: &[VariabilityRow]) -> String {
+    let mut out = String::new();
+    out.push_str("# fig8 — VPIC-IO on Summit: per-run aggregate bandwidth across days\n");
+    for r in rows {
+        out.push_str(&format!(
+            "ranks={} sync_cv={:.3} async_cv={:.3}\n",
+            r.ranks,
+            r.sync_cv(),
+            r.async_cv()
+        ));
+        out.push_str("  sync : ");
+        for s in &r.sync_samples {
+            out.push_str(&format!("{} ", fmt_bw(*s)));
+        }
+        out.push_str("\n  async: ");
+        for s in &r.async_samples {
+            out.push_str(&format!("{} ", fmt_bw(*s)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a micro-benchmark curve.
+pub fn render_micro(title: &str, rows: &[MicroRow]) -> String {
+    let mut out = format!("# {title}\n{:>14} {:>14}\n", "size", "bandwidth");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>14} {:>14}\n",
+            platform::units::fmt_bytes(r.bytes),
+            fmt_bw(r.bw)
+        ));
+    }
+    out
+}
+
+/// Render the r² table.
+pub fn render_r2(rows: &[R2Row]) -> String {
+    let mut out = format!(
+        "# model fit quality (§V-C: sync ≥ 0.80, async ≥ 0.90 where the\n\
+         # curve has variance; flat curves judged by relative error)\n\
+         {:>8} {:>10} {:>10} {:>12} {:>12}\n",
+        "figure", "sync r²", "async r²", "sync relerr", "async relerr"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8} {:>10.3} {:>10.3} {:>11.1}% {:>11.1}%\n",
+            r.figure,
+            r.sync_r2,
+            r.async_r2,
+            r.sync_relerr * 100.0,
+            r.async_relerr * 100.0
+        ));
+    }
+    out
+}
+
+/// Render the staging-tier ablation.
+pub fn render_staging(rows: &[StagingRow]) -> String {
+    let mut out = String::from(
+        "# ablation: snapshot staging tier (VPIC-shaped, Summit, 768 ranks)\n",
+    );
+    out.push_str(&format!(
+        "{:>12} {:>14} {:>14} {:>14} {:>16}\n",
+        "per-rank", "dram async", "nvme async", "sync", "dram footprint"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>12} {:>14} {:>14} {:>14} {:>16}\n",
+            fmt_bytes(r.per_rank_bytes),
+            fmt_bw(r.dram_bw),
+            fmt_bw(r.nvme_bw),
+            fmt_bw(r.sync_bw),
+            fmt_bytes(r.dram_footprint),
+        ));
+    }
+    out
+}
+
+/// Render the collective-aggregation ablation.
+pub fn render_collective(rows: &[CollectiveRow]) -> String {
+    let mut out = String::from(
+        "# ablation: two-phase collective buffering (Castro, Cori, strong scaling)\n",
+    );
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>14} {:>14} {:>14}\n",
+        "ranks", "per-rank", "independent", "1 agg/node", "4 agg/node"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8} {:>12} {:>14} {:>14} {:>14}\n",
+            r.ranks,
+            fmt_bytes(r.per_rank_bytes),
+            fmt_bw(r.independent_bw),
+            fmt_bw(r.agg1_bw),
+            fmt_bw(r.agg4_bw),
+        ));
+    }
+    out
+}
+
+/// Render the buffer-depth ablation.
+pub fn render_depth(rows: &[DepthRow]) -> String {
+    let mut out = String::from(
+        "# ablation: snapshot buffer-pool depth (throttled regime, Summit, 6144 ranks)\n",
+    );
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>18}\n",
+        "depth", "wall [s]", "mean visible [s]"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8} {:>12.2} {:>18.4}\n",
+            r.buffer_depth, r.wall_secs, r.mean_visible_io
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::BwRow;
+
+    #[test]
+    fn bw_table_contains_all_rows() {
+        let fig = BwFigure {
+            id: "figX",
+            title: "demo".into(),
+            rows: vec![BwRow {
+                ranks: 96,
+                nodes: 16,
+                sync_bw: 1e9,
+                async_bw: 1e11,
+                est_sync: 1.1e9,
+                est_async: 0.9e11,
+            }],
+            sync_r2: 0.9,
+            async_r2: 0.99,
+            sync_relerr: 0.1,
+            async_relerr: 0.1,
+        };
+        let t = render_bw(&fig);
+        assert!(t.contains("figX"));
+        assert!(t.contains("96"));
+        assert!(t.contains("1.00 GB/s"));
+        assert!(t.contains("100.00 GB/s"));
+        assert!(t.contains("0.900"));
+    }
+
+    #[test]
+    fn micro_table_renders_units() {
+        let rows = vec![MicroRow {
+            bytes: 1 << 20,
+            bw: 5e9,
+        }];
+        let t = render_micro("memcpy", &rows);
+        assert!(t.contains("1.00 MiB"));
+        assert!(t.contains("5.00 GB/s"));
+    }
+}

@@ -1,0 +1,295 @@
+//! The model feedback loop (Fig. 2).
+//!
+//! An [`AdaptiveRuntime`] sits beside a high-level I/O library: the
+//! library streams in observations (compute phases, transfers, snapshot
+//! overheads), the runtime maintains the history and refits the rate
+//! models lazily, and before each I/O phase the library asks for advice.
+//! This is exactly the architecture the paper sketches in Fig. 2 — "a
+//! model feedback loop added to a high-level I/O library".
+
+use crate::advisor::{Advice, ModeAdvisor};
+use crate::error_msg::ModelError;
+use crate::estimator::CompEstimator;
+use crate::history::{Direction, History, IoMode, TransferRecord};
+use crate::ratemodel::RateModel;
+
+/// One event streamed into the loop.
+#[derive(Clone, Copy, Debug)]
+pub enum Observation {
+    /// A computation phase completed.
+    Compute {
+        /// Wall time of the phase.
+        secs: f64,
+    },
+    /// A collective transfer completed: `total_bytes` across `ranks` in
+    /// `secs`, in the given mode and direction.
+    Transfer {
+        /// I/O mode the transfer ran under.
+        mode: IoMode,
+        /// Read or write.
+        direction: Direction,
+        /// Bytes moved across all ranks.
+        total_bytes: f64,
+        /// Participating ranks.
+        ranks: u32,
+        /// Wall time of the transfer.
+        secs: f64,
+    },
+    /// A transactional snapshot completed (async write path): recorded as
+    /// an `Async` transfer so it feeds the overhead model.
+    SnapshotOverhead {
+        /// Read or write.
+        direction: Direction,
+        /// Bytes snapshotted across all ranks.
+        total_bytes: f64,
+        /// Participating ranks.
+        ranks: u32,
+        /// Wall time of the snapshot copy.
+        secs: f64,
+    },
+}
+
+/// The feedback loop: history + estimators + lazily refitted models.
+pub struct AdaptiveRuntime {
+    history: History,
+    comp: CompEstimator,
+    /// Fits are invalidated whenever the relevant slice grows.
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    history_len: usize,
+    write: Option<ModeAdvisor>,
+    read: Option<ModeAdvisor>,
+}
+
+impl Default for AdaptiveRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdaptiveRuntime {
+    /// An empty loop: no history, no compute estimate.
+    pub fn new() -> Self {
+        AdaptiveRuntime {
+            history: History::new(),
+            comp: CompEstimator::new(),
+            cache: None,
+        }
+    }
+
+    /// Start from a persisted history (a previous run's
+    /// [`History::to_text`] snapshot).
+    pub fn with_history(history: History) -> Self {
+        AdaptiveRuntime {
+            history,
+            comp: CompEstimator::new(),
+            cache: None,
+        }
+    }
+
+    /// Stream in one observation.
+    pub fn observe(&mut self, obs: Observation) {
+        match obs {
+            Observation::Compute { secs } => self.comp.observe(secs),
+            Observation::Transfer {
+                mode,
+                direction,
+                total_bytes,
+                ranks,
+                secs,
+            } => {
+                if secs > 0.0 && total_bytes > 0.0 {
+                    self.history.push(TransferRecord::from_time(
+                        total_bytes,
+                        ranks,
+                        mode,
+                        direction,
+                        secs,
+                    ));
+                }
+            }
+            Observation::SnapshotOverhead {
+                direction,
+                total_bytes,
+                ranks,
+                secs,
+            } => {
+                if secs > 0.0 && total_bytes > 0.0 {
+                    self.history.push(TransferRecord::from_time(
+                        total_bytes,
+                        ranks,
+                        IoMode::Async,
+                        direction,
+                        secs,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The current history (e.g. to persist with [`History::to_text`]).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Latest compute-phase estimate.
+    pub fn compute_estimate(&self) -> Option<f64> {
+        self.comp.estimate()
+    }
+
+    /// Advise on the next I/O phase. Refits models when the history grew.
+    pub fn advise(
+        &mut self,
+        direction: Direction,
+        total_bytes: f64,
+        ranks: u32,
+    ) -> Result<Advice, ModelError> {
+        let t_comp = self
+            .comp
+            .estimate()
+            .ok_or_else(|| ModelError("no compute phases observed yet".into()))?;
+        self.refit_if_stale();
+        let cache = self.cache.as_ref().unwrap();
+        let advisor = match direction {
+            Direction::Write => cache.write.as_ref(),
+            Direction::Read => cache.read.as_ref(),
+        }
+        .ok_or_else(|| {
+            ModelError(format!(
+                "insufficient history to fit both {direction:?} models"
+            ))
+        })?;
+        Ok(advisor.advise(t_comp, total_bytes, ranks))
+    }
+
+    /// Current fitted models per direction, if the history supports them.
+    pub fn advisor(&mut self, direction: Direction) -> Option<&ModeAdvisor> {
+        self.refit_if_stale();
+        match direction {
+            Direction::Write => self.cache.as_ref().unwrap().write.as_ref(),
+            Direction::Read => self.cache.as_ref().unwrap().read.as_ref(),
+        }
+    }
+
+    fn refit_if_stale(&mut self) {
+        let stale = match &self.cache {
+            Some(c) => c.history_len != self.history.len(),
+            None => true,
+        };
+        if !stale {
+            return;
+        }
+        let fit_pair = |dir: Direction, h: &History| -> Option<ModeAdvisor> {
+            let s = RateModel::fit(h, IoMode::Sync, dir).ok()?;
+            let a = RateModel::fit(h, IoMode::Async, dir).ok()?;
+            ModeAdvisor::new(s, a).ok()
+        };
+        self.cache = Some(Cache {
+            history_len: self.history.len(),
+            write: fit_pair(Direction::Write, &self.history),
+            read: fit_pair(Direction::Read, &self.history),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_epochs(rt: &mut AdaptiveRuntime, n: usize) {
+        // Simulate a weak-scaling style history across several scales.
+        for (i, ranks) in [6u32, 24, 96, 384, 1536].iter().enumerate().take(n) {
+            let nodes = *ranks as f64 / 6.0;
+            let bytes = *ranks as f64 * 32e6;
+            rt.observe(Observation::Compute { secs: 30.0 });
+            rt.observe(Observation::Transfer {
+                mode: IoMode::Sync,
+                direction: Direction::Write,
+                total_bytes: bytes,
+                ranks: *ranks,
+                secs: bytes / (nodes * 2.7e9).min(330e9),
+            });
+            rt.observe(Observation::SnapshotOverhead {
+                direction: Direction::Write,
+                total_bytes: bytes,
+                ranks: *ranks,
+                secs: bytes / (nodes * 10e9),
+            });
+            let _ = i;
+        }
+    }
+
+    #[test]
+    fn advise_before_any_data_fails_cleanly() {
+        let mut rt = AdaptiveRuntime::new();
+        assert!(rt.advise(Direction::Write, 1e9, 64).is_err());
+        rt.observe(Observation::Compute { secs: 1.0 });
+        // Compute known but no transfers: still an error.
+        assert!(rt.advise(Direction::Write, 1e9, 64).is_err());
+    }
+
+    #[test]
+    fn loop_converges_to_async_for_long_compute() {
+        let mut rt = AdaptiveRuntime::new();
+        feed_epochs(&mut rt, 5);
+        let advice = rt.advise(Direction::Write, 768.0 * 32e6, 768).unwrap();
+        assert_eq!(advice.mode, IoMode::Async);
+        assert!(advice.speedup() > 1.0);
+    }
+
+    #[test]
+    fn cache_refits_on_new_data() {
+        let mut rt = AdaptiveRuntime::new();
+        feed_epochs(&mut rt, 5);
+        let a1 = rt.advise(Direction::Write, 1e9, 96).unwrap();
+        // New observations shift the sync model sharply downward.
+        for _ in 0..10 {
+            rt.observe(Observation::Transfer {
+                mode: IoMode::Sync,
+                direction: Direction::Write,
+                total_bytes: 96.0 * 32e6,
+                ranks: 96,
+                secs: 100.0, // terrible sync performance
+            });
+        }
+        let a2 = rt.advise(Direction::Write, 1e9, 96).unwrap();
+        // Peak-rate fitting means the *ideal* stays; this mostly checks
+        // the refit path doesn't panic and stays consistent.
+        assert!(a2.t_sync.is_finite() && a1.t_sync.is_finite());
+    }
+
+    #[test]
+    fn read_and_write_fit_independently() {
+        let mut rt = AdaptiveRuntime::new();
+        feed_epochs(&mut rt, 5);
+        assert!(rt.advisor(Direction::Write).is_some());
+        assert!(rt.advisor(Direction::Read).is_none());
+        assert!(rt.advise(Direction::Read, 1e9, 96).is_err());
+    }
+
+    #[test]
+    fn history_persistence_roundtrip() {
+        let mut rt = AdaptiveRuntime::new();
+        feed_epochs(&mut rt, 5);
+        let text = rt.history().to_text();
+        let mut rt2 = AdaptiveRuntime::with_history(History::from_text(&text).unwrap());
+        rt2.observe(Observation::Compute { secs: 30.0 });
+        let advice = rt2.advise(Direction::Write, 768.0 * 32e6, 768).unwrap();
+        assert_eq!(advice.mode, IoMode::Async);
+    }
+
+    #[test]
+    fn degenerate_observations_ignored() {
+        let mut rt = AdaptiveRuntime::new();
+        rt.observe(Observation::Transfer {
+            mode: IoMode::Sync,
+            direction: Direction::Write,
+            total_bytes: 0.0,
+            ranks: 4,
+            secs: 0.0,
+        });
+        assert!(rt.history().is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! The epoch-time equations (Eq. 1–2) and the Fig. 1 scenarios.
+//!
+//! All times are plain `f64` seconds: the model is arithmetic over
+//! estimates, not simulation.
+
+/// Inputs for one epoch's cost under either I/O mode.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EpochParams {
+    /// Computation phase length (includes communication/synchronization).
+    pub t_comp: f64,
+    /// Blocking I/O phase length (all data transfers of the phase).
+    pub t_io: f64,
+    /// Transactional overhead of asynchronous I/O (the snapshot copy).
+    pub t_overhead: f64,
+}
+
+impl EpochParams {
+    /// Bundle the three per-epoch costs (all non-negative seconds).
+    pub fn new(t_comp: f64, t_io: f64, t_overhead: f64) -> Self {
+        assert!(
+            t_comp >= 0.0 && t_io >= 0.0 && t_overhead >= 0.0,
+            "epoch times must be non-negative"
+        );
+        EpochParams {
+            t_comp,
+            t_io,
+            t_overhead,
+        }
+    }
+
+    /// Eq. 2a for these parameters.
+    pub fn sync_time(&self) -> f64 {
+        sync_epoch_time(self.t_io, self.t_comp)
+    }
+
+    /// Eq. 2b for these parameters.
+    pub fn async_time(&self) -> f64 {
+        async_epoch_time(self.t_comp, self.t_io, self.t_overhead)
+    }
+
+    /// Speedup of async over sync (> 1 means async wins).
+    pub fn speedup(&self) -> f64 {
+        self.sync_time() / self.async_time()
+    }
+
+    /// Which Fig. 1 scenario these parameters fall into.
+    pub fn scenario(&self) -> Scenario {
+        if self.async_time() >= self.sync_time() {
+            Scenario::Slowdown
+        } else if self.t_comp >= self.t_io {
+            Scenario::Ideal
+        } else {
+            Scenario::PartialOverlap
+        }
+    }
+}
+
+/// Eq. 2a: `t_sync_epoch = t_io + t_comp`. Computation stalls during I/O.
+pub fn sync_epoch_time(t_io: f64, t_comp: f64) -> f64 {
+    t_io + t_comp
+}
+
+/// Eq. 2b: `t_async_epoch = max(t_comp, t_io − t_comp) + t_overhead`.
+///
+/// The `max` keeps whichever cannot be hidden: the computation phase when
+/// it fully covers the I/O, or the I/O remainder when computation is too
+/// short. The transactional overhead is always paid on the application
+/// thread — which is why `t_comp ≤ t_overhead` guarantees a slowdown
+/// (Fig. 1c).
+pub fn async_epoch_time(t_comp: f64, t_io: f64, t_overhead: f64) -> f64 {
+    (t_io - t_comp).max(t_comp) + t_overhead
+}
+
+/// Eq. 1: `t_app = t_init + Σ t_epoch + t_term`.
+pub fn app_time(t_init: f64, epoch_times: impl IntoIterator<Item = f64>, t_term: f64) -> f64 {
+    t_init + epoch_times.into_iter().sum::<f64>() + t_term
+}
+
+/// The three timeline scenarios of Fig. 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scenario {
+    /// Fig. 1a: computation longer than I/O — the I/O latency hides
+    /// completely.
+    Ideal,
+    /// Fig. 1b: computation shorter than I/O — some latency is exposed,
+    /// but async still wins.
+    PartialOverlap,
+    /// Fig. 1c: the overhead eats any overlap benefit — async loses.
+    Slowdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_is_the_sum() {
+        assert_eq!(sync_epoch_time(2.0, 3.0), 5.0);
+        assert_eq!(sync_epoch_time(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ideal_scenario_full_overlap() {
+        // Fig. 1a: t_comp=10 > t_io=4. Async epoch = comp + overhead only.
+        let p = EpochParams::new(10.0, 4.0, 0.5);
+        assert_eq!(p.async_time(), 10.5);
+        assert_eq!(p.sync_time(), 14.0);
+        assert_eq!(p.scenario(), Scenario::Ideal);
+        assert!(p.speedup() > 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_scenario() {
+        // Fig. 1b: t_comp=3 < t_io=10; exposed I/O = 7.
+        let p = EpochParams::new(3.0, 10.0, 0.5);
+        assert_eq!(p.async_time(), 7.5);
+        assert_eq!(p.sync_time(), 13.0);
+        assert_eq!(p.scenario(), Scenario::PartialOverlap);
+    }
+
+    #[test]
+    fn slowdown_when_overhead_dominates() {
+        // Fig. 1c: t_comp ≤ t_overhead means async cannot win.
+        let p = EpochParams::new(0.2, 1.0, 0.5);
+        // async = max(0.2, 0.8) + 0.5 = 1.3 ; sync = 1.2
+        assert!(p.async_time() > p.sync_time());
+        assert_eq!(p.scenario(), Scenario::Slowdown);
+        assert!(p.speedup() < 1.0);
+    }
+
+    #[test]
+    fn exact_slowdown_characterization_of_eq2b() {
+        // §III-A states "when t_comp ≤ t_transact_overhead, async results
+        // in a slowdown". Solving Eq. 2a/2b exactly: async loses iff
+        // t_overhead ≥ min(t_io, 2·t_comp) — the prose claim is the
+        // t_io ≤ 2·t_comp face of this condition. Verify the exact
+        // characterization over a dense sweep.
+        let grid = [0.0, 0.05, 0.1, 0.3, 0.5, 1.0, 2.0, 5.0];
+        for &comp in &grid {
+            for &io in &grid {
+                for &ov in &grid {
+                    let p = EpochParams::new(comp, io, ov);
+                    let slowdown = p.async_time() >= p.sync_time();
+                    let predicted = ov >= io.min(2.0 * comp);
+                    assert_eq!(
+                        slowdown, predicted,
+                        "comp={comp} io={io} ov={ov}: async={} sync={}",
+                        p.async_time(),
+                        p.sync_time()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_claim_holds_in_full_overlap_regime() {
+        // In the regime Fig. 1c depicts (the I/O fully fits under the
+        // compute phase, t_io ≤ t_comp), t_comp ≤ t_overhead does imply a
+        // slowdown: the overhead then dominates anything overlap saved.
+        for comp in [0.1, 0.5, 1.0] {
+            for io in [0.05 * comp, 0.5 * comp, comp] {
+                for ov in [comp, 2.0 * comp] {
+                    let p = EpochParams::new(comp, io, ov);
+                    assert!(
+                        p.async_time() >= p.sync_time() - 1e-12,
+                        "comp={comp} io={io} ov={ov}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_overhead_async_never_loses() {
+        for comp in [0.1, 1.0, 10.0] {
+            for io in [0.1, 1.0, 10.0] {
+                let p = EpochParams::new(comp, io, 0.0);
+                assert!(p.async_time() <= p.sync_time() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn app_time_eq1() {
+        // 3 epochs of 2s each, init 1s, term 0.5s.
+        assert_eq!(app_time(1.0, vec![2.0; 3], 0.5), 7.5);
+        assert_eq!(app_time(0.0, std::iter::empty(), 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_times_rejected() {
+        EpochParams::new(-1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn boundary_equal_comp_and_io_is_ideal() {
+        let p = EpochParams::new(5.0, 5.0, 0.1);
+        assert_eq!(p.scenario(), Scenario::Ideal);
+        assert_eq!(p.async_time(), 5.1);
+    }
+}

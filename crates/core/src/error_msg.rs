@@ -1,0 +1,29 @@
+//! Model-layer error type.
+
+use std::fmt;
+
+/// Why a fit or estimate could not be produced (insufficient or degenerate
+/// history, malformed snapshot, ...).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelError(pub String);
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            ModelError("too few points".into()).to_string(),
+            "model error: too few points"
+        );
+    }
+}

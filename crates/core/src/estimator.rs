@@ -1,0 +1,143 @@
+//! Compute-time estimation (§III-B).
+//!
+//! "We measure the computation time directly in the application and use a
+//! weighted average over the measurements taken in previous iterations to
+//! estimate the computation time of the next iteration." This is an
+//! exponentially weighted moving average: recent epochs count more, so
+//! the estimate tracks applications whose per-epoch compute drifts (AMR
+//! refinement, convergence phases) while smoothing measurement noise.
+
+/// Exponentially weighted moving average of per-epoch compute times.
+#[derive(Clone, Debug)]
+pub struct CompEstimator {
+    /// Weight of the newest sample in `(0, 1]`. 1.0 = last-value-only.
+    alpha: f64,
+    value: Option<f64>,
+    n: u64,
+}
+
+impl CompEstimator {
+    /// Default smoothing (α = 0.3), a common EWMA choice balancing
+    /// responsiveness against noise.
+    pub fn new() -> Self {
+        Self::with_alpha(0.3)
+    }
+
+    /// Custom smoothing factor in `(0, 1]`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        CompEstimator {
+            alpha,
+            value: None,
+            n: 0,
+        }
+    }
+
+    /// Record one measured compute phase.
+    pub fn observe(&mut self, t_comp: f64) {
+        assert!(t_comp >= 0.0 && t_comp.is_finite(), "invalid compute time");
+        self.n += 1;
+        self.value = Some(match self.value {
+            None => t_comp,
+            Some(prev) => self.alpha * t_comp + (1.0 - self.alpha) * prev,
+        });
+    }
+
+    /// Estimate of the next epoch's compute phase; `None` before any
+    /// observation.
+    pub fn estimate(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Default for CompEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimator_has_no_estimate() {
+        assert_eq!(CompEstimator::new().estimate(), None);
+    }
+
+    #[test]
+    fn first_observation_is_the_estimate() {
+        let mut e = CompEstimator::new();
+        e.observe(30.0);
+        assert_eq!(e.estimate(), Some(30.0));
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
+    fn constant_signal_estimates_exactly() {
+        let mut e = CompEstimator::new();
+        for _ in 0..50 {
+            e.observe(2.5);
+        }
+        assert!((e.estimate().unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_recurrence() {
+        let mut e = CompEstimator::with_alpha(0.5);
+        e.observe(10.0);
+        e.observe(20.0); // 0.5*20 + 0.5*10 = 15
+        assert!((e.estimate().unwrap() - 15.0).abs() < 1e-12);
+        e.observe(0.0); // 0.5*0 + 0.5*15 = 7.5
+        assert!((e.estimate().unwrap() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracks_a_level_shift() {
+        let mut e = CompEstimator::new();
+        for _ in 0..20 {
+            e.observe(10.0);
+        }
+        for _ in 0..30 {
+            e.observe(50.0);
+        }
+        let est = e.estimate().unwrap();
+        assert!((est - 50.0).abs() < 0.01, "converged to new level, got {est}");
+    }
+
+    #[test]
+    fn alpha_one_is_last_value() {
+        let mut e = CompEstimator::with_alpha(1.0);
+        e.observe(1.0);
+        e.observe(99.0);
+        assert_eq!(e.estimate(), Some(99.0));
+    }
+
+    #[test]
+    fn high_alpha_reacts_faster() {
+        let run = |alpha: f64| {
+            let mut e = CompEstimator::with_alpha(alpha);
+            e.observe(0.0);
+            e.observe(100.0);
+            e.estimate().unwrap()
+        };
+        assert!(run(0.8) > run(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        CompEstimator::with_alpha(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid compute time")]
+    fn nan_observation_rejected() {
+        CompEstimator::new().observe(f64::NAN);
+    }
+}

@@ -1,0 +1,409 @@
+//! Least squares via the normal equations (Eq. 4) and r² (Eq. 5).
+//!
+//! The paper fits the observed aggregate I/O rate against the scaling
+//! factors `(data_size, n_ranks)` with two designs:
+//!
+//! - **Linear** — `y = β₀·size + β₁·ranks` (no intercept, exactly Eq. 4).
+//!   Fits regimes where rate grows proportionally with scale — the
+//!   asynchronous path, whose rate is `nodes × snapshot bandwidth`.
+//! - **Linear-log** — `y = β₀ + β₁·ln(size) + β₂·ln(ranks)`. Fits the
+//!   saturating synchronous curves (§V-A1 plots the model as "a linear-log
+//!   regression").
+//!
+//! `β = (XᵀX)⁻¹XᵀY` is solved by Gaussian elimination with partial
+//! pivoting on the (k×k) normal matrix — no external linear algebra.
+
+use crate::error_msg::ModelError;
+
+/// Feature transformation applied before the least-squares solve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Design {
+    /// `y = β·x`, no intercept (the paper's Eq. 4 as written).
+    Linear,
+    /// `y = β₀ + Σ βᵢ·ln(xᵢ)` (intercept + log features).
+    LinearLog,
+    /// `ln y = β₀ + Σ βᵢ·ln(xᵢ)` — a power law `y = a·Πxᵢ^βᵢ`, the
+    /// "nonlinear regression method" the paper evaluated against (Behzad
+    /// et al.) before concluding linear methods were sufficient. Solved
+    /// as a linear problem in log space; predictions are exponentiated
+    /// back, and r² is reported in the *original* space so designs are
+    /// comparable.
+    PowerLaw,
+}
+
+impl Design {
+    /// Expand a raw feature vector into the design row.
+    pub fn row(&self, x: &[f64]) -> Vec<f64> {
+        match self {
+            Design::Linear => x.to_vec(),
+            Design::LinearLog | Design::PowerLaw => {
+                let mut row = Vec::with_capacity(x.len() + 1);
+                row.push(1.0);
+                for &v in x {
+                    // ln(1+x) keeps zero-valued features finite.
+                    row.push((1.0 + v.max(0.0)).ln());
+                }
+                row
+            }
+        }
+    }
+
+    /// Target transformation paired with the design.
+    fn transform_target(&self, y: f64) -> f64 {
+        match self {
+            Design::PowerLaw => y.max(f64::MIN_POSITIVE).ln(),
+            _ => y,
+        }
+    }
+
+    /// Inverse of [`transform_target`](Self::transform_target).
+    fn untransform_prediction(&self, yhat: f64) -> f64 {
+        match self {
+            Design::PowerLaw => yhat.exp(),
+            _ => yhat,
+        }
+    }
+}
+
+/// A fitted linear model.
+#[derive(Clone, Debug)]
+pub struct LinearFit {
+    design: Design,
+    /// Coefficients in design-row order.
+    pub beta: Vec<f64>,
+    /// Coefficient of determination on the training data (1 − SSE/SST).
+    pub r_squared: f64,
+    /// Number of observations fitted.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Fit `ys ~ design(xs)` by ordinary least squares.
+    ///
+    /// `xs` holds one raw feature vector per observation. Requires at
+    /// least as many observations as design columns.
+    pub fn fit(design: Design, xs: &[Vec<f64>], ys: &[f64]) -> Result<LinearFit, ModelError> {
+        Self::fit_ridge(design, xs, ys, 0.0)
+    }
+
+    /// Fit with Tikhonov (ridge) regularization: `λ_rel · mean(diag(XᵀX))`
+    /// is added to the normal matrix's diagonal.
+    ///
+    /// Weak-scaling histories make `data_size` exactly proportional to
+    /// `ranks`, so the plain normal matrix is singular; a tiny ridge picks
+    /// the minimum-norm-ish solution, which predicts identically on the
+    /// collinear subspace the data actually lives on.
+    pub fn fit_ridge(
+        design: Design,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        lambda_rel: f64,
+    ) -> Result<LinearFit, ModelError> {
+        if xs.len() != ys.len() {
+            return Err(ModelError(format!(
+                "{} feature rows vs {} targets",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        if xs.is_empty() {
+            return Err(ModelError("cannot fit an empty history".into()));
+        }
+        let rows: Vec<Vec<f64>> = xs.iter().map(|x| design.row(x)).collect();
+        let k = rows[0].len();
+        if rows.iter().any(|r| r.len() != k) {
+            return Err(ModelError("inconsistent feature dimensionality".into()));
+        }
+        if rows.len() < k {
+            return Err(ModelError(format!(
+                "need at least {k} observations for {k} coefficients, have {}",
+                rows.len()
+            )));
+        }
+
+        // Normal equations: A = XᵀX (k×k), b = XᵀY' (k), with Y' in the
+        // design's target space (log space for the power law).
+        let ys_t: Vec<f64> = ys.iter().map(|&y| design.transform_target(y)).collect();
+        let mut a = vec![vec![0.0f64; k]; k];
+        let mut b = vec![0.0f64; k];
+        for (row, &y) in rows.iter().zip(&ys_t) {
+            for i in 0..k {
+                b[i] += row[i] * y;
+                for j in 0..k {
+                    a[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        if lambda_rel > 0.0 {
+            let mean_diag = (0..k).map(|i| a[i][i]).sum::<f64>() / k as f64;
+            let ridge = lambda_rel * mean_diag.max(f64::MIN_POSITIVE);
+            for (i, row) in a.iter_mut().enumerate() {
+                row[i] += ridge;
+            }
+        }
+        let beta = solve(a, b)?;
+
+        // r² = 1 − SSE/SST on the training data, in the *original* target
+        // space so different designs are directly comparable.
+        let mean_y: f64 = ys.iter().sum::<f64>() / ys.len() as f64;
+        let mut sse = 0.0;
+        let mut sst = 0.0;
+        for (row, &y) in rows.iter().zip(ys) {
+            let raw: f64 = row.iter().zip(&beta).map(|(x, b)| x * b).sum();
+            let pred = design.untransform_prediction(raw);
+            sse += (y - pred).powi(2);
+            sst += (y - mean_y).powi(2);
+        }
+        let r_squared = if sst > 0.0 { 1.0 - sse / sst } else { 1.0 };
+
+        Ok(LinearFit {
+            design,
+            beta,
+            r_squared,
+            n: ys.len(),
+        })
+    }
+
+    /// Predict the target for a raw feature vector (in the original
+    /// target space).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let row = self.design.row(x);
+        let raw: f64 = row.iter().zip(&self.beta).map(|(x, b)| x * b).sum();
+        self.design.untransform_prediction(raw)
+    }
+
+    /// The design this model was fitted with.
+    pub fn design(&self) -> Design {
+        self.design
+    }
+}
+
+/// Solve `A·x = b` by Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, ModelError> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(ModelError(
+                "singular normal matrix: features are collinear or constant".into(),
+            ));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row][j] -= f * a[col][j];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for j in row + 1..n {
+            acc -= a[row][j] * x[j];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Eq. 5 exactly as printed: `r² = Cov(X,Y)² / (Var(X)·Var(Y))` — the
+/// squared Pearson correlation between a single predictor and the target.
+pub fn r2_simple(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        cov += (xi - mx) * (yi - my);
+        vx += (xi - mx).powi(2);
+        vy += (yi - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    (cov * cov) / (vx * vy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_recovery() {
+        // y = 2·a + 3·b, no noise: coefficients recover exactly.
+        let xs: Vec<Vec<f64>> = (1..20)
+            .map(|i| vec![i as f64, (i * i) as f64 % 7.0 + 1.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 3.0 * x[1]).collect();
+        let fit = LinearFit::fit(Design::Linear, &xs, &ys).unwrap();
+        assert!((fit.beta[0] - 2.0).abs() < 1e-9);
+        assert!((fit.beta[1] - 3.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+        assert!((fit.predict(&[10.0, 4.0]) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_log_fits_saturating_curve() {
+        // y = 5 + 2·ln(1+x): exactly representable in the LinearLog design.
+        let xs: Vec<Vec<f64>> = (1..50).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 + 2.0 * (1.0 + x[0]).ln()).collect();
+        let fit = LinearFit::fit(Design::LinearLog, &xs, &ys).unwrap();
+        assert!((fit.beta[0] - 5.0).abs() < 1e-9);
+        assert!((fit.beta[1] - 2.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn linear_log_beats_linear_on_saturation() {
+        // A saturating curve (like sync bandwidth vs ranks): linear-log
+        // should explain more variance than pure linear — the reason the
+        // paper picks it for the synchronous fits.
+        let xs: Vec<Vec<f64>> = (1..=64).map(|i| vec![i as f64 * 32.0]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 300.0 * x[0] / (x[0] + 400.0)) // saturates at 300
+            .collect();
+        let lin = LinearFit::fit(Design::Linear, &xs, &ys).unwrap();
+        let log = LinearFit::fit(Design::LinearLog, &xs, &ys).unwrap();
+        assert!(
+            log.r_squared > lin.r_squared,
+            "log {} vs lin {}",
+            log.r_squared,
+            lin.r_squared
+        );
+        assert!(log.r_squared > 0.9);
+    }
+
+    #[test]
+    fn noisy_fit_r2_reasonable() {
+        // Deterministic pseudo-noise; r² should stay high but below 1.
+        let xs: Vec<Vec<f64>> = (1..100).map(|i| vec![i as f64, (100 - i) as f64]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 4.0 * x[0] + 1.0 * x[1] + ((i as f64 * 2.399).sin() * 5.0))
+            .collect();
+        let fit = LinearFit::fit(Design::Linear, &xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.95 && fit.r_squared < 1.0);
+        assert!((fit.beta[0] - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let xs = vec![vec![1.0, 2.0]];
+        let ys = vec![3.0];
+        assert!(LinearFit::fit(Design::Linear, &xs, &ys).is_err());
+    }
+
+    #[test]
+    fn collinear_features_rejected() {
+        let xs: Vec<Vec<f64>> = (1..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        assert!(LinearFit::fit(Design::Linear, &xs, &ys).is_err());
+    }
+
+    #[test]
+    fn empty_and_mismatched_rejected() {
+        assert!(LinearFit::fit(Design::Linear, &[], &[]).is_err());
+        assert!(LinearFit::fit(Design::Linear, &[vec![1.0]], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn r2_simple_perfect_and_uncorrelated() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        assert!((r2_simple(&x, &y) - 1.0).abs() < 1e-12);
+        // Anti-correlated is still r²=1 (sign squared away).
+        let y_neg: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        assert!((r2_simple(&x, &y_neg) - 1.0).abs() < 1e-12);
+        // Constant target: zero variance, r² defined as 0.
+        let y_const = vec![5.0; 20];
+        assert_eq!(r2_simple(&x, &y_const), 0.0);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  ->  x = 1, y = 3.
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = vec![5.0, 10.0];
+        let x = solve(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let b = vec![2.0, 3.0];
+        let x = solve(a, b).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn power_law_recovers_exact_power_data() {
+        // y = 3 · x^0.7 over x shifted by the ln(1+x) feature mapping:
+        // generate data exactly representable in the transformed space.
+        let xs: Vec<Vec<f64>> = (1..60).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (1.1 + 0.7 * (1.0 + x[0]).ln()).exp())
+            .collect();
+        let fit = LinearFit::fit(Design::PowerLaw, &xs, &ys).unwrap();
+        assert!((fit.beta[0] - 1.1).abs() < 1e-9);
+        assert!((fit.beta[1] - 0.7).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999, "r² = {}", fit.r_squared);
+        // Prediction happens in the original space.
+        let pred = fit.predict(&[10.0]);
+        assert!((pred - (1.1f64 + 0.7 * 11.0f64.ln()).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_claim_linear_methods_sufficient() {
+        // §III-B2: "we apply linear regression and linear-log regression
+        // ... We found linear regression to be sufficient ... non-linear
+        // methods were not necessary." On a saturating sync-shaped curve
+        // the power law buys almost nothing over linear-log.
+        let xs: Vec<Vec<f64>> = (1..=64).map(|i| vec![i as f64 * 32.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 300.0 * x[0] / (x[0] + 400.0)).collect();
+        let log = LinearFit::fit(Design::LinearLog, &xs, &ys).unwrap();
+        let pow = LinearFit::fit(Design::PowerLaw, &xs, &ys).unwrap();
+        assert!(log.r_squared > 0.9);
+        assert!(
+            (pow.r_squared - log.r_squared).abs() < 0.1,
+            "power law {} vs linear-log {}: no meaningful gain",
+            pow.r_squared,
+            log.r_squared
+        );
+    }
+
+    #[test]
+    fn power_law_requires_positive_targets() {
+        // Zero/negative targets are clamped, not panicking.
+        let xs: Vec<Vec<f64>> = (1..10).map(|i| vec![i as f64]).collect();
+        let ys = vec![0.0; 9];
+        let fit = LinearFit::fit(Design::PowerLaw, &xs, &ys).unwrap();
+        assert!(fit.predict(&[5.0]).is_finite());
+    }
+}

@@ -1,0 +1,289 @@
+//! Little-endian metadata codec.
+//!
+//! The container's metadata block (object tree, attributes, chunk tables)
+//! is serialized with this codec. It is deliberately tiny and versioned by
+//! the superblock, not self-describing: the container controls both ends.
+//! All integers are little-endian; strings and byte blobs are
+//! length-prefixed with `u32`.
+
+use crate::error::{H5Error, Result};
+
+/// Append-only byte writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Consume the writer, returning its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian IEEE-754 `f64`.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a boolean as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// Append a length-prefixed byte blob.
+    pub fn bytes(&mut self, b: &[u8]) {
+        assert!(b.len() <= u32::MAX as usize, "blob too large");
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Length-prefixed list: write the count, then each item.
+    pub fn list<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Writer, &T)) {
+        self.u32(items.len() as u32);
+        for item in items {
+            f(self, item);
+        }
+    }
+}
+
+/// Cursor-based byte reader; every method fails cleanly on truncation.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(H5Error::Corrupt(format!(
+                "truncated metadata: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian IEEE-754 `f64`.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a boolean (0 or 1; anything else is corruption).
+    pub fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(H5Error::Corrupt(format!("invalid bool byte {v}"))),
+        }
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| H5Error::Corrupt("invalid utf-8 in string".into()))
+    }
+
+    /// Read a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed list.
+    pub fn list<T>(&mut self, mut f: impl FnMut(&mut Reader<'a>) -> Result<T>) -> Result<Vec<T>> {
+        let n = self.u32()? as usize;
+        // Guard against absurd counts from corrupt data: each item needs at
+        // least one byte.
+        if n > self.remaining() {
+            return Err(H5Error::Corrupt(format!(
+                "list claims {n} items with only {} bytes left",
+                self.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(1000);
+        w.u32(123_456);
+        w.u64(u64::MAX - 1);
+        w.f64(std::f64::consts::PI);
+        w.bool(true);
+        w.bool(false);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 1000);
+        assert_eq!(r.u32().unwrap(), 123_456);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap(), std::f64::consts::PI);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn string_and_bytes_roundtrip() {
+        let mut w = Writer::new();
+        w.str("particles/x");
+        w.str("");
+        w.bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.str().unwrap(), "particles/x");
+        assert_eq!(r.str().unwrap(), "");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn list_roundtrip() {
+        let mut w = Writer::new();
+        let items = vec![(1u64, "a".to_owned()), (2, "b".to_owned())];
+        w.list(&items, |w, (n, s)| {
+            w.u64(*n);
+            w.str(s);
+        });
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = r
+            .list(|r| Ok((r.u64()?, r.str()?)))
+            .unwrap();
+        assert_eq!(back, items);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = Writer::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..7]);
+        let err = r.u64().unwrap_err();
+        assert!(matches!(err, H5Error::Corrupt(_)));
+    }
+
+    #[test]
+    fn invalid_bool_is_corrupt() {
+        let mut r = Reader::new(&[9]);
+        assert!(matches!(r.bool().unwrap_err(), H5Error::Corrupt(_)));
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut w = Writer::new();
+        w.bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.str().unwrap_err(), H5Error::Corrupt(_)));
+    }
+
+    #[test]
+    fn absurd_list_count_rejected() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX); // claims 4 billion items, no data
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let res = r.list(|r| r.u8());
+        assert!(matches!(res.unwrap_err(), H5Error::Corrupt(_)));
+    }
+
+    #[test]
+    fn empty_list_roundtrip() {
+        let mut w = Writer::new();
+        w.list::<u8>(&[], |w, v| w.u8(*v));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.list(|r| r.u8()).unwrap(), Vec::<u8>::new());
+    }
+}

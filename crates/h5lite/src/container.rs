@@ -1,0 +1,1130 @@
+//! The container: object tree, extent allocation, and the on-disk format.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! offset 0      superblock (64 bytes):
+//!               magic "H5LITE\0\x01" · meta_addr · meta_len · meta_fnv ·
+//!               eof · root_id · reserved
+//! offset 64..   extents: dataset data, chunk data, metadata blocks
+//! ```
+//!
+//! Extents come from a bump allocator. Metadata (the whole object tree) is
+//! serialized with [`crate::codec`] and written as a fresh extent on every
+//! flush; the superblock is then updated to point at it. Old metadata
+//! blocks become garbage — the same append-only discipline HDF5 uses
+//! without free-space tracking. A FNV-1a checksum over the metadata block
+//! is stored in the superblock so a torn flush is detected at open.
+//!
+//! All methods take `&self`; a `RwLock` guards the object tree while bulk
+//! data moves through the (internally synchronized) storage backend
+//! without holding the tree lock — this is what lets the async VOL's
+//! background streams overlap data movement with the application thread.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::codec::{Reader, Writer};
+use crate::dataspace::{Dataspace, Selection};
+use crate::datatype::Datatype;
+use crate::error::{H5Error, Result};
+use crate::layout::Layout;
+use crate::storage::{FileBackend, MemBackend, StorageBackend};
+
+/// Identifier of an object (group or dataset) within a container.
+pub type ObjectId = u64;
+
+/// The root group always has id 1.
+pub const ROOT_ID: ObjectId = 1;
+
+const MAGIC: &[u8; 8] = b"H5LITE\x00\x01";
+const SUPERBLOCK_LEN: u64 = 64;
+
+/// An attribute value: small typed metadata attached to any object.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AttrValue {
+    /// Element type of the attribute.
+    pub dtype: Datatype,
+    /// Attribute dimensions.
+    pub shape: Vec<u64>,
+    /// Raw little-endian element bytes.
+    pub bytes: Vec<u8>,
+}
+
+#[derive(Clone, Debug)]
+enum ObjectData {
+    Group {
+        links: BTreeMap<String, ObjectId>,
+    },
+    Dataset {
+        dtype: Datatype,
+        space: Dataspace,
+        layout: Layout,
+        /// Extent address for contiguous layout (0 for empty datasets).
+        data_addr: u64,
+        /// chunk index → extent address, for chunked layout.
+        chunks: BTreeMap<u64, u64>,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Object {
+    data: ObjectData,
+    attrs: BTreeMap<String, AttrValue>,
+}
+
+struct Meta {
+    objects: BTreeMap<ObjectId, Object>,
+    next_id: ObjectId,
+    /// Bump-allocation cursor.
+    eof: u64,
+    dirty: bool,
+}
+
+/// Kind of an object, for introspection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ObjectKind {
+    /// A group (links to children).
+    Group,
+    /// A typed dataset.
+    Dataset,
+}
+
+/// Static description of a dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetInfo {
+    /// Element type.
+    pub dtype: Datatype,
+    /// Extent of the dataset.
+    pub space: Dataspace,
+    /// Storage layout.
+    pub layout: Layout,
+}
+
+/// A single self-describing container over a storage backend.
+pub struct Container {
+    backend: Arc<dyn StorageBackend>,
+    meta: RwLock<Meta>,
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Container {
+    /// Create a fresh container on `backend`.
+    pub fn create(backend: Arc<dyn StorageBackend>) -> Self {
+        let mut objects = BTreeMap::new();
+        objects.insert(
+            ROOT_ID,
+            Object {
+                data: ObjectData::Group {
+                    links: BTreeMap::new(),
+                },
+                attrs: BTreeMap::new(),
+            },
+        );
+        Container {
+            backend,
+            meta: RwLock::new(Meta {
+                objects,
+                next_id: ROOT_ID + 1,
+                eof: SUPERBLOCK_LEN,
+                dirty: true,
+            }),
+        }
+    }
+
+    /// Create a container on a fresh in-memory backend.
+    pub fn create_mem() -> Self {
+        Self::create(Arc::new(MemBackend::new()))
+    }
+
+    /// Create a container in a new file at `path`.
+    pub fn create_file(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        Ok(Self::create(Arc::new(FileBackend::create(path)?)))
+    }
+
+    /// Open an existing container from `backend`.
+    pub fn open(backend: Arc<dyn StorageBackend>) -> Result<Self> {
+        let mut sb = [0u8; SUPERBLOCK_LEN as usize];
+        backend
+            .read_at(0, &mut sb)
+            .map_err(|_| H5Error::Corrupt("file too short for a superblock".into()))?;
+        if &sb[..8] != MAGIC {
+            return Err(H5Error::Corrupt("bad magic".into()));
+        }
+        let mut r = Reader::new(&sb[8..]);
+        let meta_addr = r.u64()?;
+        let meta_len = r.u64()?;
+        let meta_fnv = r.u64()?;
+        let eof = r.u64()?;
+        let root_id = r.u64()?;
+        if root_id != ROOT_ID {
+            return Err(H5Error::Corrupt(format!("unexpected root id {root_id}")));
+        }
+
+        let mut meta_bytes = vec![0u8; meta_len as usize];
+        backend.read_at(meta_addr, &mut meta_bytes)?;
+        if fnv1a64(&meta_bytes) != meta_fnv {
+            return Err(H5Error::Corrupt("metadata checksum mismatch".into()));
+        }
+        let (objects, next_id) = decode_meta(&meta_bytes)?;
+        if !objects.contains_key(&ROOT_ID) {
+            return Err(H5Error::Corrupt("metadata lacks root group".into()));
+        }
+        Ok(Container {
+            backend,
+            meta: RwLock::new(Meta {
+                objects,
+                next_id,
+                eof,
+                dirty: false,
+            }),
+        })
+    }
+
+    /// Open a container from a file at `path`.
+    pub fn open_file(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        Self::open(Arc::new(FileBackend::open(path)?))
+    }
+
+    /// Persist metadata and sync the backend. Idempotent when clean.
+    pub fn flush(&self) -> Result<()> {
+        let mut meta = self.meta.write();
+        if !meta.dirty {
+            return Ok(());
+        }
+        let bytes = encode_meta(&meta.objects, meta.next_id);
+        let addr = meta.eof;
+        meta.eof += bytes.len() as u64;
+        self.backend.write_at(addr, &bytes)?;
+
+        let mut sb = Vec::with_capacity(SUPERBLOCK_LEN as usize);
+        sb.extend_from_slice(MAGIC);
+        let mut w = Writer::new();
+        w.u64(addr);
+        w.u64(bytes.len() as u64);
+        w.u64(fnv1a64(&bytes));
+        w.u64(meta.eof);
+        w.u64(ROOT_ID);
+        sb.extend_from_slice(&w.into_bytes());
+        sb.resize(SUPERBLOCK_LEN as usize, 0);
+        self.backend.write_at(0, &sb)?;
+        self.backend.sync()?;
+        meta.dirty = false;
+        Ok(())
+    }
+
+    /// Total bytes addressed in the backend (allocation high-water mark).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.meta.read().eof
+    }
+
+    // ----- object tree -----------------------------------------------
+
+    fn with_group<R>(
+        &self,
+        id: ObjectId,
+        f: impl FnOnce(&BTreeMap<String, ObjectId>) -> R,
+    ) -> Result<R> {
+        let meta = self.meta.read();
+        let obj = meta
+            .objects
+            .get(&id)
+            .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
+        match &obj.data {
+            ObjectData::Group { links } => Ok(f(links)),
+            ObjectData::Dataset { .. } => {
+                Err(H5Error::WrongObjectKind(format!("object {id} is a dataset")))
+            }
+        }
+    }
+
+    /// Kind of an object.
+    pub fn kind(&self, id: ObjectId) -> Result<ObjectKind> {
+        let meta = self.meta.read();
+        let obj = meta
+            .objects
+            .get(&id)
+            .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
+        Ok(match obj.data {
+            ObjectData::Group { .. } => ObjectKind::Group,
+            ObjectData::Dataset { .. } => ObjectKind::Dataset,
+        })
+    }
+
+    /// Create a group under `parent`.
+    pub fn create_group(&self, parent: ObjectId, name: &str) -> Result<ObjectId> {
+        validate_link_name(name)?;
+        let mut meta = self.meta.write();
+        let id = meta.next_id;
+        {
+            let obj = meta
+                .objects
+                .get_mut(&parent)
+                .ok_or_else(|| H5Error::NotFound(format!("object {parent}")))?;
+            let links = match &mut obj.data {
+                ObjectData::Group { links } => links,
+                _ => {
+                    return Err(H5Error::WrongObjectKind(format!(
+                        "object {parent} is a dataset"
+                    )))
+                }
+            };
+            if links.contains_key(name) {
+                return Err(H5Error::AlreadyExists(name.to_owned()));
+            }
+            links.insert(name.to_owned(), id);
+        }
+        meta.next_id += 1;
+        meta.objects.insert(
+            id,
+            Object {
+                data: ObjectData::Group {
+                    links: BTreeMap::new(),
+                },
+                attrs: BTreeMap::new(),
+            },
+        );
+        meta.dirty = true;
+        Ok(id)
+    }
+
+    /// Create a dataset under `parent`. Contiguous datasets get their full
+    /// extent up front; chunked datasets allocate per chunk on first write.
+    pub fn create_dataset(
+        &self,
+        parent: ObjectId,
+        name: &str,
+        dtype: Datatype,
+        space: &Dataspace,
+        layout: Layout,
+    ) -> Result<ObjectId> {
+        validate_link_name(name)?;
+        layout.validate(space.rank())?;
+        let nbytes = space.npoints() * dtype.size() as u64;
+
+        let mut meta = self.meta.write();
+        let id = meta.next_id;
+        {
+            let obj = meta
+                .objects
+                .get_mut(&parent)
+                .ok_or_else(|| H5Error::NotFound(format!("object {parent}")))?;
+            let links = match &mut obj.data {
+                ObjectData::Group { links } => links,
+                _ => {
+                    return Err(H5Error::WrongObjectKind(format!(
+                        "object {parent} is a dataset"
+                    )))
+                }
+            };
+            if links.contains_key(name) {
+                return Err(H5Error::AlreadyExists(name.to_owned()));
+            }
+            links.insert(name.to_owned(), id);
+        }
+        meta.next_id += 1;
+        let data_addr = match layout {
+            Layout::Contiguous if nbytes > 0 => {
+                let addr = meta.eof;
+                meta.eof += nbytes;
+                addr
+            }
+            _ => 0,
+        };
+        meta.objects.insert(
+            id,
+            Object {
+                data: ObjectData::Dataset {
+                    dtype,
+                    space: space.clone(),
+                    layout,
+                    data_addr,
+                    chunks: BTreeMap::new(),
+                },
+                attrs: BTreeMap::new(),
+            },
+        );
+        meta.dirty = true;
+        Ok(id)
+    }
+
+    /// Look up a link in a group.
+    pub fn lookup(&self, parent: ObjectId, name: &str) -> Result<ObjectId> {
+        self.with_group(parent, |links| links.get(name).copied())?
+            .ok_or_else(|| H5Error::NotFound(name.to_owned()))
+    }
+
+    /// Names linked in a group, sorted.
+    pub fn list_links(&self, group: ObjectId) -> Result<Vec<String>> {
+        self.with_group(group, |links| links.keys().cloned().collect())
+    }
+
+    /// Static description of a dataset.
+    pub fn dataset_info(&self, id: ObjectId) -> Result<DatasetInfo> {
+        let meta = self.meta.read();
+        let obj = meta
+            .objects
+            .get(&id)
+            .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
+        match &obj.data {
+            ObjectData::Dataset {
+                dtype,
+                space,
+                layout,
+                ..
+            } => Ok(DatasetInfo {
+                dtype: *dtype,
+                space: space.clone(),
+                layout: layout.clone(),
+            }),
+            ObjectData::Group { .. } => {
+                Err(H5Error::WrongObjectKind(format!("object {id} is a group")))
+            }
+        }
+    }
+
+    /// Grow a chunked 1-D dataset to `new_len` elements (the `H5Dextend`
+    /// analogue). New chunks allocate lazily on first write and read back
+    /// as the fill value until then. Shrinking or extending a contiguous
+    /// dataset is unsupported (contiguous extents are allocated at
+    /// creation).
+    pub fn extend_dataset(&self, id: ObjectId, new_len: u64) -> Result<()> {
+        let mut meta = self.meta.write();
+        let obj = meta
+            .objects
+            .get_mut(&id)
+            .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
+        match &mut obj.data {
+            ObjectData::Dataset { space, layout, .. } => {
+                if !matches!(layout, Layout::Chunked1D { .. }) {
+                    return Err(H5Error::Unsupported(
+                        "only chunked datasets are extendable".into(),
+                    ));
+                }
+                let current = space.npoints();
+                if new_len < current {
+                    return Err(H5Error::Unsupported(format!(
+                        "cannot shrink dataset from {current} to {new_len}"
+                    )));
+                }
+                *space = Dataspace::d1(new_len);
+                meta.dirty = true;
+                Ok(())
+            }
+            ObjectData::Group { .. } => {
+                Err(H5Error::WrongObjectKind(format!("object {id} is a group")))
+            }
+        }
+    }
+
+    // ----- attributes ------------------------------------------------
+
+    /// Attach (or replace) an attribute.
+    pub fn set_attr(&self, id: ObjectId, name: &str, value: AttrValue) -> Result<()> {
+        validate_link_name(name)?;
+        let expected = value.shape.iter().product::<u64>() * value.dtype.size() as u64;
+        if expected != value.bytes.len() as u64 {
+            return Err(H5Error::ShapeMismatch(format!(
+                "attribute '{name}': shape wants {expected} bytes, got {}",
+                value.bytes.len()
+            )));
+        }
+        let mut meta = self.meta.write();
+        let obj = meta
+            .objects
+            .get_mut(&id)
+            .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
+        obj.attrs.insert(name.to_owned(), value);
+        meta.dirty = true;
+        Ok(())
+    }
+
+    /// Read an attribute.
+    pub fn get_attr(&self, id: ObjectId, name: &str) -> Result<AttrValue> {
+        let meta = self.meta.read();
+        let obj = meta
+            .objects
+            .get(&id)
+            .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
+        obj.attrs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| H5Error::NotFound(format!("attribute '{name}'")))
+    }
+
+    /// Attribute names on an object, sorted.
+    pub fn list_attrs(&self, id: ObjectId) -> Result<Vec<String>> {
+        let meta = self.meta.read();
+        let obj = meta
+            .objects
+            .get(&id)
+            .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
+        Ok(obj.attrs.keys().cloned().collect())
+    }
+
+    // ----- dataset I/O -----------------------------------------------
+
+    /// Write `data` (raw on-disk bytes) into the selected elements.
+    pub fn write_selection(&self, id: ObjectId, sel: &Selection, data: &[u8]) -> Result<()> {
+        let info = self.dataset_info(id)?;
+        let elem = info.dtype.size() as u64;
+        let npoints = sel.npoints(&info.space);
+        if data.len() as u64 != npoints * elem {
+            return Err(H5Error::ShapeMismatch(format!(
+                "selection wants {} bytes, buffer has {}",
+                npoints * elem,
+                data.len()
+            )));
+        }
+        let runs = sel.runs(&info.space)?;
+        match info.layout {
+            Layout::Contiguous => {
+                let base = self.contiguous_addr(id)?;
+                let mut cursor = 0usize;
+                for (off, len) in runs {
+                    let nbytes = (len * elem) as usize;
+                    self.backend
+                        .write_at(base + off * elem, &data[cursor..cursor + nbytes])?;
+                    cursor += nbytes;
+                }
+            }
+            Layout::Chunked1D { chunk_elems } => {
+                let mut cursor = 0usize;
+                for (off, len) in runs {
+                    let mut elem_off = off;
+                    let mut remaining = len;
+                    while remaining > 0 {
+                        let chunk_idx = elem_off / chunk_elems;
+                        let within = elem_off % chunk_elems;
+                        let take = remaining.min(chunk_elems - within);
+                        let addr = self.chunk_addr(id, chunk_idx, chunk_elems, elem, true)?;
+                        let nbytes = (take * elem) as usize;
+                        self.backend
+                            .write_at(addr + within * elem, &data[cursor..cursor + nbytes])?;
+                        cursor += nbytes;
+                        elem_off += take;
+                        remaining -= take;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the selected elements as raw on-disk bytes.
+    pub fn read_selection(&self, id: ObjectId, sel: &Selection) -> Result<Vec<u8>> {
+        let info = self.dataset_info(id)?;
+        let elem = info.dtype.size() as u64;
+        let npoints = sel.npoints(&info.space);
+        let mut out = vec![0u8; (npoints * elem) as usize];
+        let runs = sel.runs(&info.space)?;
+        match info.layout {
+            Layout::Contiguous => {
+                let base = self.contiguous_addr(id)?;
+                let mut cursor = 0usize;
+                for (off, len) in runs {
+                    let nbytes = (len * elem) as usize;
+                    self.backend
+                        .read_at(base + off * elem, &mut out[cursor..cursor + nbytes])?;
+                    cursor += nbytes;
+                }
+            }
+            Layout::Chunked1D { chunk_elems } => {
+                let mut cursor = 0usize;
+                for (off, len) in runs {
+                    let mut elem_off = off;
+                    let mut remaining = len;
+                    while remaining > 0 {
+                        let chunk_idx = elem_off / chunk_elems;
+                        let within = elem_off % chunk_elems;
+                        let take = remaining.min(chunk_elems - within);
+                        let nbytes = (take * elem) as usize;
+                        match self.chunk_addr(id, chunk_idx, chunk_elems, elem, false) {
+                            Ok(addr) => {
+                                self.backend.read_at(
+                                    addr + within * elem,
+                                    &mut out[cursor..cursor + nbytes],
+                                )?;
+                            }
+                            Err(H5Error::NotFound(_)) => {
+                                // Unallocated chunk: reads as the fill value
+                                // (zero), like HDF5.
+                            }
+                            Err(e) => return Err(e),
+                        }
+                        cursor += nbytes;
+                        elem_off += take;
+                        remaining -= take;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn contiguous_addr(&self, id: ObjectId) -> Result<u64> {
+        let meta = self.meta.read();
+        match &meta.objects.get(&id).unwrap().data {
+            ObjectData::Dataset { data_addr, .. } => Ok(*data_addr),
+            _ => unreachable!("checked by dataset_info"),
+        }
+    }
+
+    /// Address of a chunk; allocates it when `allocate` is set, otherwise
+    /// `NotFound` for never-written chunks.
+    fn chunk_addr(
+        &self,
+        id: ObjectId,
+        chunk_idx: u64,
+        chunk_elems: u64,
+        elem: u64,
+        allocate: bool,
+    ) -> Result<u64> {
+        {
+            let meta = self.meta.read();
+            if let ObjectData::Dataset { chunks, .. } = &meta.objects.get(&id).unwrap().data {
+                if let Some(addr) = chunks.get(&chunk_idx) {
+                    return Ok(*addr);
+                }
+            }
+        }
+        if !allocate {
+            return Err(H5Error::NotFound(format!("chunk {chunk_idx}")));
+        }
+        let mut meta = self.meta.write();
+        let chunk_bytes = chunk_elems * elem;
+        // Re-check under the write lock (another writer may have won).
+        let addr = {
+            if let ObjectData::Dataset { chunks, .. } = &meta.objects.get(&id).unwrap().data {
+                chunks.get(&chunk_idx).copied()
+            } else {
+                None
+            }
+        };
+        if let Some(addr) = addr {
+            return Ok(addr);
+        }
+        let addr = meta.eof;
+        meta.eof += chunk_bytes;
+        meta.dirty = true;
+        if let ObjectData::Dataset { chunks, .. } =
+            &mut meta.objects.get_mut(&id).unwrap().data
+        {
+            chunks.insert(chunk_idx, addr);
+        }
+        // Zero-fill so partially written chunks read back as fill value.
+        self.backend.write_at(addr, &vec![0u8; chunk_bytes as usize])?;
+        Ok(addr)
+    }
+}
+
+impl std::fmt::Debug for Container {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let meta = self.meta.read();
+        f.debug_struct("Container")
+            .field("objects", &meta.objects.len())
+            .field("eof", &meta.eof)
+            .field("dirty", &meta.dirty)
+            .finish()
+    }
+}
+
+impl Drop for Container {
+    fn drop(&mut self) {
+        // Best-effort durability, mirroring H5Fclose semantics.
+        let _ = self.flush();
+    }
+}
+
+fn validate_link_name(name: &str) -> Result<()> {
+    if name.is_empty() || name.contains('/') {
+        return Err(H5Error::InvalidSelection(format!(
+            "invalid link name '{name}': must be non-empty and contain no '/'"
+        )));
+    }
+    Ok(())
+}
+
+// ----- metadata (de)serialization -------------------------------------
+
+fn encode_meta(objects: &BTreeMap<ObjectId, Object>, next_id: ObjectId) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(next_id);
+    let entries: Vec<(&ObjectId, &Object)> = objects.iter().collect();
+    w.list(&entries, |w, (id, obj)| {
+        w.u64(**id);
+        let attrs: Vec<(&String, &AttrValue)> = obj.attrs.iter().collect();
+        w.list(&attrs, |w, (name, a)| {
+            w.str(name);
+            w.u8(a.dtype.tag());
+            w.list(&a.shape, |w, d| w.u64(*d));
+            w.bytes(&a.bytes);
+        });
+        match &obj.data {
+            ObjectData::Group { links } => {
+                w.u8(0);
+                let links: Vec<(&String, &ObjectId)> = links.iter().collect();
+                w.list(&links, |w, (name, id)| {
+                    w.str(name);
+                    w.u64(**id);
+                });
+            }
+            ObjectData::Dataset {
+                dtype,
+                space,
+                layout,
+                data_addr,
+                chunks,
+            } => {
+                w.u8(1);
+                w.u8(dtype.tag());
+                w.list(space.dims(), |w, d| w.u64(*d));
+                w.u8(layout.tag());
+                if let Layout::Chunked1D { chunk_elems } = layout {
+                    w.u64(*chunk_elems);
+                }
+                w.u64(*data_addr);
+                let chunks: Vec<(&u64, &u64)> = chunks.iter().collect();
+                w.list(&chunks, |w, (idx, addr)| {
+                    w.u64(**idx);
+                    w.u64(**addr);
+                });
+            }
+        }
+    });
+    w.into_bytes()
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<(BTreeMap<ObjectId, Object>, ObjectId)> {
+    let mut r = Reader::new(bytes);
+    let next_id = r.u64()?;
+    let entries = r.list(|r| {
+        let id = r.u64()?;
+        let attrs_list = r.list(|r| {
+            let name = r.str()?;
+            let dtype = Datatype::from_tag(r.u8()?)?;
+            let shape = r.list(|r| r.u64())?;
+            let bytes = r.bytes()?.to_vec();
+            Ok((name, AttrValue { dtype, shape, bytes }))
+        })?;
+        let attrs: BTreeMap<String, AttrValue> = attrs_list.into_iter().collect();
+        let kind = r.u8()?;
+        let data = match kind {
+            0 => {
+                let links_list = r.list(|r| Ok((r.str()?, r.u64()?)))?;
+                ObjectData::Group {
+                    links: links_list.into_iter().collect(),
+                }
+            }
+            1 => {
+                let dtype = Datatype::from_tag(r.u8()?)?;
+                let dims = r.list(|r| r.u64())?;
+                if dims.is_empty() {
+                    return Err(H5Error::Corrupt("dataset with empty rank".into()));
+                }
+                let layout_tag = r.u8()?;
+                let layout = match layout_tag {
+                    0 => Layout::Contiguous,
+                    1 => Layout::Chunked1D {
+                        chunk_elems: r.u64()?,
+                    },
+                    t => return Err(H5Error::Corrupt(format!("unknown layout tag {t}"))),
+                };
+                let data_addr = r.u64()?;
+                let chunks_list = r.list(|r| Ok((r.u64()?, r.u64()?)))?;
+                ObjectData::Dataset {
+                    dtype,
+                    space: Dataspace::new(&dims),
+                    layout,
+                    data_addr,
+                    chunks: chunks_list.into_iter().collect(),
+                }
+            }
+            t => return Err(H5Error::Corrupt(format!("unknown object kind {t}"))),
+        };
+        Ok((id, Object { data, attrs }))
+    })?;
+    if !r.is_exhausted() {
+        return Err(H5Error::Corrupt("trailing bytes after metadata".into()));
+    }
+    Ok((entries.into_iter().collect(), next_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataspace::Hyperslab;
+    use crate::datatype::{from_bytes, to_bytes};
+
+    #[test]
+    fn tree_construction_and_lookup() {
+        let c = Container::create_mem();
+        let g = c.create_group(ROOT_ID, "run0").unwrap();
+        let ds = c
+            .create_dataset(g, "x", Datatype::F64, &Dataspace::d1(10), Layout::Contiguous)
+            .unwrap();
+        assert_eq!(c.kind(g).unwrap(), ObjectKind::Group);
+        assert_eq!(c.kind(ds).unwrap(), ObjectKind::Dataset);
+        assert_eq!(c.lookup(ROOT_ID, "run0").unwrap(), g);
+        assert_eq!(c.lookup(g, "x").unwrap(), ds);
+        assert_eq!(c.list_links(ROOT_ID).unwrap(), vec!["run0".to_owned()]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let c = Container::create_mem();
+        c.create_group(ROOT_ID, "g").unwrap();
+        assert!(matches!(
+            c.create_group(ROOT_ID, "g").unwrap_err(),
+            H5Error::AlreadyExists(_)
+        ));
+        assert!(matches!(
+            c.create_dataset(
+                ROOT_ID,
+                "g",
+                Datatype::I32,
+                &Dataspace::d1(1),
+                Layout::Contiguous
+            )
+            .unwrap_err(),
+            H5Error::AlreadyExists(_)
+        ));
+    }
+
+    #[test]
+    fn bad_link_names_rejected() {
+        let c = Container::create_mem();
+        assert!(c.create_group(ROOT_ID, "").is_err());
+        assert!(c.create_group(ROOT_ID, "a/b").is_err());
+    }
+
+    #[test]
+    fn dataset_under_dataset_rejected() {
+        let c = Container::create_mem();
+        let ds = c
+            .create_dataset(
+                ROOT_ID,
+                "d",
+                Datatype::I32,
+                &Dataspace::d1(4),
+                Layout::Contiguous,
+            )
+            .unwrap();
+        assert!(matches!(
+            c.create_group(ds, "sub").unwrap_err(),
+            H5Error::WrongObjectKind(_)
+        ));
+    }
+
+    #[test]
+    fn contiguous_write_read_roundtrip() {
+        let c = Container::create_mem();
+        let ds = c
+            .create_dataset(
+                ROOT_ID,
+                "x",
+                Datatype::F64,
+                &Dataspace::d1(100),
+                Layout::Contiguous,
+            )
+            .unwrap();
+        let data: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        c.write_selection(ds, &Selection::All, &to_bytes(&data)).unwrap();
+        let back = from_bytes::<f64>(&c.read_selection(ds, &Selection::All).unwrap()).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn hyperslab_write_then_partial_read() {
+        let c = Container::create_mem();
+        let ds = c
+            .create_dataset(
+                ROOT_ID,
+                "x",
+                Datatype::I32,
+                &Dataspace::d1(10),
+                Layout::Contiguous,
+            )
+            .unwrap();
+        // Whole dataset zero, then write 3 values at offset 4.
+        c.write_selection(ds, &Selection::All, &to_bytes(&vec![0i32; 10]))
+            .unwrap();
+        c.write_selection(
+            ds,
+            &Selection::Slab(Hyperslab::range1(4, 3)),
+            &to_bytes(&[7i32, 8, 9]),
+        )
+        .unwrap();
+        let back =
+            from_bytes::<i32>(&c.read_selection(ds, &Selection::All).unwrap()).unwrap();
+        assert_eq!(back, vec![0, 0, 0, 0, 7, 8, 9, 0, 0, 0]);
+        let part = from_bytes::<i32>(
+            &c.read_selection(ds, &Selection::Slab(Hyperslab::range1(3, 4)))
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(part, vec![0, 7, 8, 9]);
+    }
+
+    #[test]
+    fn two_d_hyperslab_roundtrip() {
+        let c = Container::create_mem();
+        let ds = c
+            .create_dataset(
+                ROOT_ID,
+                "m",
+                Datatype::I64,
+                &Dataspace::d2(4, 4),
+                Layout::Contiguous,
+            )
+            .unwrap();
+        c.write_selection(ds, &Selection::All, &to_bytes(&(0..16).collect::<Vec<i64>>()))
+            .unwrap();
+        // Read the 2x2 block at (1,1): elements 5,6,9,10.
+        let sel = Selection::Slab(Hyperslab::contiguous(&[1, 1], &[2, 2]));
+        let block = from_bytes::<i64>(&c.read_selection(ds, &sel).unwrap()).unwrap();
+        assert_eq!(block, vec![5, 6, 9, 10]);
+        // Overwrite that block and check the full matrix.
+        c.write_selection(ds, &sel, &to_bytes(&[-5i64, -6, -9, -10]))
+            .unwrap();
+        let all = from_bytes::<i64>(&c.read_selection(ds, &Selection::All).unwrap()).unwrap();
+        assert_eq!(
+            all,
+            vec![0, 1, 2, 3, 4, -5, -6, 7, 8, -9, -10, 11, 12, 13, 14, 15]
+        );
+    }
+
+    #[test]
+    fn wrong_buffer_size_rejected() {
+        let c = Container::create_mem();
+        let ds = c
+            .create_dataset(
+                ROOT_ID,
+                "x",
+                Datatype::F32,
+                &Dataspace::d1(8),
+                Layout::Contiguous,
+            )
+            .unwrap();
+        let err = c
+            .write_selection(ds, &Selection::All, &to_bytes(&[1.0f32; 7]))
+            .unwrap_err();
+        assert!(matches!(err, H5Error::ShapeMismatch(_)));
+    }
+
+    #[test]
+    fn chunked_write_read_and_fill_value() {
+        let c = Container::create_mem();
+        let ds = c
+            .create_dataset(
+                ROOT_ID,
+                "x",
+                Datatype::I32,
+                &Dataspace::d1(100),
+                Layout::Chunked1D { chunk_elems: 16 },
+            )
+            .unwrap();
+        // Write a range crossing chunk boundaries: elements 10..40.
+        let vals: Vec<i32> = (10..40).collect();
+        c.write_selection(ds, &Selection::Slab(Hyperslab::range1(10, 30)), &to_bytes(&vals))
+            .unwrap();
+        let all = from_bytes::<i32>(&c.read_selection(ds, &Selection::All).unwrap()).unwrap();
+        for i in 0..100usize {
+            let expect = if (10..40).contains(&i) { i as i32 } else { 0 };
+            assert_eq!(all[i], expect, "element {i}");
+        }
+    }
+
+    #[test]
+    fn chunked_nd_rejected() {
+        let c = Container::create_mem();
+        let err = c
+            .create_dataset(
+                ROOT_ID,
+                "x",
+                Datatype::I32,
+                &Dataspace::d2(4, 4),
+                Layout::Chunked1D { chunk_elems: 4 },
+            )
+            .unwrap_err();
+        assert!(matches!(err, H5Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn attributes_roundtrip() {
+        let c = Container::create_mem();
+        let g = c.create_group(ROOT_ID, "g").unwrap();
+        c.set_attr(
+            g,
+            "timestep",
+            AttrValue {
+                dtype: Datatype::U64,
+                shape: vec![1],
+                bytes: to_bytes(&[42u64]),
+            },
+        )
+        .unwrap();
+        let a = c.get_attr(g, "timestep").unwrap();
+        assert_eq!(from_bytes::<u64>(&a.bytes).unwrap(), vec![42]);
+        assert_eq!(c.list_attrs(g).unwrap(), vec!["timestep".to_owned()]);
+        assert!(matches!(
+            c.get_attr(g, "missing").unwrap_err(),
+            H5Error::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn attr_shape_mismatch_rejected() {
+        let c = Container::create_mem();
+        let err = c
+            .set_attr(
+                ROOT_ID,
+                "bad",
+                AttrValue {
+                    dtype: Datatype::U64,
+                    shape: vec![2],
+                    bytes: vec![0u8; 8], // wants 16
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, H5Error::ShapeMismatch(_)));
+    }
+
+    #[test]
+    fn persistence_roundtrip_through_file() {
+        let dir = std::env::temp_dir().join(format!("h5lite-cont-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("persist.h5l");
+        let data: Vec<f64> = (0..256).map(|i| (i as f64).sqrt()).collect();
+        {
+            let c = Container::create_file(&path).unwrap();
+            let g = c.create_group(ROOT_ID, "particles").unwrap();
+            let ds = c
+                .create_dataset(
+                    g,
+                    "energy",
+                    Datatype::F64,
+                    &Dataspace::d1(256),
+                    Layout::Contiguous,
+                )
+                .unwrap();
+            c.write_selection(ds, &Selection::All, &to_bytes(&data)).unwrap();
+            c.set_attr(
+                ds,
+                "units",
+                AttrValue {
+                    dtype: Datatype::U8,
+                    shape: vec![2],
+                    bytes: b"eV".to_vec(),
+                },
+            )
+            .unwrap();
+            c.flush().unwrap();
+        }
+        {
+            let c = Container::open_file(&path).unwrap();
+            let g = c.lookup(ROOT_ID, "particles").unwrap();
+            let ds = c.lookup(g, "energy").unwrap();
+            let info = c.dataset_info(ds).unwrap();
+            assert_eq!(info.dtype, Datatype::F64);
+            assert_eq!(info.space.dims(), &[256]);
+            let back =
+                from_bytes::<f64>(&c.read_selection(ds, &Selection::All).unwrap()).unwrap();
+            assert_eq!(back, data);
+            assert_eq!(c.get_attr(ds, "units").unwrap().bytes, b"eV".to_vec());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reflush_after_update_persists_new_state() {
+        let dir = std::env::temp_dir().join(format!("h5lite-cont-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reflush.h5l");
+        {
+            let c = Container::create_file(&path).unwrap();
+            c.create_group(ROOT_ID, "a").unwrap();
+            c.flush().unwrap();
+            c.create_group(ROOT_ID, "b").unwrap();
+            c.flush().unwrap();
+        }
+        let c = Container::open_file(&path).unwrap();
+        assert_eq!(
+            c.list_links(ROOT_ID).unwrap(),
+            vec!["a".to_owned(), "b".to_owned()]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_garbage_is_corrupt() {
+        let backend = Arc::new(MemBackend::new());
+        backend.write_at(0, &[0u8; 64]).unwrap();
+        assert!(matches!(
+            Container::open(backend).unwrap_err(),
+            H5Error::Corrupt(_)
+        ));
+        let empty = Arc::new(MemBackend::new());
+        assert!(Container::open(empty).is_err());
+    }
+
+    #[test]
+    fn checksum_detects_torn_metadata() {
+        let dir = std::env::temp_dir().join(format!("h5lite-cont-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.h5l");
+        {
+            let c = Container::create_file(&path).unwrap();
+            c.create_group(ROOT_ID, "g").unwrap();
+            c.flush().unwrap();
+        }
+        // Corrupt one metadata byte (metadata lives after the superblock).
+        {
+            use std::os::unix::fs::FileExt;
+            let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            let len = f.metadata().unwrap().len();
+            f.write_all_at(&[0xAA], len - 1).unwrap();
+        }
+        assert!(matches!(
+            Container::open_file(&path).unwrap_err(),
+            H5Error::Corrupt(_)
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flush_is_idempotent_when_clean() {
+        let c = Container::create_mem();
+        c.create_group(ROOT_ID, "g").unwrap();
+        c.flush().unwrap();
+        let eof1 = c.allocated_bytes();
+        c.flush().unwrap();
+        assert_eq!(c.allocated_bytes(), eof1, "clean flush must not allocate");
+    }
+
+    #[test]
+    fn empty_dataset_roundtrip() {
+        let c = Container::create_mem();
+        let ds = c
+            .create_dataset(
+                ROOT_ID,
+                "empty",
+                Datatype::F32,
+                &Dataspace::d1(0),
+                Layout::Contiguous,
+            )
+            .unwrap();
+        c.write_selection(ds, &Selection::All, &[]).unwrap();
+        assert!(c.read_selection(ds, &Selection::All).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,387 @@
+//! Dataspaces and hyperslab selections.
+//!
+//! A [`Dataspace`] is the N-dimensional extent of a dataset (row-major,
+//! like HDF5). A [`Selection`] picks elements out of it: everything, or a
+//! strided [`Hyperslab`]. Selections lower to a list of *runs* —
+//! `(linear element offset, length)` pairs over the row-major flattening —
+//! which is the form the storage layer consumes.
+
+use crate::error::{H5Error, Result};
+
+/// N-dimensional extent (row-major).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dataspace {
+    dims: Vec<u64>,
+}
+
+impl Dataspace {
+    /// Create from explicit dimensions. Zero-sized dims are allowed
+    /// (an empty dataset), empty rank is not.
+    pub fn new(dims: &[u64]) -> Self {
+        assert!(!dims.is_empty(), "dataspace must have at least one dimension");
+        Dataspace {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// 1-D convenience constructor.
+    pub fn d1(n: u64) -> Self {
+        Dataspace::new(&[n])
+    }
+
+    /// 2-D convenience constructor.
+    pub fn d2(rows: u64, cols: u64) -> Self {
+        Dataspace::new(&[rows, cols])
+    }
+
+    /// 3-D convenience constructor.
+    pub fn d3(x: u64, y: u64, z: u64) -> Self {
+        Dataspace::new(&[x, y, z])
+    }
+
+    /// The extent per dimension.
+    pub fn dims(&self) -> &[u64] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn npoints(&self) -> u64 {
+        self.dims.iter().product()
+    }
+}
+
+/// A strided rectangular selection (HDF5 hyperslab with block size 1).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Hyperslab {
+    /// First selected coordinate in each dimension.
+    pub start: Vec<u64>,
+    /// Number of selected coordinates in each dimension.
+    pub count: Vec<u64>,
+    /// Distance between selected coordinates in each dimension (all 1s if
+    /// `None`).
+    pub stride: Option<Vec<u64>>,
+}
+
+impl Hyperslab {
+    /// Contiguous (stride-1) hyperslab.
+    pub fn contiguous(start: &[u64], count: &[u64]) -> Self {
+        Hyperslab {
+            start: start.to_vec(),
+            count: count.to_vec(),
+            stride: None,
+        }
+    }
+
+    /// Strided hyperslab.
+    pub fn strided(start: &[u64], count: &[u64], stride: &[u64]) -> Self {
+        Hyperslab {
+            start: start.to_vec(),
+            count: count.to_vec(),
+            stride: Some(stride.to_vec()),
+        }
+    }
+
+    /// 1-D contiguous range.
+    pub fn range1(start: u64, count: u64) -> Self {
+        Hyperslab::contiguous(&[start], &[count])
+    }
+
+    fn effective_stride(&self) -> Vec<u64> {
+        match &self.stride {
+            Some(s) => s.clone(),
+            None => vec![1; self.start.len()],
+        }
+    }
+
+    /// Check the slab against a dataspace.
+    pub fn validate(&self, space: &Dataspace) -> Result<()> {
+        let rank = space.rank();
+        if self.start.len() != rank || self.count.len() != rank {
+            return Err(H5Error::InvalidSelection(format!(
+                "selection rank {} does not match dataspace rank {rank}",
+                self.start.len()
+            )));
+        }
+        let stride = self.effective_stride();
+        if stride.len() != rank {
+            return Err(H5Error::InvalidSelection(
+                "stride rank mismatch".to_string(),
+            ));
+        }
+        for d in 0..rank {
+            if self.count[d] == 0 {
+                return Err(H5Error::InvalidSelection(format!(
+                    "empty count in dimension {d}"
+                )));
+            }
+            if stride[d] == 0 {
+                return Err(H5Error::InvalidSelection(format!(
+                    "zero stride in dimension {d}"
+                )));
+            }
+            let last = self.start[d] + (self.count[d] - 1) * stride[d];
+            if last >= space.dims()[d] {
+                return Err(H5Error::InvalidSelection(format!(
+                    "dimension {d}: last index {last} >= extent {}",
+                    space.dims()[d]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of selected elements.
+    pub fn npoints(&self) -> u64 {
+        self.count.iter().product()
+    }
+}
+
+/// What part of a dataset an I/O call touches.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Selection {
+    /// The whole dataspace.
+    All,
+    /// A hyperslab.
+    Slab(Hyperslab),
+}
+
+impl Selection {
+    /// Number of elements selected out of `space`.
+    pub fn npoints(&self, space: &Dataspace) -> u64 {
+        match self {
+            Selection::All => space.npoints(),
+            Selection::Slab(h) => h.npoints(),
+        }
+    }
+
+    /// Validate against the dataspace.
+    pub fn validate(&self, space: &Dataspace) -> Result<()> {
+        match self {
+            Selection::All => Ok(()),
+            Selection::Slab(h) => h.validate(space),
+        }
+    }
+
+    /// Lower to `(linear element offset, run length)` pairs over the
+    /// row-major flattening of `space`, in increasing offset order.
+    ///
+    /// Adjacent coordinates in the innermost dimension coalesce into one
+    /// run when the innermost stride is 1; rows that happen to touch in
+    /// linear space (full-width selections) coalesce across dimensions too.
+    pub fn runs(&self, space: &Dataspace) -> Result<Vec<(u64, u64)>> {
+        self.validate(space)?;
+        match self {
+            Selection::All => {
+                let n = space.npoints();
+                if n == 0 {
+                    Ok(vec![])
+                } else {
+                    Ok(vec![(0, n)])
+                }
+            }
+            Selection::Slab(h) => {
+                let rank = space.rank();
+                let stride = h.effective_stride();
+                // Row-major linear strides of each dimension.
+                let mut dim_stride = vec![1u64; rank];
+                for d in (0..rank - 1).rev() {
+                    dim_stride[d] = dim_stride[d + 1] * space.dims()[d + 1];
+                }
+                // Innermost contiguous run length.
+                let inner_len = if stride[rank - 1] == 1 {
+                    h.count[rank - 1]
+                } else {
+                    1
+                };
+                let inner_reps = if stride[rank - 1] == 1 {
+                    1
+                } else {
+                    h.count[rank - 1]
+                };
+
+                let mut raw: Vec<(u64, u64)> = Vec::new();
+                // Odometer over all dimensions except the innermost.
+                let mut idx = vec![0u64; rank.saturating_sub(1)];
+                loop {
+                    let mut base = 0u64;
+                    for d in 0..rank - 1 {
+                        base += (h.start[d] + idx[d] * stride[d]) * dim_stride[d];
+                    }
+                    for i in 0..inner_reps {
+                        let off = base + h.start[rank - 1] + i * stride[rank - 1];
+                        raw.push((off, inner_len));
+                    }
+                    // Advance the odometer over the outer dimensions.
+                    let mut advanced = false;
+                    for d in (0..rank.saturating_sub(1)).rev() {
+                        idx[d] += 1;
+                        if idx[d] < h.count[d] {
+                            advanced = true;
+                            break;
+                        }
+                        idx[d] = 0;
+                    }
+                    if !advanced {
+                        break;
+                    }
+                }
+
+                // Coalesce runs that touch in linear space.
+                let mut out: Vec<(u64, u64)> = Vec::with_capacity(raw.len());
+                for (off, len) in raw {
+                    match out.last_mut() {
+                        Some((last_off, last_len)) if *last_off + *last_len == off => {
+                            *last_len += len;
+                        }
+                        _ => out.push((off, len)),
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataspace_basics() {
+        let s = Dataspace::d3(4, 5, 6);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.npoints(), 120);
+        assert_eq!(Dataspace::d1(0).npoints(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_rank_panics() {
+        Dataspace::new(&[]);
+    }
+
+    #[test]
+    fn select_all_is_one_run() {
+        let s = Dataspace::d2(3, 4);
+        assert_eq!(Selection::All.runs(&s).unwrap(), vec![(0, 12)]);
+        assert_eq!(Selection::All.npoints(&s), 12);
+    }
+
+    #[test]
+    fn select_all_of_empty_is_no_runs() {
+        let s = Dataspace::d1(0);
+        assert_eq!(Selection::All.runs(&s).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn contiguous_1d_range() {
+        let s = Dataspace::d1(100);
+        let sel = Selection::Slab(Hyperslab::range1(10, 25));
+        assert_eq!(sel.runs(&s).unwrap(), vec![(10, 25)]);
+        assert_eq!(sel.npoints(&s), 25);
+    }
+
+    #[test]
+    fn strided_1d_is_per_element() {
+        let s = Dataspace::d1(10);
+        let sel = Selection::Slab(Hyperslab::strided(&[1], &[3], &[3]));
+        assert_eq!(sel.runs(&s).unwrap(), vec![(1, 1), (4, 1), (7, 1)]);
+    }
+
+    #[test]
+    fn rect_block_in_2d() {
+        // 4x5 space, select rows 1..3, cols 1..4 -> two runs of 3.
+        let s = Dataspace::d2(4, 5);
+        let sel = Selection::Slab(Hyperslab::contiguous(&[1, 1], &[2, 3]));
+        assert_eq!(sel.runs(&s).unwrap(), vec![(6, 3), (11, 3)]);
+    }
+
+    #[test]
+    fn full_width_rows_coalesce() {
+        // Full-width rows are adjacent in linear space: one run.
+        let s = Dataspace::d2(4, 5);
+        let sel = Selection::Slab(Hyperslab::contiguous(&[1, 0], &[2, 5]));
+        assert_eq!(sel.runs(&s).unwrap(), vec![(5, 10)]);
+    }
+
+    #[test]
+    fn strided_rows_in_2d() {
+        // Rows 0 and 2 (stride 2), cols 0..2.
+        let s = Dataspace::d2(4, 4);
+        let sel = Selection::Slab(Hyperslab::strided(&[0, 0], &[2, 2], &[2, 1]));
+        assert_eq!(sel.runs(&s).unwrap(), vec![(0, 2), (8, 2)]);
+    }
+
+    #[test]
+    fn block_in_3d() {
+        let s = Dataspace::d3(2, 3, 4);
+        // Select [0..2, 1..3, 0..4]: full-width in z, strided rows in y.
+        let sel = Selection::Slab(Hyperslab::contiguous(&[0, 1, 0], &[2, 2, 4]));
+        // Linear offsets: plane stride 12, row stride 4.
+        // (0,1,*)=4..12 coalesces with (0,2,*)=8..12? (0,1,0)=4 len 4,
+        // (0,2,0)=8 len 4 -> touch -> one run (4,8). Then (1,1,0)=16 len 4,
+        // (1,2,0)=20 len 4 -> (16,8).
+        assert_eq!(sel.runs(&s).unwrap(), vec![(4, 8), (16, 8)]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let s = Dataspace::d1(10);
+        let sel = Selection::Slab(Hyperslab::range1(5, 6));
+        assert!(matches!(
+            sel.runs(&s).unwrap_err(),
+            H5Error::InvalidSelection(_)
+        ));
+    }
+
+    #[test]
+    fn strided_out_of_bounds_rejected() {
+        let s = Dataspace::d1(10);
+        // last index = 0 + 4*3 = 12 >= 10
+        let sel = Selection::Slab(Hyperslab::strided(&[0], &[5], &[3]));
+        assert!(sel.validate(&s).is_err());
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let s = Dataspace::d2(4, 4);
+        let sel = Selection::Slab(Hyperslab::range1(0, 2));
+        assert!(sel.validate(&s).is_err());
+    }
+
+    #[test]
+    fn zero_count_and_zero_stride_rejected() {
+        let s = Dataspace::d1(10);
+        assert!(Selection::Slab(Hyperslab::contiguous(&[0], &[0]))
+            .validate(&s)
+            .is_err());
+        assert!(Selection::Slab(Hyperslab::strided(&[0], &[2], &[0]))
+            .validate(&s)
+            .is_err());
+    }
+
+    #[test]
+    fn runs_cover_npoints() {
+        // Property-style check on a few shapes: total run length equals
+        // npoints and runs are sorted and disjoint.
+        let cases = vec![
+            (Dataspace::d2(7, 9), Hyperslab::strided(&[1, 2], &[3, 3], &[2, 2])),
+            (Dataspace::d3(3, 4, 5), Hyperslab::contiguous(&[1, 0, 2], &[2, 4, 3])),
+            (Dataspace::d1(50), Hyperslab::strided(&[3], &[10], &[4])),
+        ];
+        for (space, slab) in cases {
+            let sel = Selection::Slab(slab);
+            let runs = sel.runs(&space).unwrap();
+            let total: u64 = runs.iter().map(|&(_, l)| l).sum();
+            assert_eq!(total, sel.npoints(&space));
+            for w in runs.windows(2) {
+                assert!(w[0].0 + w[0].1 <= w[1].0, "runs must be sorted+disjoint");
+            }
+        }
+    }
+}

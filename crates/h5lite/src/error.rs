@@ -1,0 +1,90 @@
+//! Error type shared by every h5lite layer.
+
+use std::fmt;
+
+/// Everything that can go wrong in the container, the VOL, or the API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum H5Error {
+    /// Named link or object does not exist.
+    NotFound(String),
+    /// Creating something that already exists.
+    AlreadyExists(String),
+    /// Expected a group / dataset and found the other.
+    WrongObjectKind(String),
+    /// Element type of the caller's buffer doesn't match the dataset.
+    TypeMismatch {
+        /// The dataset's on-disk type.
+        expected: String,
+        /// The caller's element type.
+        got: String,
+    },
+    /// Buffer length or selection shape doesn't match the dataspace.
+    ShapeMismatch(String),
+    /// A hyperslab reaches outside the dataspace or is degenerate.
+    InvalidSelection(String),
+    /// Unsupported combination (e.g. chunked layout on an N-D dataset).
+    Unsupported(String),
+    /// Underlying storage failed (I/O error, short read, ...).
+    Storage(String),
+    /// The container's on-disk bytes are not a valid h5lite file.
+    Corrupt(String),
+    /// Operation on a closed file or connector.
+    Closed,
+    /// An asynchronous operation failed in the background; the error
+    /// surfaces at wait time, as with the HDF5 async VOL.
+    Async(String),
+}
+
+impl fmt::Display for H5Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            H5Error::NotFound(n) => write!(f, "not found: {n}"),
+            H5Error::AlreadyExists(n) => write!(f, "already exists: {n}"),
+            H5Error::WrongObjectKind(n) => write!(f, "wrong object kind: {n}"),
+            H5Error::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: dataset is {expected}, buffer is {got}")
+            }
+            H5Error::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            H5Error::InvalidSelection(m) => write!(f, "invalid selection: {m}"),
+            H5Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            H5Error::Storage(m) => write!(f, "storage error: {m}"),
+            H5Error::Corrupt(m) => write!(f, "corrupt container: {m}"),
+            H5Error::Closed => write!(f, "file is closed"),
+            H5Error::Async(m) => write!(f, "async operation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for H5Error {}
+
+impl From<std::io::Error> for H5Error {
+    fn from(e: std::io::Error) -> Self {
+        H5Error::Storage(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, H5Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = H5Error::TypeMismatch {
+            expected: "f64".into(),
+            got: "i32".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("f64") && s.contains("i32"));
+        assert!(H5Error::Closed.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let e: H5Error = io.into();
+        assert!(matches!(e, H5Error::Storage(m) if m.contains("disk on fire")));
+    }
+}

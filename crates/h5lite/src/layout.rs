@@ -1,0 +1,77 @@
+//! Dataset storage layouts.
+//!
+//! Contiguous datasets occupy one extent allocated at creation. Chunked
+//! datasets allocate fixed-size chunks lazily on first write — the layout
+//! HDF5 applications use for append-heavy or sparse data. Chunking is
+//! supported for 1-D datasets (the shape every I/O kernel in the paper
+//! writes); requesting it for higher ranks is an explicit
+//! [`crate::H5Error::Unsupported`] at creation time.
+
+use crate::error::{H5Error, Result};
+
+/// How a dataset's elements map to container extents.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Layout {
+    /// One extent, elements in row-major order.
+    Contiguous,
+    /// Fixed-size 1-D chunks of `chunk_elems` elements, allocated lazily.
+    Chunked1D {
+        /// Elements per chunk (must be ≥ 1).
+        chunk_elems: u64,
+    },
+}
+
+impl Layout {
+    /// Validate the layout against a dataset rank.
+    pub fn validate(&self, rank: usize) -> Result<()> {
+        match self {
+            Layout::Contiguous => Ok(()),
+            Layout::Chunked1D { chunk_elems } => {
+                if *chunk_elems == 0 {
+                    return Err(H5Error::Unsupported(
+                        "chunk size must be at least one element".into(),
+                    ));
+                }
+                if rank != 1 {
+                    return Err(H5Error::Unsupported(format!(
+                        "chunked layout supports 1-D datasets, got rank {rank}"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Stable on-disk tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Layout::Contiguous => 0,
+            Layout::Chunked1D { .. } => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_is_valid_at_any_rank() {
+        for rank in 1..5 {
+            Layout::Contiguous.validate(rank).unwrap();
+        }
+    }
+
+    #[test]
+    fn chunked_only_1d() {
+        let l = Layout::Chunked1D { chunk_elems: 1024 };
+        l.validate(1).unwrap();
+        assert!(matches!(l.validate(2), Err(H5Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn zero_chunk_rejected() {
+        let l = Layout::Chunked1D { chunk_elems: 0 };
+        assert!(l.validate(1).is_err());
+    }
+}

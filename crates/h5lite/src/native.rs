@@ -1,0 +1,120 @@
+//! The native (synchronous) VOL connector.
+//!
+//! Every operation executes eagerly on the calling thread and is complete
+//! when the call returns — the baseline the paper compares asynchronous
+//! I/O against.
+
+use std::sync::Arc;
+
+use crate::container::{Container, ObjectId};
+use crate::dataspace::Selection;
+use crate::error::Result;
+use crate::vol::{ReadRequest, Request, Vol};
+
+/// Synchronous pass-through connector.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct NativeVol;
+
+impl NativeVol {
+    /// The connector (stateless).
+    pub fn new() -> Self {
+        NativeVol
+    }
+}
+
+impl Vol for NativeVol {
+    fn name(&self) -> &str {
+        "native"
+    }
+
+    fn dataset_write(
+        &self,
+        c: &Arc<Container>,
+        ds: ObjectId,
+        sel: &Selection,
+        data: &[u8],
+    ) -> Result<Request> {
+        c.write_selection(ds, sel, data)?;
+        Ok(Request::SYNC)
+    }
+
+    fn dataset_read(
+        &self,
+        c: &Arc<Container>,
+        ds: ObjectId,
+        sel: &Selection,
+    ) -> Result<ReadRequest> {
+        Ok(ReadRequest::resolved(c.read_selection(ds, sel)))
+    }
+
+    fn wait(&self, _req: Request) -> Result<()> {
+        // Everything completed before the call returned.
+        Ok(())
+    }
+
+    fn wait_all(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::ROOT_ID;
+    use crate::dataspace::Dataspace;
+    use crate::datatype::{from_bytes, to_bytes, Datatype};
+    use crate::layout::Layout;
+
+    #[test]
+    fn write_read_through_connector() {
+        let c = Arc::new(Container::create_mem());
+        let vol = NativeVol::new();
+        let ds = vol
+            .dataset_create(
+                &c,
+                ROOT_ID,
+                "x",
+                Datatype::F32,
+                &Dataspace::d1(16),
+                Layout::Contiguous,
+            )
+            .unwrap();
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let req = vol
+            .dataset_write(&c, ds, &Selection::All, &to_bytes(&data))
+            .unwrap();
+        assert!(req.is_sync());
+        vol.wait(req).unwrap();
+        let rr = vol.dataset_read(&c, ds, &Selection::All).unwrap();
+        assert!(rr.is_ready(), "native reads are eager");
+        assert_eq!(from_bytes::<f32>(&rr.wait().unwrap()).unwrap(), data);
+    }
+
+    #[test]
+    fn metadata_defaults_route_to_container() {
+        let c = Arc::new(Container::create_mem());
+        let vol = NativeVol::new();
+        let g = vol.group_create(&c, ROOT_ID, "grp").unwrap();
+        assert_eq!(vol.link_lookup(&c, ROOT_ID, "grp").unwrap(), g);
+        let ds = vol
+            .dataset_create(
+                &c,
+                g,
+                "d",
+                Datatype::U8,
+                &Dataspace::d1(4),
+                Layout::Contiguous,
+            )
+            .unwrap();
+        let info = vol.dataset_info(&c, ds).unwrap();
+        assert_eq!(info.dtype, Datatype::U8);
+    }
+
+    #[test]
+    fn flush_through_connector() {
+        let c = Arc::new(Container::create_mem());
+        let vol = NativeVol::new();
+        vol.group_create(&c, ROOT_ID, "g").unwrap();
+        vol.file_flush(&c).unwrap();
+    }
+}

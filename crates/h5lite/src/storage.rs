@@ -1,0 +1,388 @@
+//! Storage backends: the flat address space under a container.
+//!
+//! A backend is a sparse, growable array of bytes addressed by `u64`
+//! offsets. All methods take `&self` — the async VOL's background streams
+//! read and write concurrently with the application thread, so interior
+//! synchronization is part of the contract. The file backend uses
+//! positional I/O (`pread`/`pwrite`), which the OS serializes per-range;
+//! the memory backend shards a `RwLock` around its buffer.
+
+use std::fs::OpenOptions;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::error::{H5Error, Result};
+
+/// A flat, concurrently accessible byte address space.
+pub trait StorageBackend: Send + Sync {
+    /// Write `data` at `offset`, growing the space as needed.
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()>;
+
+    /// Read exactly `buf.len()` bytes at `offset`. Reading past the end is
+    /// an error (the container never does it on valid metadata).
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// One past the highest byte ever written.
+    fn len(&self) -> u64;
+
+    /// Whether nothing has been written yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flush to durable storage (no-op for memory).
+    fn sync(&self) -> Result<()>;
+}
+
+/// In-memory backend for tests and simulation-backed containers.
+#[derive(Default)]
+pub struct MemBackend {
+    buf: RwLock<Vec<u8>>,
+}
+
+impl MemBackend {
+    /// An empty in-memory space.
+    pub fn new() -> Self {
+        MemBackend {
+            buf: RwLock::new(Vec::new()),
+        }
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let end = offset
+            .checked_add(data.len() as u64)
+            .ok_or_else(|| H5Error::Storage("write offset overflow".into()))?;
+        let end = usize::try_from(end)
+            .map_err(|_| H5Error::Storage("write beyond addressable memory".into()))?;
+        let mut buf = self.buf.write();
+        if buf.len() < end {
+            buf.resize(end, 0);
+        }
+        buf[offset as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn read_at(&self, offset: u64, out: &mut [u8]) -> Result<()> {
+        let buf = self.buf.read();
+        let end = offset as usize + out.len();
+        if end > buf.len() {
+            return Err(H5Error::Storage(format!(
+                "short read: wanted {}..{end}, backend has {}",
+                offset,
+                buf.len()
+            )));
+        }
+        out.copy_from_slice(&buf[offset as usize..end]);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.buf.read().len() as u64
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// File-backed storage using positional I/O, safe for concurrent use by
+/// background I/O threads.
+pub struct FileBackend {
+    file: std::fs::File,
+    /// Highest end-of-write seen; kept locally because `metadata()` is a
+    /// syscall and the container asks for `len` on every allocation.
+    len: AtomicU64,
+}
+
+impl FileBackend {
+    /// Create (or truncate) a file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileBackend {
+            file,
+            len: AtomicU64::new(0),
+        })
+    }
+
+    /// Open an existing file read-write.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FileBackend {
+            file,
+            len: AtomicU64::new(len),
+        })
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(data, offset)?;
+        let end = offset + data.len() as u64;
+        self.len.fetch_max(end, Ordering::AcqRel);
+        Ok(())
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, offset)?;
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// A backend that throttles another backend to a fixed bandwidth and
+/// per-operation latency — a stand-in for a parallel file system when
+/// demonstrating asynchronous I/O on a machine whose real storage is as
+/// fast as memory. The throttle burns wall-clock time on the *calling*
+/// thread, so a synchronous write blocks the application while the async
+/// VOL's background stream absorbs the delay.
+pub struct ThrottledBackend {
+    inner: Box<dyn StorageBackend>,
+    /// Sustained bandwidth, bytes/s.
+    bandwidth: f64,
+    /// Per-operation latency, seconds.
+    latency: f64,
+}
+
+impl ThrottledBackend {
+    /// Throttle `inner` to `bandwidth` bytes/s plus `latency` per op.
+    pub fn new(inner: Box<dyn StorageBackend>, bandwidth: f64, latency: f64) -> Self {
+        assert!(bandwidth > 0.0 && latency >= 0.0);
+        ThrottledBackend {
+            inner,
+            bandwidth,
+            latency,
+        }
+    }
+
+    /// Throttle a fresh in-memory backend.
+    pub fn in_memory(bandwidth: f64, latency: f64) -> Self {
+        Self::new(Box::new(MemBackend::new()), bandwidth, latency)
+    }
+
+    fn stall(&self, bytes: usize) {
+        let secs = self.latency + bytes as f64 / self.bandwidth;
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+    }
+}
+
+impl StorageBackend for ThrottledBackend {
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        self.stall(data.len());
+        self.inner.write_at(offset, data)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.stall(buf.len());
+        self.inner.read_at(offset, buf)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
+
+/// A backend that injects a failure after a configured number of
+/// operations — for exercising error paths: deferred async errors,
+/// torn-flush detection, connector poisoning.
+pub struct FaultyBackend {
+    inner: Box<dyn StorageBackend>,
+    /// Operations remaining before every further write fails.
+    writes_left: AtomicU64,
+}
+
+impl FaultyBackend {
+    /// Fail every write after the first `writes_allowed`.
+    pub fn failing_after(inner: Box<dyn StorageBackend>, writes_allowed: u64) -> Self {
+        FaultyBackend {
+            inner,
+            writes_left: AtomicU64::new(writes_allowed),
+        }
+    }
+}
+
+impl StorageBackend for FaultyBackend {
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        // Decrement-with-floor: once exhausted, stay exhausted.
+        let mut left = self.writes_left.load(Ordering::SeqCst);
+        loop {
+            if left == 0 {
+                return Err(H5Error::Storage("injected device failure".into()));
+            }
+            match self.writes_left.compare_exchange(
+                left,
+                left - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(actual) => left = actual,
+            }
+        }
+        self.inner.write_at(offset, data)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_at(offset, buf)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn exercise(backend: &dyn StorageBackend) {
+        assert!(backend.is_empty());
+        backend.write_at(0, b"hello").unwrap();
+        backend.write_at(10, b"world").unwrap();
+        assert_eq!(backend.len(), 15);
+
+        let mut buf = [0u8; 5];
+        backend.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        backend.read_at(10, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+
+        // The gap reads as zeros.
+        let mut gap = [9u8; 5];
+        backend.read_at(5, &mut gap).unwrap();
+        assert_eq!(gap, [0u8; 5]);
+
+        // Overwrite in place.
+        backend.write_at(0, b"HELLO").unwrap();
+        backend.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"HELLO");
+        assert_eq!(backend.len(), 15);
+
+        // Reading past the end fails.
+        let mut big = [0u8; 32];
+        assert!(backend.read_at(0, &mut big).is_err());
+        backend.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_backend_contract() {
+        exercise(&MemBackend::new());
+    }
+
+    #[test]
+    fn file_backend_contract() {
+        let dir = std::env::temp_dir().join(format!("h5lite-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("contract.bin");
+        exercise(&FileBackend::create(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_backend_reopen_preserves_data() {
+        let dir = std::env::temp_dir().join(format!("h5lite-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reopen.bin");
+        {
+            let b = FileBackend::create(&path).unwrap();
+            b.write_at(100, b"persist").unwrap();
+            b.sync().unwrap();
+        }
+        {
+            let b = FileBackend::open(&path).unwrap();
+            assert_eq!(b.len(), 107);
+            let mut buf = [0u8; 7];
+            b.read_at(100, &mut buf).unwrap();
+            assert_eq!(&buf, b"persist");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes() {
+        let backend = Arc::new(MemBackend::new());
+        let mut joins = Vec::new();
+        for t in 0..8u64 {
+            let b = backend.clone();
+            joins.push(std::thread::spawn(move || {
+                let data = vec![t as u8 + 1; 1000];
+                b.write_at(t * 1000, &data).unwrap();
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(backend.len(), 8000);
+        for t in 0..8u64 {
+            let mut buf = vec![0u8; 1000];
+            backend.read_at(t * 1000, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == t as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn empty_read_at_any_offset_succeeds() {
+        let b = MemBackend::new();
+        let mut empty: [u8; 0] = [];
+        b.read_at(0, &mut empty).unwrap();
+    }
+    #[test]
+    fn throttled_backend_delegates_and_delays() {
+        let b = ThrottledBackend::in_memory(1e6, 0.0); // 1 MB/s
+        let t0 = std::time::Instant::now();
+        b.write_at(0, &[1u8; 50_000]).unwrap(); // ~50 ms
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert!(elapsed >= 0.045, "throttle must stall, took {elapsed}");
+        let mut buf = [0u8; 4];
+        b.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [1, 1, 1, 1]);
+        assert_eq!(b.len(), 50_000);
+    }
+
+    #[test]
+    fn throttled_contract() {
+        exercise(&ThrottledBackend::in_memory(1e12, 0.0));
+    }
+
+    #[test]
+    fn faulty_backend_fails_after_budget() {
+        let b = FaultyBackend::failing_after(Box::new(MemBackend::new()), 2);
+        b.write_at(0, b"one").unwrap();
+        b.write_at(10, b"two").unwrap();
+        let err = b.write_at(20, b"three").unwrap_err();
+        assert!(matches!(err, H5Error::Storage(m) if m.contains("injected")));
+        // Reads keep working; earlier data intact.
+        let mut buf = [0u8; 3];
+        b.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"one");
+    }
+}

@@ -1,0 +1,373 @@
+//! Job placement and collective timing on a machine model.
+
+use apio_core::history::Direction;
+use platform::pfs::{FileSystemModel, IoPattern};
+use platform::SystemConfig;
+
+/// How a collective phase reaches the file system.
+///
+/// Two-phase (collective-buffered) I/O is MPI-IO's classic answer to the
+/// small-request problem the paper's strong-scaling figures expose: ranks
+/// first exchange data inside the node so that a few *aggregators* issue
+/// large contiguous requests. The aggregation shuffle costs node-memory
+/// bandwidth; the payoff is a much better per-request efficiency at the
+/// file system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CollectiveMode {
+    /// Every rank writes its own data directly (the paper's runs).
+    Independent,
+    /// Intra-node gather to `aggregators_per_node` ranks, which issue the
+    /// file system requests.
+    TwoPhase {
+        /// Writers per node (≥ 1, ≤ ranks per node).
+        aggregators_per_node: u32,
+    },
+}
+
+/// A rank set placed on a machine: the simulated analogue of an MPI
+/// communicator inside a batch allocation.
+#[derive(Clone, Debug)]
+pub struct Job {
+    system: SystemConfig,
+    ranks: u32,
+    nodes: u32,
+}
+
+impl Job {
+    /// Place `ranks` on `system` at its standard density (6/node on
+    /// Summit, 32/node on Cori).
+    pub fn new(system: SystemConfig, ranks: u32) -> Self {
+        let nodes = system.nodes_for_ranks(ranks);
+        assert!(
+            nodes <= system.total_nodes,
+            "job of {ranks} ranks needs {nodes} nodes; {} has {}",
+            system.name,
+            system.total_nodes
+        );
+        Job {
+            system,
+            ranks,
+            nodes,
+        }
+    }
+
+    /// The machine model this job runs on.
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// Total MPI ranks in the job.
+    pub fn ranks(&self) -> u32 {
+        self.ranks
+    }
+
+    /// Nodes the job occupies.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Ranks co-located on one node (last node may be partial).
+    pub fn ranks_per_node(&self) -> u32 {
+        self.system.ranks_per_node.min(self.ranks)
+    }
+
+    /// Barrier cost: a dissemination barrier takes ⌈log₂ n⌉ network hops.
+    pub fn barrier_time(&self) -> f64 {
+        const HOP_LATENCY: f64 = 2e-6;
+        if self.ranks <= 1 {
+            return 0.0;
+        }
+        HOP_LATENCY * (self.ranks as f64).log2().ceil()
+    }
+
+    /// Wall time of one collective I/O phase moving `per_rank_bytes` per
+    /// rank, under a contention capacity factor in `(0, 1]`.
+    ///
+    /// Includes the metadata/allocation cost and the closing barrier (the
+    /// slowest rank defines the phase, then everyone synchronizes).
+    pub fn collective_io_time(
+        &self,
+        per_rank_bytes: u64,
+        direction: Direction,
+        contention: f64,
+    ) -> f64 {
+        let pattern = match direction {
+            Direction::Write => IoPattern::Write,
+            Direction::Read => IoPattern::Read,
+        };
+        self.system
+            .pfs
+            .io_time(self.nodes, self.ranks, per_rank_bytes, pattern, contention)
+            + self.barrier_time()
+    }
+
+    /// Wall time of a collective I/O phase under an explicit
+    /// [`CollectiveMode`]. Two-phase aggregation pays an intra-node
+    /// gather (one pass over the node's data at DRAM copy bandwidth) and
+    /// then writes through `aggregators_per_node` writers per node with
+    /// proportionally larger requests.
+    pub fn collective_io_time_with(
+        &self,
+        per_rank_bytes: u64,
+        direction: Direction,
+        contention: f64,
+        mode: CollectiveMode,
+    ) -> f64 {
+        match mode {
+            CollectiveMode::Independent => {
+                self.collective_io_time(per_rank_bytes, direction, contention)
+            }
+            CollectiveMode::TwoPhase {
+                aggregators_per_node,
+            } => {
+                let rpn = self.ranks_per_node();
+                assert!(
+                    (1..=rpn).contains(&aggregators_per_node),
+                    "aggregators per node must be in 1..={rpn}"
+                );
+                let pattern = match direction {
+                    Direction::Write => IoPattern::Write,
+                    Direction::Read => IoPattern::Read,
+                };
+                let node_bytes = per_rank_bytes * rpn as u64;
+                // Phase 1: shuffle the node's data into aggregator
+                // buffers — one pass at the node's copy bandwidth.
+                let gather = self.system.memcpy.copy_time(node_bytes);
+                // Phase 2: aggregators issue the requests. Fewer, larger
+                // requests; fewer writers also means less metadata load.
+                let agg_bytes = node_bytes / aggregators_per_node as u64;
+                let writers = self.nodes * aggregators_per_node;
+                let io = self.system.pfs.io_time(
+                    self.nodes,
+                    writers,
+                    agg_bytes,
+                    pattern,
+                    contention,
+                );
+                gather + io + self.barrier_time()
+            }
+        }
+    }
+
+    /// Per-phase cost of enqueueing the asynchronous operations (task
+    /// creation, dependency registration in the connector) — constant per
+    /// phase regardless of data size or rank count.
+    pub const ASYNC_DISPATCH_SECS: f64 = 5e-4;
+
+    /// Transactional overhead of one asynchronous collective phase: every
+    /// rank snapshots its buffer concurrently, sharing its node's DRAM
+    /// copy bandwidth with the other local ranks. All nodes proceed in
+    /// parallel, so the wall time is one node's time, plus the constant
+    /// dispatch cost of enqueueing the background operations.
+    pub fn snapshot_time(&self, per_rank_bytes: u64) -> f64 {
+        Self::ASYNC_DISPATCH_SECS
+            + self
+                .system
+                .memcpy
+                .copy_time_shared(per_rank_bytes, self.ranks_per_node())
+    }
+
+    /// Transactional overhead when staging snapshots on the node-local
+    /// SSD instead of DRAM (§II-C's second caching location): every rank
+    /// on a node appends its buffer to the device, serialized by the
+    /// device's write bandwidth.
+    ///
+    /// Panics if the machine has no node-local device.
+    pub fn snapshot_time_nvme(&self, per_rank_bytes: u64) -> f64 {
+        let nvme = self
+            .system
+            .nvme
+            .as_ref()
+            .expect("machine model has no node-local storage device");
+        let node_bytes = per_rank_bytes * self.ranks_per_node() as u64;
+        Self::ASYNC_DISPATCH_SECS + nvme.write_time(node_bytes)
+    }
+
+    /// Background read-back cost of NVMe staging: before the background
+    /// stream can push a snapshot to the file system it must read it off
+    /// the device.
+    pub fn staging_readback_time(&self, per_rank_bytes: u64) -> f64 {
+        let nvme = self
+            .system
+            .nvme
+            .as_ref()
+            .expect("machine model has no node-local storage device");
+        let node_bytes = per_rank_bytes * self.ranks_per_node() as u64;
+        nvme.read_time(node_bytes)
+    }
+
+    /// Aggregate bandwidth corresponding to a phase wall time.
+    pub fn aggregate_bw(&self, per_rank_bytes: u64, phase_secs: f64) -> f64 {
+        assert!(phase_secs > 0.0, "phase time must be positive");
+        self.total_bytes(per_rank_bytes) as f64 / phase_secs
+    }
+
+    /// Total bytes a phase moves across all ranks.
+    pub fn total_bytes(&self, per_rank_bytes: u64) -> u64 {
+        per_rank_bytes * self.ranks as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform::units::MIB;
+    use platform::{cori_haswell, summit};
+
+    #[test]
+    fn placement_uses_machine_density() {
+        let j = Job::new(summit(), 768);
+        assert_eq!(j.nodes(), 128);
+        assert_eq!(j.ranks_per_node(), 6);
+        let j = Job::new(cori_haswell(), 1024);
+        assert_eq!(j.nodes(), 32);
+        assert_eq!(j.ranks_per_node(), 32);
+    }
+
+    #[test]
+    fn small_job_density_is_capped_by_ranks() {
+        let j = Job::new(summit(), 2);
+        assert_eq!(j.ranks_per_node(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn oversubscribed_job_rejected() {
+        // Summit has 4608 nodes -> max 27648 ranks at 6/node.
+        Job::new(summit(), 30_000);
+    }
+
+    #[test]
+    fn barrier_grows_logarithmically() {
+        let j1 = Job::new(summit(), 1);
+        assert_eq!(j1.barrier_time(), 0.0);
+        let j2 = Job::new(summit(), 1024);
+        let j3 = Job::new(summit(), 2048);
+        assert!(j3.barrier_time() > j2.barrier_time());
+        assert!(j3.barrier_time() < 1e-3, "barriers are microseconds");
+    }
+
+    #[test]
+    fn collective_io_time_scales_with_size() {
+        let j = Job::new(summit(), 96);
+        let t_small = j.collective_io_time(MIB, Direction::Write, 1.0);
+        let t_large = j.collective_io_time(64 * MIB, Direction::Write, 1.0);
+        assert!(t_large > t_small);
+    }
+
+    #[test]
+    fn contention_slows_server_bound_collectives() {
+        let j = Job::new(summit(), 6144);
+        let free = j.collective_io_time(32 * MIB, Direction::Write, 1.0);
+        let busy = j.collective_io_time(32 * MIB, Direction::Write, 0.4);
+        // Metadata cost is contention-independent, so the phase slows by
+        // less than the 2.5x capacity squeeze but clearly slows.
+        assert!(busy > 1.4 * free, "busy {busy} vs free {free}");
+        assert!(busy < 2.5 * free);
+    }
+
+    #[test]
+    fn snapshot_time_is_node_local() {
+        // Same per-rank size, more nodes: snapshot wall time unchanged
+        // (each node copies its own ranks' buffers in parallel).
+        let j1 = Job::new(summit(), 96);
+        let j2 = Job::new(summit(), 6144);
+        assert!((j1.snapshot_time(32 * MIB) - j2.snapshot_time(32 * MIB)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_aggregate_bw_scales_linearly_with_nodes() {
+        // The core of Fig. 3's async curve.
+        let per_rank = 32 * MIB;
+        let bw = |ranks: u32| {
+            let j = Job::new(summit(), ranks);
+            j.aggregate_bw(per_rank, j.snapshot_time(per_rank))
+        };
+        let r = bw(6144) / bw(96);
+        assert!((r - 64.0).abs() < 1.0, "expected ~64x, got {r}");
+    }
+
+    #[test]
+    fn total_bytes_and_bw() {
+        let j = Job::new(cori_haswell(), 64);
+        assert_eq!(j.total_bytes(MIB), 64 * MIB);
+        assert!((j.aggregate_bw(MIB, 2.0) - (64 * MIB) as f64 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_phase_helps_small_requests() {
+        // Castro-on-Cori shape: tiny per-rank requests. Aggregating 32
+        // ranks into 1 writer per node turns 230 KB requests into 7.3 MB
+        // requests — a large win despite the gather cost.
+        let j = Job::new(cori_haswell(), 1024);
+        let per_rank = 229 * 1024;
+        let independent = j.collective_io_time_with(
+            per_rank,
+            Direction::Write,
+            1.0,
+            CollectiveMode::Independent,
+        );
+        let two_phase = j.collective_io_time_with(
+            per_rank,
+            Direction::Write,
+            1.0,
+            CollectiveMode::TwoPhase {
+                aggregators_per_node: 1,
+            },
+        );
+        assert!(
+            two_phase < 0.7 * independent,
+            "two-phase {two_phase} vs independent {independent}"
+        );
+    }
+
+    #[test]
+    fn two_phase_is_not_worth_it_for_large_requests() {
+        // VPIC shape: 32 MiB per rank is already efficient; aggregation
+        // only adds the gather pass.
+        let j = Job::new(cori_haswell(), 1024);
+        let independent = j.collective_io_time_with(
+            32 * MIB,
+            Direction::Write,
+            1.0,
+            CollectiveMode::Independent,
+        );
+        let two_phase = j.collective_io_time_with(
+            32 * MIB,
+            Direction::Write,
+            1.0,
+            CollectiveMode::TwoPhase {
+                aggregators_per_node: 1,
+            },
+        );
+        assert!(two_phase > independent * 0.95, "no big win to be had");
+    }
+
+    #[test]
+    fn independent_mode_matches_plain_call() {
+        let j = Job::new(summit(), 768);
+        assert_eq!(
+            j.collective_io_time(32 * MIB, Direction::Write, 1.0),
+            j.collective_io_time_with(
+                32 * MIB,
+                Direction::Write,
+                1.0,
+                CollectiveMode::Independent
+            )
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregators per node")]
+    fn too_many_aggregators_rejected() {
+        let j = Job::new(summit(), 768);
+        j.collective_io_time_with(
+            MIB,
+            Direction::Write,
+            1.0,
+            CollectiveMode::TwoPhase {
+                aggregators_per_node: 7,
+            },
+        );
+    }
+}

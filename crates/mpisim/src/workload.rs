@@ -1,0 +1,227 @@
+//! Epoch-structured workload descriptions and run measurements.
+
+use apio_core::history::{Direction, IoMode};
+
+/// A bulk-synchronous iterative workload: `epochs` repetitions of
+/// (compute phase, collective I/O phase).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Participating MPI ranks.
+    pub ranks: u32,
+    /// Bytes each rank moves per I/O phase.
+    pub per_rank_bytes: u64,
+    /// Number of epochs (compute + I/O pairs).
+    pub epochs: u32,
+    /// Length of each computation phase, seconds.
+    pub compute_secs: f64,
+    /// Whether the I/O phases write (checkpoint) or read (analysis).
+    pub direction: Direction,
+    /// One-time setup cost (buffer allocation, background-thread spin-up,
+    /// file open) — `t_init` in Eq. 1.
+    pub t_init: f64,
+    /// One-time teardown cost — `t_term` in Eq. 1.
+    pub t_term: f64,
+}
+
+impl Workload {
+    /// A write-checkpoint workload with the default init/term costs.
+    pub fn checkpoint(ranks: u32, per_rank_bytes: u64, epochs: u32, compute_secs: f64) -> Self {
+        Workload {
+            ranks,
+            per_rank_bytes,
+            epochs,
+            compute_secs,
+            direction: Direction::Write,
+            t_init: 0.5,
+            t_term: 0.2,
+        }
+    }
+
+    /// A read-analysis workload (BD-CATS-style).
+    pub fn analysis(ranks: u32, per_rank_bytes: u64, epochs: u32, compute_secs: f64) -> Self {
+        Workload {
+            direction: Direction::Read,
+            ..Workload::checkpoint(ranks, per_rank_bytes, epochs, compute_secs)
+        }
+    }
+}
+
+/// Where asynchronous snapshots are staged (paper §II-C).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StagingTier {
+    /// On-node DRAM: one memcpy of overhead, background write reads it
+    /// for free.
+    Dram,
+    /// Node-local SSD: overhead is a device write; the background stream
+    /// pays a device read-back before the file system write. Slower, but
+    /// with bounded DRAM footprint and persistence.
+    Nvme,
+}
+
+/// How to execute a [`Workload`].
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Synchronous or asynchronous I/O.
+    pub mode: IoMode,
+    /// Server-side capacity factor in `(0, 1]` (1.0 = uncontended). Drawn
+    /// from a [`platform::ContentionModel`] per run by the harnesses.
+    pub contention: f64,
+    /// Async double-buffer pool depth: how many snapshots may be in
+    /// flight before the application blocks on the oldest background
+    /// write (2 = classic double buffering).
+    pub buffer_depth: u32,
+    /// Where async snapshots live until the background write lands.
+    pub staging: StagingTier,
+}
+
+impl RunConfig {
+    /// Synchronous I/O, uncontended, default buffering.
+    pub fn sync() -> Self {
+        RunConfig {
+            mode: IoMode::Sync,
+            contention: 1.0,
+            buffer_depth: 2,
+            staging: StagingTier::Dram,
+        }
+    }
+
+    /// Asynchronous I/O, uncontended, double buffering, DRAM staging.
+    pub fn async_io() -> Self {
+        RunConfig {
+            mode: IoMode::Async,
+            contention: 1.0,
+            buffer_depth: 2,
+            staging: StagingTier::Dram,
+        }
+    }
+
+    /// Select the snapshot staging tier.
+    pub fn with_staging(mut self, tier: StagingTier) -> Self {
+        self.staging = tier;
+        self
+    }
+
+    /// Apply a server-side capacity factor in `(0, 1]`.
+    pub fn with_contention(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "contention in (0,1]");
+        self.contention = factor;
+        self
+    }
+
+    /// Bound the number of in-flight snapshots (≥ 1).
+    pub fn with_buffer_depth(mut self, depth: u32) -> Self {
+        assert!(depth >= 1, "need at least one buffer");
+        self.buffer_depth = depth;
+        self
+    }
+}
+
+/// Measurements of one epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseMeasure {
+    /// Computation phase wall time.
+    pub t_comp: f64,
+    /// Time the application thread was blocked by the I/O phase — the
+    /// quantity the paper's bandwidth plots divide into (for async this
+    /// is the snapshot plus any wait for a free buffer).
+    pub visible_io_secs: f64,
+    /// Transactional overhead portion of `visible_io_secs` (0 for sync).
+    pub overhead_secs: f64,
+    /// When the epoch's data actually became durable, relative to the
+    /// epoch's I/O issue time (equals `visible_io_secs` for sync).
+    pub background_io_secs: f64,
+}
+
+/// The outcome of one simulated run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Per-epoch measurements, in execution order.
+    pub phases: Vec<PhaseMeasure>,
+    /// Total application wall time (Eq. 1's `t_app`).
+    pub wall_secs: f64,
+    /// Bytes moved per I/O phase across all ranks.
+    pub phase_bytes: u64,
+}
+
+impl RunResult {
+    /// Observed aggregate bandwidth of each I/O phase (bytes/s).
+    pub fn phase_bandwidths(&self) -> Vec<f64> {
+        self.phases
+            .iter()
+            .map(|p| self.phase_bytes as f64 / p.visible_io_secs.max(1e-12))
+            .collect()
+    }
+
+    /// Peak observed aggregate bandwidth over all phases — what the
+    /// paper's bar plots report.
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.phase_bandwidths()
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean observed aggregate bandwidth over all phases.
+    pub fn mean_bandwidth(&self) -> f64 {
+        let bws = self.phase_bandwidths();
+        bws.iter().sum::<f64>() / bws.len() as f64
+    }
+
+    /// Total visible I/O time across phases.
+    pub fn total_visible_io(&self) -> f64 {
+        self.phases.iter().map(|p| p.visible_io_secs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_direction() {
+        let w = Workload::checkpoint(64, 1024, 5, 30.0);
+        assert_eq!(w.direction, Direction::Write);
+        let r = Workload::analysis(64, 1024, 5, 30.0);
+        assert_eq!(r.direction, Direction::Read);
+        assert_eq!(r.ranks, 64);
+    }
+
+    #[test]
+    fn run_config_builders() {
+        let c = RunConfig::async_io().with_contention(0.5).with_buffer_depth(4);
+        assert_eq!(c.mode, IoMode::Async);
+        assert_eq!(c.contention, 0.5);
+        assert_eq!(c.buffer_depth, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "contention")]
+    fn invalid_contention_rejected() {
+        RunConfig::sync().with_contention(0.0);
+    }
+
+    #[test]
+    fn result_bandwidth_math() {
+        let r = RunResult {
+            phases: vec![
+                PhaseMeasure {
+                    t_comp: 1.0,
+                    visible_io_secs: 2.0,
+                    overhead_secs: 0.0,
+                    background_io_secs: 2.0,
+                },
+                PhaseMeasure {
+                    t_comp: 1.0,
+                    visible_io_secs: 1.0,
+                    overhead_secs: 0.0,
+                    background_io_secs: 1.0,
+                },
+            ],
+            wall_secs: 5.0,
+            phase_bytes: 100,
+        };
+        assert_eq!(r.phase_bandwidths(), vec![50.0, 100.0]);
+        assert_eq!(r.peak_bandwidth(), 100.0);
+        assert_eq!(r.mean_bandwidth(), 75.0);
+        assert_eq!(r.total_visible_io(), 3.0);
+    }
+}

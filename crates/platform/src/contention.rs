@@ -1,0 +1,127 @@
+//! Full-system-level contention.
+//!
+//! §V-C: node-level contention is avoided by whole-node batch allocation,
+//! but the parallel file system and interconnect are shared by every job on
+//! the machine, so the *server-side* bandwidth a job observes varies across
+//! runs and days. The paper handles this by running every configuration at
+//! least 5 times across multiple days; Fig. 8 plots the resulting spread
+//! and shows asynchronous I/O hides it (the transactional copy goes to
+//! unshared node-local memory).
+//!
+//! We model the external load `L` on the storage system as a lognormal
+//! random variable and squeeze the job's server-side capacity by
+//! `1 / (1 + L)`. A lognormal load is the standard heavy-tailed choice:
+//! most windows are quiet, a few are badly congested.
+
+use desim::SimRng;
+
+/// Seeded lognormal capacity-squeeze model.
+#[derive(Clone, Debug)]
+pub struct ContentionModel {
+    /// Location of `ln(load)`. `exp(mu)` is the median external load
+    /// relative to the job's own demand.
+    pub mu: f64,
+    /// Scale of `ln(load)`; larger means heavier congestion tails.
+    pub sigma: f64,
+}
+
+impl ContentionModel {
+    /// Lognormal load with location `mu` and scale `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "negative sigma");
+        ContentionModel { mu, sigma }
+    }
+
+    /// A machine with no external load (unit capacity factor, always).
+    pub fn quiet() -> Self {
+        ContentionModel {
+            mu: f64::NEG_INFINITY,
+            sigma: 0.0,
+        }
+    }
+
+    /// Draw the capacity factor for one run/day: a value in `(0, 1]`.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        if self.mu == f64::NEG_INFINITY {
+            return 1.0;
+        }
+        let load = rng.lognormal(self.mu, self.sigma);
+        1.0 / (1.0 + load)
+    }
+
+    /// The capacity factor under the median external load.
+    pub fn median_factor(&self) -> f64 {
+        if self.mu == f64::NEG_INFINITY {
+            return 1.0;
+        }
+        1.0 / (1.0 + self.mu.exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_is_always_one() {
+        let m = ContentionModel::quiet();
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), 1.0);
+        }
+        assert_eq!(m.median_factor(), 1.0);
+    }
+
+    #[test]
+    fn samples_in_unit_interval() {
+        let m = ContentionModel::new(-1.0, 0.8);
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let f = m.sample(&mut rng);
+            assert!(f > 0.0 && f <= 1.0, "factor {f}");
+        }
+    }
+
+    #[test]
+    fn sample_median_tracks_analytic_median() {
+        let m = ContentionModel::new(-1.39, 0.8); // median load ~0.25
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut xs: Vec<f64> = (0..50_001).map(|_| m.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!(
+            (median - m.median_factor()).abs() < 0.02,
+            "median {median} vs {}",
+            m.median_factor()
+        );
+    }
+
+    #[test]
+    fn heavier_sigma_means_wider_spread() {
+        let narrow = ContentionModel::new(-1.39, 0.2);
+        let wide = ContentionModel::new(-1.39, 1.2);
+        let spread = |m: &ContentionModel, seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut stats = desim::OnlineStats::new();
+            for _ in 0..20_000 {
+                stats.push(m.sample(&mut rng));
+            }
+            stats.std_dev()
+        };
+        assert!(spread(&wide, 5) > 2.0 * spread(&narrow, 5));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = ContentionModel::new(-1.0, 0.8);
+        let a: Vec<f64> = {
+            let mut rng = SimRng::seed_from_u64(7);
+            (0..10).map(|_| m.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = SimRng::seed_from_u64(7);
+            (0..10).map(|_| m.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # platform — calibrated HPC system models
+//!
+//! Models of the two machines the paper evaluates on, built from the
+//! hardware facts in §IV-A and calibrated so the *shapes* of the paper's
+//! figures reproduce (saturation points, weak/strong-scaling slopes,
+//! variability). All bandwidths are bytes/second, all sizes bytes, all
+//! times seconds unless a `desim` type says otherwise.
+//!
+//! - [`memcpy`] — host DRAM copy cost (the *transactional overhead* of the
+//!   async VOL): bandwidth ramps with transfer size and is constant above
+//!   32 MiB, exactly the micro-benchmark observation in §III-B1.
+//! - [`gpulink`] — CPU↔GPU transfers: PCIe 3.0 (15.75 GB/s theoretical) vs
+//!   NVLink 2.0 (50 GB/s), pinned vs pageable host memory, DMA setup cost
+//!   amortized above ~10 MB.
+//! - [`nvme`] — node-local SSD (Summit's 1.6 TB NVMe, Cori's burst buffer).
+//! - [`pfs`] — parallel file system models: [`pfs::GpfsModel`] (Summit's
+//!   Alpine: reactive allocation, no user striping control) and
+//!   [`pfs::LustreModel`] (Cori: 72-OST striping per NERSC best practice).
+//! - [`contention`] — full-system-level interference as a seeded lognormal
+//!   capacity squeeze; node-local resources are unaffected (batch
+//!   schedulers allocate whole nodes).
+//! - [`system`] — [`system::SystemConfig`] presets: [`system::summit`] and
+//!   [`system::cori_haswell`].
+
+pub mod contention;
+pub mod gpulink;
+pub mod memcpy;
+pub mod nvme;
+pub mod pfs;
+pub mod system;
+pub mod units;
+
+pub use contention::ContentionModel;
+pub use gpulink::{GpuLinkKind, GpuLinkModel};
+pub use memcpy::MemcpyModel;
+pub use nvme::NvmeModel;
+pub use pfs::{FileSystemModel, GpfsModel, IoPattern, LustreModel};
+pub use system::{cori_haswell, summit, SystemConfig};

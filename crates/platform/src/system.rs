@@ -1,0 +1,164 @@
+//! Whole-machine configurations: Summit and Cori-Haswell presets.
+//!
+//! All constants trace to §IV-A of the paper or to the calibration targets
+//! in DESIGN.md (the figure shapes). The presets are plain values — clone
+//! one and tweak fields to model a hypothetical machine.
+
+use crate::contention::ContentionModel;
+use crate::gpulink::{GpuLinkKind, GpuLinkModel};
+use crate::memcpy::MemcpyModel;
+use crate::nvme::NvmeModel;
+use crate::pfs::{GpfsModel, LustreModel, Pfs};
+use crate::units::{GB_S, KIB, MIB, TB_S};
+
+/// A complete machine model.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Human-readable machine name.
+    pub name: &'static str,
+    /// Number of compute nodes in the full machine.
+    pub total_nodes: u32,
+    /// MPI ranks the paper places per node (6 on Summit, 32 on Cori).
+    pub ranks_per_node: u32,
+    /// Host DRAM copy model (per-process view).
+    pub memcpy: MemcpyModel,
+    /// CPU↔GPU link, when the machine has GPUs.
+    pub gpu: Option<GpuLinkModel>,
+    /// Node-local SSD, when present.
+    pub nvme: Option<NvmeModel>,
+    /// The parallel file system.
+    pub pfs: Pfs,
+    /// Full-system contention on the shared storage.
+    pub contention: ContentionModel,
+}
+
+impl SystemConfig {
+    /// Nodes needed for `ranks` at this machine's ranks-per-node density
+    /// (rounded up).
+    pub fn nodes_for_ranks(&self, ranks: u32) -> u32 {
+        assert!(ranks > 0, "at least one rank");
+        ranks.div_ceil(self.ranks_per_node)
+    }
+
+    /// Aggregate node-local snapshot bandwidth of a job on `nodes` nodes:
+    /// every node copies independently at its DRAM bandwidth, so this is
+    /// linear in nodes — the reason asynchronous aggregate bandwidth keeps
+    /// scaling in Fig. 3 after synchronous I/O saturates.
+    pub fn snapshot_bw(&self, nodes: u32) -> f64 {
+        nodes as f64 * self.memcpy.peak_bw
+    }
+}
+
+/// Summit at OLCF: 4608 nodes, 2×22-core POWER9 + 6 V100 per node,
+/// NVLink 2.0, 1.6 TB node-local NVMe, Alpine GPFS at 2.5 TB/s peak.
+/// The paper runs 6 ranks per node (one per GPU).
+pub fn summit() -> SystemConfig {
+    SystemConfig {
+        name: "Summit",
+        total_nodes: 4608,
+        ranks_per_node: 6,
+        memcpy: MemcpyModel::new(10.0 * GB_S, 64.0 * KIB as f64, 2e-6),
+        gpu: Some(GpuLinkModel::new(GpuLinkKind::NvLink2)),
+        nvme: Some(NvmeModel::new(
+            2.1 * GB_S,
+            5.5 * GB_S,
+            80e-6,
+            1_600_000_000_000,
+        )),
+        pfs: Pfs::Gpfs(GpfsModel {
+            node_bw: 2.7 * GB_S,
+            job_capacity: 330.0 * GB_S,
+            peak: 2.5 * TB_S,
+            read_factor: 1.3,
+            client_half: 512.0 * KIB as f64,
+            server_half: 128.0 * KIB as f64,
+            meta_base: 0.01,
+            meta_per_sqrt_rank: 0.0005,
+        }),
+        contention: ContentionModel::new(-1.39, 0.8),
+    }
+}
+
+/// Cori-Haswell at NERSC: 2388 Haswell nodes, Aries interconnect, Lustre
+/// scratch at 700 GB/s peak, striped over 72 OSTs (NERSC `stripe_large`).
+/// The paper runs 32 ranks per node.
+pub fn cori_haswell() -> SystemConfig {
+    SystemConfig {
+        name: "Cori-Haswell",
+        total_nodes: 2388,
+        ranks_per_node: 32,
+        memcpy: MemcpyModel::new(5.0 * GB_S, 64.0 * KIB as f64, 2e-6),
+        gpu: None,
+        nvme: Some(NvmeModel::new(
+            // Burst-buffer share per node rather than a local device.
+            1.4 * GB_S,
+            1.7 * GB_S,
+            120e-6,
+            1_000_000_000_000,
+        )),
+        pfs: Pfs::Lustre(LustreModel {
+            node_bw: 2.9 * GB_S,
+            stripe_count: 72,
+            ost_bw: 1.3 * GB_S,
+            peak: 700.0 * GB_S,
+            read_factor: 1.25,
+            client_half: MIB as f64,
+            server_half: 256.0 * KIB as f64,
+            meta_base: 0.005,
+            meta_per_log_rank: 0.0005,
+        }),
+        contention: ContentionModel::new(-1.2, 0.7),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfs::FileSystemModel;
+
+    #[test]
+    fn presets_match_paper_headlines() {
+        let s = summit();
+        assert_eq!(s.total_nodes, 4608);
+        assert_eq!(s.ranks_per_node, 6);
+        assert!((s.pfs.peak_capacity() - 2.5 * TB_S).abs() < 1.0);
+        assert!(s.gpu.is_some());
+        assert!(s.nvme.is_some());
+
+        let c = cori_haswell();
+        assert_eq!(c.total_nodes, 2388);
+        assert_eq!(c.ranks_per_node, 32);
+        assert!((c.pfs.peak_capacity() - 700.0 * GB_S).abs() < 1.0);
+        assert!(c.gpu.is_none());
+    }
+
+    #[test]
+    fn nodes_for_ranks_rounds_up() {
+        let s = summit();
+        assert_eq!(s.nodes_for_ranks(6), 1);
+        assert_eq!(s.nodes_for_ranks(7), 2);
+        assert_eq!(s.nodes_for_ranks(768), 128);
+        let c = cori_haswell();
+        assert_eq!(c.nodes_for_ranks(1024), 32);
+        assert_eq!(c.nodes_for_ranks(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        summit().nodes_for_ranks(0);
+    }
+
+    #[test]
+    fn snapshot_bw_is_linear_in_nodes() {
+        let s = summit();
+        let one = s.snapshot_bw(1);
+        assert!((s.snapshot_bw(128) / one - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summit_node_count_supports_2k_node_runs() {
+        // The paper runs VPIC-IO up to 2048 nodes on Summit.
+        assert!(summit().total_nodes >= 2048);
+    }
+}

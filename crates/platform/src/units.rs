@@ -1,0 +1,72 @@
+//! Size and bandwidth unit constants.
+//!
+//! Data sizes use binary units (KiB/MiB/GiB) as the I/O kernels do
+//! ("each MPI process writes 8×1024×1024 particles"); bandwidths use
+//! decimal GB/s as vendor specs and the paper do ("2.5 TB/s peak").
+
+/// Bytes in a kibibyte.
+pub const KIB: u64 = 1 << 10;
+/// Bytes in a mebibyte.
+pub const MIB: u64 = 1 << 20;
+/// Bytes in a gibibyte.
+pub const GIB: u64 = 1 << 30;
+/// Bytes in a tebibyte.
+pub const TIB: u64 = 1 << 40;
+
+/// Bytes/second in a decimal MB/s.
+pub const MB_S: f64 = 1e6;
+/// Bytes/second in a decimal GB/s.
+pub const GB_S: f64 = 1e9;
+/// Bytes/second in a decimal TB/s.
+pub const TB_S: f64 = 1e12;
+
+/// Format a byte count human-readably (binary units).
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= TIB {
+        format!("{:.2} TiB", bytes as f64 / TIB as f64)
+    } else if bytes >= GIB {
+        format!("{:.2} GiB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.2} MiB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.2} KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Format a bandwidth human-readably (decimal units).
+pub fn fmt_bw(bytes_per_sec: f64) -> String {
+    if bytes_per_sec >= TB_S {
+        format!("{:.2} TB/s", bytes_per_sec / TB_S)
+    } else if bytes_per_sec >= GB_S {
+        format!("{:.2} GB/s", bytes_per_sec / GB_S)
+    } else if bytes_per_sec >= MB_S {
+        format!("{:.2} MB/s", bytes_per_sec / MB_S)
+    } else {
+        format!("{bytes_per_sec:.0} B/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(KIB, 1024);
+        assert_eq!(MIB, 1024 * 1024);
+        assert_eq!(GIB, 1024 * MIB);
+        assert_eq!(TIB, 1024 * GIB);
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(32 * MIB), "32.00 MiB");
+        assert_eq!(fmt_bytes(3 * GIB / 2), "1.50 GiB");
+        assert_eq!(fmt_bw(2.5 * TB_S), "2.50 TB/s");
+        assert_eq!(fmt_bw(700.0 * GB_S), "700.00 GB/s");
+        assert_eq!(fmt_bw(1.0), "1 B/s");
+    }
+}

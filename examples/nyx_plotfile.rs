@@ -1,0 +1,82 @@
+//! Nyx-style AMReX plotfile output through the async VOL.
+//!
+//! ```text
+//! cargo run --release --example nyx_plotfile
+//! ```
+//!
+//! Writes a small 64³ plotfile (8×8 fabs of 8³ cells, 5 components) the
+//! way the AMReX HDF5 path drives the connector: one dataset per fab,
+//! all snapshots taken synchronously, all storage writes in background.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use apio::apps::plotfile::{FabBox, PlotfileSpec, PlotfileWriter};
+use apio::asyncvol::AsyncVol;
+use apio::h5lite::{Container, File, ThrottledBackend};
+
+const FAB_CELLS: u64 = 8; // 8³ cells per fab
+const FABS_PER_SIDE: u64 = 8; // 64³ domain
+const COMPONENTS: usize = 5;
+
+fn fab_data(i: u64, j: u64, k: u64) -> Vec<f64> {
+    let cells = FAB_CELLS * FAB_CELLS * FAB_CELLS;
+    (0..cells * COMPONENTS as u64)
+        .map(|n| (i * 31 + j * 17 + k * 7 + n) as f64 * 0.001)
+        .collect()
+}
+
+fn main() {
+    let backend = Arc::new(ThrottledBackend::in_memory(500e6, 2e-4));
+    let vol = Arc::new(AsyncVol::new());
+    let file = File::from_parts(Arc::new(Container::create(backend)), vol.clone());
+
+    let spec = PlotfileSpec {
+        step: 20,
+        time: 0.132,
+        components: vec![
+            "density".into(),
+            "temperature".into(),
+            "xmom".into(),
+            "ymom".into(),
+            "zmom".into(),
+        ],
+    };
+    let mut writer = PlotfileWriter::create(&file, &spec).expect("create plotfile");
+
+    let t0 = Instant::now();
+    for i in 0..FABS_PER_SIDE {
+        for j in 0..FABS_PER_SIDE {
+            for k in 0..FABS_PER_SIDE {
+                let b = FabBox {
+                    lo: [i * FAB_CELLS, j * FAB_CELLS, k * FAB_CELLS],
+                    hi: [(i + 1) * FAB_CELLS, (j + 1) * FAB_CELLS, (k + 1) * FAB_CELLS],
+                };
+                writer.write_fab(&b, &fab_data(i, j, k)).expect("write fab");
+            }
+        }
+    }
+    let visible = t0.elapsed();
+    let fabs = writer.fabs();
+
+    let t0 = Instant::now();
+    writer.close(&file).expect("drain background writes");
+    let drain = t0.elapsed();
+
+    let stats = vol.stats();
+    println!("plt00020: {fabs} fabs × {COMPONENTS} components ({} cells each)", FAB_CELLS.pow(3));
+    println!("  application-visible write time: {visible:>9.2?} (snapshots)");
+    println!("  background drain at close:      {drain:>9.2?}");
+    println!(
+        "  connector: {} background writes, {:.1} MiB snapshotted at {:.2} GB/s",
+        stats.writes,
+        stats.snapshot_bytes as f64 / (1 << 20) as f64,
+        stats.snapshot_bw() / 1e9
+    );
+
+    // Verify one fab read-back.
+    let (b, data) = apio::apps::plotfile::read_fab(&file, 20, 0).expect("read fab 0");
+    assert_eq!(b.lo, [0, 0, 0]);
+    assert_eq!(data, fab_data(0, 0, 0));
+    println!("  read-back check: fab 0 intact ✓");
+}

@@ -1,0 +1,45 @@
+//! The three overlap scenarios of the paper's Fig. 1, evaluated through
+//! the epoch model (Eq. 2a/2b).
+//!
+//! ```text
+//! cargo run --release --example scenarios
+//! ```
+
+use apio::model::epoch::{app_time, EpochParams, Scenario};
+
+fn describe(name: &str, p: EpochParams) {
+    let scenario = match p.scenario() {
+        Scenario::Ideal => "ideal (full overlap)",
+        Scenario::PartialOverlap => "partial overlap",
+        Scenario::Slowdown => "slowdown",
+    };
+    println!(
+        "{name:<28} comp={:>5.1}s io={:>5.1}s overhead={:>4.2}s | sync epoch {:>6.2}s  async epoch {:>6.2}s  speedup {:>5.2}x  -> {scenario}",
+        p.t_comp,
+        p.t_io,
+        p.t_overhead,
+        p.sync_time(),
+        p.async_time(),
+        p.speedup(),
+    );
+}
+
+fn main() {
+    println!("Fig. 1 scenarios through Eq. 2a/2b:\n");
+    // Fig. 1a: computation longer than I/O — latency fully hidden.
+    describe("Fig. 1a ideal", EpochParams::new(30.0, 8.0, 0.4));
+    // Fig. 1b: computation shorter than I/O — partially hidden.
+    describe("Fig. 1b partial overlap", EpochParams::new(3.0, 8.0, 0.4));
+    // Fig. 1c: overhead exceeds what overlap can save.
+    describe("Fig. 1c slowdown", EpochParams::new(0.2, 0.5, 0.4));
+
+    // Eq. 1: compose a whole application run from epochs.
+    let p = EpochParams::new(30.0, 8.0, 0.4);
+    let epochs = 20;
+    let sync_app = app_time(0.5, std::iter::repeat(p.sync_time()).take(epochs), 0.2);
+    let async_app = app_time(0.5, std::iter::repeat(p.async_time()).take(epochs), 0.2);
+    println!(
+        "\n{epochs} ideal epochs (Eq. 1): sync app {sync_app:.1}s, async app {async_app:.1}s -> {:.2}x end-to-end",
+        sync_app / async_app
+    );
+}

@@ -1,0 +1,80 @@
+//! VPIC-IO end to end: the real engine at laptop scale, then the same
+//! workload on the Summit model at paper scale.
+//!
+//! ```text
+//! cargo run --release --example vpic_checkpoint
+//! ```
+
+use apio::kernels::vpic::{self, VpicConfig};
+use apio::kernels::{bdcats, KernelMode};
+use apio::model::history::IoMode;
+use apio::mpisim::{run, Job, RunConfig};
+use apio::platform::summit;
+
+fn main() {
+    // ----- real engine: threads, buffers, a throttled container --------
+    let cfg = VpicConfig {
+        ranks: 4,
+        particles_per_rank: 1 << 15, // 32 Ki particles/rank, 8 props
+        timesteps: 4,
+        compute_secs: 0.08,
+    };
+    println!(
+        "real engine: {} ranks × {} particles × 8 properties = {:.1} MiB per checkpoint\n",
+        cfg.ranks,
+        cfg.particles_per_rank,
+        cfg.bytes_per_epoch() as f64 / (1 << 20) as f64
+    );
+
+    for mode in [KernelMode::Sync, KernelMode::Async] {
+        // 400 MB/s + 0.5 ms/op: a realistically slow shared file system.
+        let report = vpic::run_real_throttled(&cfg, mode, 400e6, 5e-4).expect("kernel run");
+        println!(
+            "  {mode:?}: visible I/O {:>7.3}s over {} checkpoints, peak {:>8.2} MB/s visible bandwidth",
+            report.total_visible_io(),
+            report.phases.len(),
+            report.peak_bandwidth() / 1e6
+        );
+        if let Some(stats) = report.async_stats {
+            println!(
+                "         transactional overhead: {:.1} MiB snapshotted in {:.3}s ({:.2} GB/s)",
+                stats.snapshot_bytes as f64 / (1 << 20) as f64,
+                stats.snapshot_secs,
+                stats.snapshot_bw() / 1e9
+            );
+        }
+    }
+
+    // And the read side: BD-CATS over the same container, with prefetch.
+    let (_, file) = vpic::run_real_throttled_into(&cfg, KernelMode::Sync, 400e6, 5e-4).unwrap();
+    let report = bdcats::run_real(&file, &cfg, KernelMode::Async).expect("read kernel");
+    let bws = report.phase_bandwidths();
+    println!(
+        "\n  BD-CATS-IO async read: first (blocking) step {:.1} MB/s, prefetched steps up to {:.1} MB/s",
+        bws[0] / 1e6,
+        bws[1..].iter().fold(f64::MIN, |a, &b| a.max(b)) / 1e6
+    );
+
+    // ----- simulator: the paper-scale weak-scaling campaign -------------
+    println!("\nSummit model, 5 checkpoints, 30 s compute (paper configuration):\n");
+    println!(
+        "  {:>6} {:>7} {:>15} {:>15}",
+        "ranks", "nodes", "sync peak", "async peak"
+    );
+    let sys = summit();
+    for ranks in [96u32, 768, 6144, 12288] {
+        let w = vpic::workload(ranks, 5, 30.0);
+        let job = Job::new(sys.clone(), ranks);
+        let sync = run(&job, &w, &RunConfig::sync());
+        let asy = run(&job, &w, &RunConfig::async_io());
+        println!(
+            "  {:>6} {:>7} {:>12.1} GB/s {:>12.1} GB/s",
+            ranks,
+            job.nodes(),
+            sync.peak_bandwidth() / 1e9,
+            asy.peak_bandwidth() / 1e9
+        );
+        let _ = IoMode::Sync;
+    }
+    println!("\n(regenerate every figure with: cargo run -p apio-bench --bin figures -- all)");
+}

@@ -1,0 +1,153 @@
+//! Property-based tests over the core data structures and invariants.
+
+use apio::desim::{Engine, SharedResource, SimDuration};
+use apio::h5lite::{Dataspace, File, Hyperslab, Selection};
+use apio::model::epoch::EpochParams;
+use apio::model::regression::{Design, LinearFit};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    /// Any valid hyperslab's runs are sorted, disjoint, in bounds, and
+    /// cover exactly `npoints` elements.
+    #[test]
+    fn hyperslab_runs_partition_the_selection(
+        dims in proptest::collection::vec(1u64..20, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let space = Dataspace::new(&dims);
+        // Derive a valid slab from the seed.
+        let mut s = seed;
+        let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1); s >> 33 };
+        let rank = dims.len();
+        let mut start = vec![0u64; rank];
+        let mut count = vec![1u64; rank];
+        let mut stride = vec![1u64; rank];
+        for d in 0..rank {
+            start[d] = next() % dims[d];
+            let room = dims[d] - start[d];
+            stride[d] = 1 + next() % 3;
+            let max_count = (room + stride[d] - 1) / stride[d];
+            count[d] = 1 + next() % max_count;
+        }
+        let slab = Hyperslab::strided(&start, &count, &stride);
+        let sel = Selection::Slab(slab);
+        let runs = sel.runs(&space).unwrap();
+        let total: u64 = runs.iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(total, sel.npoints(&space));
+        for w in runs.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 <= w[1].0, "sorted + disjoint");
+        }
+        if let Some(&(off, len)) = runs.last() {
+            prop_assert!(off + len <= space.npoints(), "in bounds");
+        }
+    }
+
+    /// Writing a random hyperslab then reading it back returns the data;
+    /// elements outside the slab stay zero.
+    #[test]
+    fn slab_write_read_roundtrip(
+        n in 1u64..200,
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let file = File::create_in_memory().unwrap();
+        let ds = file.root().create_dataset::<i64>("d", &Dataspace::d1(n)).unwrap();
+        ds.write(&vec![0i64; n as usize]).unwrap();
+        let start = ((n - 1) as f64 * start_frac) as u64;
+        let len = 1 + ((n - start - 1) as f64 * len_frac) as u64;
+        let slab = Hyperslab::range1(start, len);
+        let vals: Vec<i64> = (0..len as i64).map(|i| i + 1).collect();
+        ds.write_slab(&slab, &vals).unwrap();
+        let all = ds.read::<i64>().unwrap();
+        for (i, &v) in all.iter().enumerate() {
+            let i = i as u64;
+            if i >= start && i < start + len {
+                prop_assert_eq!(v, (i - start) as i64 + 1);
+            } else {
+                prop_assert_eq!(v, 0);
+            }
+        }
+    }
+
+    /// Flow conservation on the processor-sharing resource: all bytes are
+    /// served, and total service time is at least total_bytes/capacity.
+    #[test]
+    fn resource_conserves_bytes(
+        capacity in 1.0f64..1e6,
+        sizes in proptest::collection::vec(0.0f64..1e6, 1..12),
+    ) {
+        let mut sim = Engine::new();
+        let res = SharedResource::new("r", capacity);
+        let done = Rc::new(RefCell::new(0usize));
+        for &bytes in &sizes {
+            let d = done.clone();
+            res.start_flow(&mut sim, bytes, None, move |_| { *d.borrow_mut() += 1; });
+        }
+        sim.run();
+        prop_assert_eq!(*done.borrow(), sizes.len());
+        let total: f64 = sizes.iter().sum();
+        prop_assert!((res.bytes_served() - total).abs() <= 1e-6 * total.max(1.0));
+        let ideal = total / capacity;
+        let elapsed = sim.now().as_secs_f64();
+        prop_assert!(elapsed >= ideal - 1e-6, "can't beat capacity: {} < {}", elapsed, ideal);
+    }
+
+    /// Eq. 2b invariants: async epoch time is monotone in each argument
+    /// and never beats `max(t_comp, t_io/2... )` — concretely, it is
+    /// bounded below by both `t_comp` and `t_io − t_comp`.
+    #[test]
+    fn epoch_equations_invariants(
+        comp in 0.0f64..100.0,
+        io in 0.0f64..100.0,
+        ov in 0.0f64..10.0,
+    ) {
+        let p = EpochParams::new(comp, io, ov);
+        prop_assert!(p.async_time() >= comp);
+        prop_assert!(p.async_time() >= io - comp);
+        prop_assert!(p.async_time() >= ov);
+        prop_assert!(p.sync_time() >= io.max(comp));
+        // Removing overhead can only help.
+        let p0 = EpochParams::new(comp, io, 0.0);
+        prop_assert!(p0.async_time() <= p.async_time());
+        // The slowdown characterization.
+        let slow = p.async_time() >= p.sync_time();
+        prop_assert_eq!(slow, ov >= io.min(2.0 * comp));
+    }
+
+    /// OLS on exactly-linear data recovers predictions regardless of the
+    /// coefficient scales (well-conditioned, distinct features).
+    #[test]
+    fn regression_recovers_exact_linear_data(
+        b0 in -100.0f64..100.0,
+        b1 in -100.0f64..100.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (1..25)
+            .map(|i| vec![i as f64, ((i * i) % 23) as f64 + 0.5])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| b0 * x[0] + b1 * x[1]).collect();
+        let fit = LinearFit::fit(Design::Linear, &xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let err = (fit.predict(x) - y).abs();
+            prop_assert!(err <= 1e-6 * y.abs().max(1.0), "err {}", err);
+        }
+    }
+
+    /// Engine determinism: the same schedule always fires in the same
+    /// order (a regression guard for the heap tie-break).
+    #[test]
+    fn engine_is_deterministic(delays in proptest::collection::vec(0u64..1000, 1..50)) {
+        let run_once = |delays: &[u64]| -> Vec<usize> {
+            let mut sim = Engine::new();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for (i, &d) in delays.iter().enumerate() {
+                let log = log.clone();
+                sim.schedule(SimDuration::from_nanos(d), move |_| log.borrow_mut().push(i));
+            }
+            sim.run();
+            Rc::try_unwrap(log).unwrap().into_inner()
+        };
+        prop_assert_eq!(run_once(&delays), run_once(&delays));
+    }
+}
