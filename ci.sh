@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# The full correctness gate, exactly as CI runs it.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+# Pass --offline (the default here) or nothing, for environments with a
+# registry mirror.
+CARGO_FLAGS=(--offline)
+
+echo "== build (release) =="
+cargo build --release "${CARGO_FLAGS[@]}" --workspace
+
+echo "== tests =="
+cargo test -q "${CARGO_FLAGS[@]}" --workspace
+
+echo "== static analysis gate =="
+cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- lint
+cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- check-deps
+
+echo "== runtime invariants (lock-order + task-DAG detectors) =="
+cargo test -q "${CARGO_FLAGS[@]}" -p argolite --features debug-invariants
+cargo test -q "${CARGO_FLAGS[@]}" -p asyncvol --features debug-invariants
+cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants
+
+echo "== clippy =="
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy -q "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
+else
+    echo "clippy unavailable; skipped"
+fi
+
+echo "ci: all gates passed"

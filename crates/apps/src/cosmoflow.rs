@@ -144,7 +144,8 @@ impl DataLoader {
         if let Some(vol) = &self.vol {
             if batch < self.batches_per_epoch() {
                 for sel in self.batch_selections(batch) {
-                    vol.prefetch(self.file.container(), self.ds.id(), &sel);
+                    // Fire-and-forget cache fill; read_async collects it.
+                    let _ = vol.prefetch(self.file.container(), self.ds.id(), &sel);
                 }
             }
         }

@@ -96,8 +96,8 @@ impl PlotfileWriter {
             )));
         }
         let fab = self.group.create_group(&format!("fab{:06}", self.fabs_written))?;
-        fab.set_attr("lo", &fab_box.lo.to_vec())?;
-        fab.set_attr("hi", &fab_box.hi.to_vec())?;
+        fab.set_attr("lo", fab_box.lo.as_ref())?;
+        fab.set_attr("hi", fab_box.hi.as_ref())?;
         let ds = fab.create_dataset::<f64>("data", &Dataspace::d1(want))?;
         let req = ds.write_async(data)?;
         if !req.is_sync() {

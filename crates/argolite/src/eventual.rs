@@ -8,7 +8,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 struct Inner<T> {
     slot: Mutex<Option<T>>,
@@ -16,6 +16,7 @@ struct Inner<T> {
 }
 
 /// A one-shot, thread-safe, cloneable value slot.
+#[must_use = "an Eventual does nothing unless waited on or polled"]
 pub struct Eventual<T> {
     inner: Arc<Inner<T>>,
 }
@@ -39,7 +40,7 @@ impl<T> Eventual<T> {
     pub fn new() -> Self {
         Eventual {
             inner: Arc::new(Inner {
-                slot: Mutex::new(None),
+                slot: Mutex::new_named("argolite.eventual", None),
                 cv: Condvar::new(),
             }),
         }
@@ -123,7 +124,7 @@ mod tests {
         let rt = Runtime::new(1);
         let ev: Eventual<String> = Eventual::new();
         let ev2 = ev.clone();
-        rt.spawn(move || {
+        let _ = rt.spawn(move || {
             std::thread::sleep(Duration::from_millis(30));
             ev2.set("done".to_owned());
         });

@@ -30,7 +30,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
+
+pub mod graph;
+pub mod sync;
+pub use graph::{CyclicGraph, NodeId, TaskGraph};
 
 mod eventual;
 pub use eventual::Eventual;
@@ -89,7 +93,12 @@ impl TaskCore {
 
 /// Handle to a spawned task. Cloning is cheap; all clones observe the same
 /// task.
+///
+/// `#[must_use]`: dropping a fresh handle silently discards the only way
+/// to observe the task's panic; fire-and-forget spawns must say
+/// `let _ = rt.spawn(..)`.
 #[derive(Clone)]
+#[must_use = "dropping a TaskHandle discards the only way to observe the task's outcome"]
 pub struct TaskHandle {
     core: Arc<TaskCore>,
 }
@@ -193,14 +202,14 @@ impl Runtime {
     pub fn new(num_streams: usize) -> Self {
         assert!(num_streams >= 1, "need at least one execution stream");
         let shared = Arc::new(RtShared {
-            pool: Mutex::new(PoolInner {
+            pool: Mutex::new_named("argolite.pool", PoolInner {
                 queue: VecDeque::new(),
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
             outstanding: AtomicUsize::new(0),
             idle_cv: Condvar::new(),
-            idle_lock: Mutex::new(()),
+            idle_lock: Mutex::new_named("argolite.idle", ()),
         });
         let streams = (0..num_streams)
             .map(|i| {
@@ -241,7 +250,7 @@ impl Runtime {
         // Ready transition happens under the task lock on exactly one path
         // (see `release_dependent` for the counting argument).
         let core = Arc::new(TaskCore {
-            state: Mutex::new(TaskInner {
+            state: Mutex::new_named("argolite.task_state", TaskInner {
                 state: TaskState::Blocked,
                 body: Some(Box::new(f)),
                 remaining_deps: deps.len(),
@@ -476,11 +485,11 @@ mod tests {
         };
         let b = {
             let log = log.clone();
-            rt.spawn_dependent(&[a.clone()], move || log.lock().push(2))
+            rt.spawn_dependent(std::slice::from_ref(&a), move || log.lock().push(2))
         };
         let c = {
             let log = log.clone();
-            rt.spawn_dependent(&[b.clone()], move || log.lock().push(3))
+            rt.spawn_dependent(std::slice::from_ref(&b), move || log.lock().push(3))
         };
         c.wait().unwrap();
         assert_eq!(*log.lock(), vec![1, 2, 3]);
@@ -526,7 +535,7 @@ mod tests {
         let ran = Arc::new(AtomicU32::new(0));
         let b = {
             let ran = ran.clone();
-            rt.spawn_dependent(&[a.clone()], move || {
+            rt.spawn_dependent(std::slice::from_ref(&a), move || {
                 ran.fetch_add(1, Ordering::SeqCst);
             })
         };
@@ -572,7 +581,7 @@ mod tests {
         let hit = Arc::new(AtomicU32::new(0));
         for _ in 0..64 {
             let hit = hit.clone();
-            rt.spawn(move || {
+            let _ = rt.spawn(move || {
                 std::thread::sleep(Duration::from_millis(1));
                 hit.fetch_add(1, Ordering::SeqCst);
             });
@@ -588,7 +597,7 @@ mod tests {
             let rt = Runtime::new(1);
             for _ in 0..32 {
                 let hit = hit.clone();
-                rt.spawn(move || {
+                let _ = rt.spawn(move || {
                     hit.fetch_add(1, Ordering::SeqCst);
                 });
             }

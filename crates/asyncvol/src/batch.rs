@@ -1,0 +1,337 @@
+//! Multi-op write batches with explicit dependencies, validated as a DAG
+//! at submission.
+//!
+//! The plain [`Vol::dataset_write`](h5lite::Vol::dataset_write) path
+//! orders operations per dataset automatically (each op depends on the
+//! previous op on the same dataset). Checkpoint writers often need
+//! *cross-dataset* ordering too: metadata tables must land after the
+//! particle arrays they index, a manifest after every member. A
+//! [`WriteBatch`] declares those edges explicitly and submits the whole
+//! graph atomically. Because callers wire arbitrary edges, a buggy caller
+//! can declare a cycle — submitting it to the dependency-ordered runtime
+//! would block the background stream forever. Submission therefore
+//! validates the graph with [`argolite::TaskGraph`] first and rejects
+//! cycles with [`H5Error::Async`] *before any task is spawned*; the
+//! connector stays fully usable after a rejection.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use argolite::TaskGraph;
+use h5lite::{Container, H5Error, ObjectId, Request, Result, Selection};
+
+use crate::stats::{OpKind, OpRecord};
+use crate::{AsyncVol, ErrorCell, Payload, Staging};
+
+/// Identifier of one operation within a [`WriteBatch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchOpId(usize);
+
+struct PendingOp {
+    ds: ObjectId,
+    sel: Selection,
+    payload: Payload,
+    bytes: u64,
+    overhead_secs: f64,
+}
+
+/// A batch of dataset writes with explicit ordering edges. Created by
+/// [`AsyncVol::write_batch`]; snapshots are taken eagerly (each
+/// [`write`](WriteBatch::write) call pays its transactional overhead
+/// immediately, so the caller may reuse its buffer right away), and the
+/// background tasks are spawned only by [`submit`](WriteBatch::submit).
+#[must_use = "a WriteBatch performs no I/O until submitted"]
+pub struct WriteBatch<'v> {
+    vol: &'v AsyncVol,
+    container: Arc<Container>,
+    ops: Vec<PendingOp>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl AsyncVol {
+    /// Start an empty write batch against `c`.
+    pub fn write_batch<'v>(&'v self, c: &Arc<Container>) -> WriteBatch<'v> {
+        WriteBatch {
+            vol: self,
+            container: c.clone(),
+            ops: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+}
+
+impl WriteBatch<'_> {
+    /// Add a write of `data` to `(ds, sel)`. Snapshots `data` now (the
+    /// transactional overhead); the container write happens after
+    /// [`submit`](Self::submit).
+    pub fn write(&mut self, ds: ObjectId, sel: &Selection, data: &[u8]) -> Result<BatchOpId> {
+        let t0 = Instant::now();
+        let payload = match &self.vol.staging {
+            Staging::Dram => Payload::Dram(data.to_vec()),
+            Staging::Device(log) => Payload::Staged(log.clone(), log.append(data)?),
+        };
+        let overhead_secs = t0.elapsed().as_secs_f64();
+        self.vol
+            .stats
+            .record_snapshot(data.len() as u64, overhead_secs);
+        self.ops.push(PendingOp {
+            ds,
+            sel: sel.clone(),
+            payload,
+            bytes: data.len() as u64,
+            overhead_secs,
+        });
+        Ok(BatchOpId(self.ops.len() - 1))
+    }
+
+    /// Require that `first` completes before `then` starts.
+    ///
+    /// Cycles are not checked here — [`submit`](Self::submit) validates
+    /// the whole graph so edges may be declared in any order.
+    pub fn after(&mut self, first: BatchOpId, then: BatchOpId) {
+        assert!(
+            first.0 < self.ops.len() && then.0 < self.ops.len(),
+            "batch edge references an op outside this batch"
+        );
+        self.edges.push((first.0, then.0));
+    }
+
+    /// Number of ops queued so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Validate the dependency graph and spawn every op.
+    ///
+    /// Returns one [`Request`] per op (indexable by [`BatchOpId`] order).
+    /// A cyclic graph yields `Err(H5Error::Async)` and spawns nothing —
+    /// all-or-nothing, so the connector's per-dataset ordering state is
+    /// untouched by a rejected batch.
+    pub fn submit(self) -> Result<Vec<Request>> {
+        let WriteBatch {
+            vol,
+            container,
+            ops,
+            edges,
+        } = self;
+
+        let mut inner = vol.inner.lock();
+        AsyncVol::gc_locked(&mut inner);
+
+        let mut graph = TaskGraph::new();
+        let observer = vol.observer.lock().clone();
+        let mut node_ids = Vec::with_capacity(ops.len());
+        let mut error_cells: Vec<ErrorCell> = Vec::with_capacity(ops.len());
+        let mut op_datasets = Vec::with_capacity(ops.len());
+
+        for (i, op) in ops.into_iter().enumerate() {
+            let PendingOp {
+                ds,
+                sel,
+                payload,
+                bytes,
+                overhead_secs,
+            } = op;
+            let cell: ErrorCell = Arc::new(argolite::sync::Mutex::new_named(
+                "asyncvol.error_cell",
+                None,
+            ));
+            error_cells.push(cell.clone());
+            op_datasets.push(ds);
+            let c = container.clone();
+            let stats = vol.stats.clone();
+            let observer = observer.clone();
+            let node = graph.add_task(format!("write[{i}]:{ds:?}"), move || {
+                let t0 = Instant::now();
+                let result = (|| -> Result<()> {
+                    let snapshot = match payload {
+                        Payload::Dram(buf) => buf,
+                        Payload::Staged(log, extent) => log.read(extent)?,
+                    };
+                    c.write_selection(ds, &sel, &snapshot)
+                })();
+                let io_secs = t0.elapsed().as_secs_f64();
+                stats.record_write(bytes, io_secs);
+                if let Some(obs) = observer {
+                    obs(&OpRecord {
+                        kind: OpKind::Write,
+                        bytes,
+                        io_secs,
+                        overhead_secs,
+                    });
+                }
+                if let Err(e) = result {
+                    *cell.lock() = Some(e);
+                }
+            });
+            node_ids.push(node);
+        }
+
+        // Explicit caller edges.
+        for (first, then) in edges {
+            graph.add_edge(node_ids[first], node_ids[then]);
+        }
+        // Implicit per-dataset ordering: ops on the same dataset keep
+        // their insertion order, and the first op per dataset waits on
+        // whatever the connector last scheduled for it.
+        let mut prev_on_ds: HashMap<ObjectId, usize> = HashMap::new();
+        for (i, &ds) in op_datasets.iter().enumerate() {
+            match prev_on_ds.get(&ds) {
+                Some(&prev) => graph.add_edge(node_ids[prev], node_ids[i]),
+                None => {
+                    if let Some(dep) = inner.last_op.get(&ds) {
+                        graph.add_external_dep(node_ids[i], dep);
+                    }
+                }
+            }
+            prev_on_ds.insert(ds, i);
+        }
+
+        let handles = graph
+            .submit(&vol.rt)
+            .map_err(|cycle| H5Error::Async(cycle.to_string()))?;
+
+        let mut requests = Vec::with_capacity(handles.len());
+        for ((handle, cell), ds) in handles.into_iter().zip(error_cells).zip(op_datasets) {
+            let req = inner.next_req;
+            inner.next_req += 1;
+            inner.pending.insert(req, handle.clone());
+            inner.errors.insert(req, cell);
+            inner.last_op.insert(ds, handle);
+            requests.push(Request(req));
+        }
+        Ok(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h5lite::{Dataspace, File, Vol};
+
+    fn setup(names: &[&str]) -> (File, Vec<ObjectId>) {
+        let file = File::create_in_memory().expect("in-memory file");
+        let mut ids = Vec::new();
+        for name in names {
+            let ds = file
+                .root()
+                .create_dataset::<u8>(name, &Dataspace::d1(8))
+                .expect("create dataset");
+            ids.push(ds.id());
+        }
+        (file, ids)
+    }
+
+    #[test]
+    fn batch_writes_land_in_dependency_order() {
+        let vol = AsyncVol::new();
+        let (file, ids) = setup(&["a", "b"]);
+        let c = file.container();
+        let mut batch = vol.write_batch(c);
+        let wa = batch
+            .write(ids[0], &Selection::All, &[1u8; 8])
+            .expect("stage a");
+        let wb = batch
+            .write(ids[1], &Selection::All, &[2u8; 8])
+            .expect("stage b");
+        batch.after(wa, wb);
+        let reqs = batch.submit().expect("acyclic batch");
+        assert_eq!(reqs.len(), 2);
+        for r in reqs {
+            vol.wait(r).expect("batch op completes");
+        }
+        assert_eq!(
+            c.read_selection(ids[0], &Selection::All).expect("read a"),
+            vec![1u8; 8]
+        );
+        assert_eq!(
+            c.read_selection(ids[1], &Selection::All).expect("read b"),
+            vec![2u8; 8]
+        );
+    }
+
+    #[test]
+    fn cyclic_batch_is_rejected_not_hung() {
+        let vol = AsyncVol::new();
+        let (file, ids) = setup(&["a", "b", "c"]);
+        let c = file.container();
+        let mut batch = vol.write_batch(c);
+        let wa = batch
+            .write(ids[0], &Selection::All, &[1u8; 8])
+            .expect("stage a");
+        let wb = batch
+            .write(ids[1], &Selection::All, &[2u8; 8])
+            .expect("stage b");
+        let wc = batch
+            .write(ids[2], &Selection::All, &[3u8; 8])
+            .expect("stage c");
+        batch.after(wa, wb);
+        batch.after(wb, wc);
+        batch.after(wc, wa); // cycle
+        let err = batch.submit().expect_err("cycle must be rejected");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("cyclic task dependency"),
+            "descriptive error, got: {msg}"
+        );
+        // The connector did not hang and still serves new work.
+        vol.wait_all().expect("no orphaned tasks");
+        let r = vol
+            .dataset_write(c, ids[0], &Selection::All, &[9u8; 8])
+            .expect("connector usable after rejection");
+        vol.wait(r).expect("write completes");
+        assert_eq!(
+            c.read_selection(ids[0], &Selection::All).expect("read"),
+            vec![9u8; 8]
+        );
+    }
+
+    #[test]
+    fn implicit_same_dataset_order_plus_user_edge_conflict_is_cyclic() {
+        let vol = AsyncVol::new();
+        let (file, ids) = setup(&["a"]);
+        let c = file.container();
+        let mut batch = vol.write_batch(c);
+        let w0 = batch
+            .write(ids[0], &Selection::All, &[1u8; 8])
+            .expect("stage 0");
+        let w1 = batch
+            .write(ids[0], &Selection::All, &[2u8; 8])
+            .expect("stage 1");
+        // Implicit edge w0 → w1 (same dataset, insertion order); asking
+        // for the reverse is contradictory.
+        batch.after(w1, w0);
+        let err = batch.submit().expect_err("contradictory order");
+        assert!(err.to_string().contains("cyclic"), "got: {err}");
+    }
+
+    #[test]
+    fn batch_orders_after_prior_connector_writes() {
+        let vol = AsyncVol::new();
+        let (file, ids) = setup(&["a"]);
+        let c = file.container();
+        let r = vol
+            .dataset_write(c, ids[0], &Selection::All, &[7u8; 8])
+            .expect("plain write");
+        let mut batch = vol.write_batch(c);
+        let _ = batch
+            .write(ids[0], &Selection::All, &[8u8; 8])
+            .expect("stage");
+        let reqs = batch.submit().expect("acyclic");
+        vol.wait(r).expect("plain write completes");
+        for req in reqs {
+            vol.wait(req).expect("batch completes");
+        }
+        // The batch write is ordered after the plain write.
+        assert_eq!(
+            c.read_selection(ids[0], &Selection::All).expect("read"),
+            vec![8u8; 8]
+        );
+    }
+}

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 //! # asyncvol — the asynchronous VOL connector
 //!
 //! A Rust counterpart of the HDF5 Asynchronous I/O VOL connector
@@ -36,15 +37,16 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
-
+use argolite::sync::Mutex;
 use argolite::{Runtime, TaskHandle};
 use h5lite::{
     Container, H5Error, ObjectId, Promise, ReadRequest, Request, Result, Selection, Vol,
 };
 
+pub mod batch;
 pub mod staging;
 pub mod stats;
+pub use batch::{BatchOpId, WriteBatch};
 pub use staging::{Staging, StagingLog};
 pub use stats::{AsyncVolStats, OpKind, OpRecord};
 
@@ -106,7 +108,7 @@ impl AsyncVolBuilder {
         AsyncVol {
             staging: self.staging,
             rt: Runtime::new(self.streams),
-            inner: Mutex::new(ConnInner {
+            inner: Mutex::new_named("asyncvol.conn", ConnInner {
                 next_req: 1,
                 pending: HashMap::new(),
                 last_op: HashMap::new(),
@@ -114,7 +116,7 @@ impl AsyncVolBuilder {
                 prefetched: HashMap::new(),
             }),
             stats: stats::StatsCells::new(),
-            observer: Mutex::new(self.observer),
+            observer: Mutex::new_named("asyncvol.observer", self.observer),
         }
     }
 }
@@ -299,7 +301,7 @@ impl Vol for AsyncVol {
         let sel_task = sel.clone();
         let stats = self.stats.clone();
         let observer = self.observer.lock().clone();
-        let error_cell: ErrorCell = Arc::new(Mutex::new(None));
+        let error_cell: ErrorCell = Arc::new(Mutex::new_named("asyncvol.error_cell", None));
         let errors_task = error_cell.clone();
         let bytes = data.len() as u64;
         let handle = self.rt.spawn_dependent(&deps, move || {

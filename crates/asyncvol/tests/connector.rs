@@ -90,7 +90,7 @@ fn writes_to_same_dataset_apply_in_issue_order() {
     // Issue 20 overlapping full writes; the last one must win.
     for round in 0..20i32 {
         let data: Vec<i32> = vec![round; 8];
-        vol.dataset_write(&c, ds, &Selection::All, &h5lite::datatype::to_bytes(&data))
+        let _ = vol.dataset_write(&c, ds, &Selection::All, &h5lite::datatype::to_bytes(&data))
             .unwrap();
     }
     vol.wait_all().unwrap();
@@ -119,7 +119,7 @@ fn read_after_write_sees_the_write() {
             h5lite::Layout::Contiguous,
         )
         .unwrap();
-    vol.dataset_write(
+    let _ = vol.dataset_write(
         &c,
         ds,
         &Selection::All,
@@ -174,7 +174,7 @@ fn wait_all_reports_background_error() {
             h5lite::Layout::Contiguous,
         )
         .unwrap();
-    vol.dataset_write(&c, ds, &Selection::All, &[0u8; 3]).unwrap();
+    let _ = vol.dataset_write(&c, ds, &Selection::All, &[0u8; 3]).unwrap();
     assert!(vol.wait_all().is_err());
     // Second wait_all is clean: errors are reported exactly once.
     vol.wait_all().unwrap();
@@ -200,7 +200,7 @@ fn prefetch_hit_serves_without_reading_again() {
         .unwrap();
     vol.wait(req).unwrap();
 
-    vol.prefetch(&c, ds, &Selection::All);
+    let _ = vol.prefetch(&c, ds, &Selection::All);
     vol.wait_all().unwrap();
 
     let rr = vol.dataset_read(&c, ds, &Selection::All).unwrap();
@@ -237,7 +237,7 @@ fn prefetch_slab_keys_are_distinct() {
 
     let sel_a = Selection::Slab(Hyperslab::range1(0, 10));
     let sel_b = Selection::Slab(Hyperslab::range1(10, 10));
-    vol.prefetch(&c, ds, &sel_a);
+    let _ = vol.prefetch(&c, ds, &sel_a);
     vol.wait_all().unwrap();
 
     // sel_b was not prefetched: cold read.
@@ -272,7 +272,7 @@ fn double_prefetch_is_idempotent() {
         .dataset_write(&c, ds, &Selection::All, &[1u8; 10])
         .unwrap();
     vol.wait(req).unwrap();
-    vol.prefetch(&c, ds, &Selection::All);
+    let _ = vol.prefetch(&c, ds, &Selection::All);
     let second = vol.prefetch(&c, ds, &Selection::All);
     assert!(second.is_sync(), "second prefetch is a warm no-op");
     vol.wait_all().unwrap();
@@ -301,7 +301,7 @@ fn observer_sees_every_operation() {
     let req = vol.dataset_write(&c, ds, &Selection::All, &[1u8; 4]).unwrap();
     vol.wait(req).unwrap();
     vol.dataset_read(&c, ds, &Selection::All).unwrap().wait().unwrap();
-    vol.prefetch(&c, ds, &Selection::All);
+    let _ = vol.prefetch(&c, ds, &Selection::All);
     vol.wait_all().unwrap();
     let seen = records.lock().unwrap().clone();
     assert!(seen.contains(&OpKind::Write));
@@ -341,7 +341,7 @@ fn flush_drains_outstanding_writes() {
             .root()
             .create_dataset::<u64>("seq", &Dataspace::d1(4096))
             .unwrap();
-        ds.write_async(&data).unwrap();
+        let _ = ds.write_async(&data).unwrap();
         file.flush().unwrap(); // must wait for the background write
     }
     let file = File::open(&path).unwrap();
@@ -365,7 +365,7 @@ fn many_datasets_in_flight_concurrently() {
             .create_dataset::<u32>(&format!("d{i}"), &Dataspace::d1(1024))
             .unwrap();
         let data: Vec<u32> = (0..1024).map(|j| j + i).collect();
-        ds.write_async(&data).unwrap();
+        let _ = ds.write_async(&data).unwrap();
         handles.push((ds, data));
     }
     file.wait_all().unwrap();
@@ -481,11 +481,11 @@ fn device_staging_write_order_preserved() {
         )
         .unwrap();
     for round in 0..10i32 {
-        vol.dataset_write(
+        let _ = vol.dataset_write(
             &c,
             ds,
             &Selection::All,
-            &h5lite::datatype::to_bytes(&vec![round; 16]),
+            &h5lite::datatype::to_bytes(&[round; 16]),
         )
         .unwrap();
     }

@@ -4,9 +4,10 @@
 //! relation decides every figure in the paper.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use apio_bench::harness::{bench, bench_bytes, bench_custom, section};
 use asyncvol::AsyncVol;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use h5lite::{Container, Dataspace, File, NativeVol, ThrottledBackend};
 use std::hint::black_box;
 
@@ -14,71 +15,64 @@ const SIZES: [usize; 3] = [1 << 16, 1 << 20, 1 << 24];
 
 /// Visible write latency through the native connector on throttled
 /// storage (the sync baseline).
-fn sync_visible_write(c: &mut Criterion) {
-    let mut group = c.benchmark_group("visible_write_sync");
+fn sync_visible_write() {
+    section("visible_write_sync");
     for bytes in SIZES {
         let data = vec![1.0f32; bytes / 4];
-        group.throughput(Throughput::Bytes(bytes as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(bytes), &data, |b, data| {
-            // 2 GB/s throttle: fast enough to keep the benchmark quick,
-            // slow enough to dominate the memcpy.
-            let backend = Arc::new(ThrottledBackend::in_memory(2e9, 0.0));
-            let file = File::from_parts(
-                Arc::new(Container::create(backend)),
-                Arc::new(NativeVol::new()),
-            );
-            let ds = file
-                .root()
-                .create_dataset::<f32>("x", &Dataspace::d1((bytes / 4) as u64))
-                .unwrap();
-            b.iter(|| ds.write(black_box(data)).unwrap());
+        // 2 GB/s throttle: fast enough to keep the benchmark quick,
+        // slow enough to dominate the memcpy.
+        let backend = Arc::new(ThrottledBackend::in_memory(2e9, 0.0));
+        let file = File::from_parts(
+            Arc::new(Container::create(backend)),
+            Arc::new(NativeVol::new()),
+        );
+        let ds = file
+            .root()
+            .create_dataset::<f32>("x", &Dataspace::d1((bytes / 4) as u64))
+            .unwrap();
+        bench_bytes(&format!("visible_write_sync/{bytes}"), bytes as u64, || {
+            ds.write(black_box(&data)).unwrap();
         });
     }
-    group.finish();
 }
 
 /// Visible write latency through the async connector (snapshot only; the
-/// background wait is excluded by waiting outside the timed region).
-fn async_visible_write(c: &mut Criterion) {
-    let mut group = c.benchmark_group("visible_write_async");
+/// background wait is excluded by timing only the submission).
+fn async_visible_write() {
+    section("visible_write_async");
     for bytes in SIZES {
         let data = vec![1.0f32; bytes / 4];
-        group.throughput(Throughput::Bytes(bytes as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(bytes), &data, |b, data| {
-            let backend = Arc::new(ThrottledBackend::in_memory(2e9, 0.0));
-            let vol = Arc::new(AsyncVol::new());
-            let file = File::from_parts(Arc::new(Container::create(backend)), vol);
-            let ds = file
-                .root()
-                .create_dataset::<f32>("x", &Dataspace::d1((bytes / 4) as u64))
-                .unwrap();
-            b.iter_custom(|iters| {
-                let mut total = std::time::Duration::ZERO;
-                for _ in 0..iters {
-                    let t0 = std::time::Instant::now();
-                    let req = ds.write_async(black_box(data)).unwrap();
-                    total += t0.elapsed();
-                    // Drain outside the timed region so requests don't
-                    // pile up unboundedly.
-                    ds.wait(req).unwrap();
-                }
-                total
-            });
+        let backend = Arc::new(ThrottledBackend::in_memory(2e9, 0.0));
+        let vol = Arc::new(AsyncVol::new());
+        let file = File::from_parts(Arc::new(Container::create(backend)), vol);
+        let ds = file
+            .root()
+            .create_dataset::<f32>("x", &Dataspace::d1((bytes / 4) as u64))
+            .unwrap();
+        bench_custom(&format!("visible_write_async/{bytes}"), |iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let t0 = Instant::now();
+                let req = ds.write_async(black_box(&data)).unwrap();
+                total += t0.elapsed();
+                // Drain outside the timed region so requests don't
+                // pile up unboundedly.
+                ds.wait(req).unwrap();
+            }
+            total
         });
     }
-    group.finish();
 }
 
 /// End-to-end epoch: compute + write, sync vs async — the smallest
 /// reproduction of Fig. 1's comparison on real threads.
-fn epoch_overlap(c: &mut Criterion) {
+fn epoch_overlap() {
+    section("epoch");
     let bytes = 1 << 22; // 4 MiB
-    let compute = std::time::Duration::from_millis(4);
+    let compute = Duration::from_millis(4);
     let data = vec![1.0f32; bytes / 4];
 
-    let mut group = c.benchmark_group("epoch");
-    group.sample_size(10);
-    group.bench_function("sync", |b| {
+    {
         let backend = Arc::new(ThrottledBackend::in_memory(1e9, 0.0));
         let file = File::from_parts(
             Arc::new(Container::create(backend)),
@@ -88,12 +82,12 @@ fn epoch_overlap(c: &mut Criterion) {
             .root()
             .create_dataset::<f32>("x", &Dataspace::d1((bytes / 4) as u64))
             .unwrap();
-        b.iter(|| {
+        bench("epoch/sync", || {
             std::thread::sleep(compute);
             ds.write(black_box(&data)).unwrap();
         });
-    });
-    group.bench_function("async", |b| {
+    }
+    {
         let backend = Arc::new(ThrottledBackend::in_memory(1e9, 0.0));
         let vol = Arc::new(AsyncVol::new());
         let file = File::from_parts(Arc::new(Container::create(backend)), vol);
@@ -101,19 +95,18 @@ fn epoch_overlap(c: &mut Criterion) {
             .root()
             .create_dataset::<f32>("x", &Dataspace::d1((bytes / 4) as u64))
             .unwrap();
-        b.iter(|| {
-            // The previous iteration's write overlaps this sleep.
+        bench("epoch/async", || {
+            // The previous iteration's write overlaps this sleep; the
+            // requests are drained collectively by wait_all below.
             std::thread::sleep(compute);
-            ds.write_async(black_box(&data)).unwrap();
+            let _ = ds.write_async(black_box(&data)).unwrap();
         });
         file.wait_all().unwrap();
-    });
-    group.finish();
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = sync_visible_write, async_visible_write, epoch_overlap
+fn main() {
+    sync_visible_write();
+    async_visible_write();
+    epoch_overlap();
 }
-criterion_main!(benches);

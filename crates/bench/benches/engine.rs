@@ -2,90 +2,78 @@
 //! resource scaling — the costs that bound how fast the figure harness
 //! can sweep 2048-node configurations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use apio_bench::harness::{bench, bench_elems, section};
 use desim::{Engine, SharedResource, SimDuration};
 use std::hint::black_box;
 
-fn event_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_events");
+fn event_throughput() {
+    section("engine_events");
     for n in [1_000u64, 10_000, 100_000] {
-        group.throughput(Throughput::Elements(n));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut sim = Engine::new();
-                for i in 0..n {
-                    sim.schedule(SimDuration::from_nanos(i % 997), |_| {});
-                }
-                sim.run();
-                black_box(sim.events_processed())
-            });
-        });
-    }
-    group.finish();
-}
-
-fn chained_events(c: &mut Criterion) {
-    // Event-from-event scheduling (the epoch-loop pattern).
-    c.bench_function("engine_chain_10k", |b| {
-        b.iter(|| {
+        bench_elems(&format!("engine_events/{n}"), n, || {
             let mut sim = Engine::new();
-            fn step(sim: &mut Engine, remaining: u32) {
-                if remaining > 0 {
-                    sim.schedule(SimDuration::from_nanos(10), move |sim| {
-                        step(sim, remaining - 1)
-                    });
-                }
+            for i in 0..n {
+                sim.schedule(SimDuration::from_nanos(i % 997), |_| {});
             }
-            step(&mut sim, 10_000);
             sim.run();
-            black_box(sim.now())
-        });
-    });
-}
-
-fn resource_collective(c: &mut Criterion) {
-    // One bulk-synchronous collective: n equal flows arrive together and
-    // complete together (the dominant pattern in the figure harness).
-    let mut group = c.benchmark_group("resource_collective");
-    for nodes in [128u32, 1024, 2048] {
-        group.throughput(Throughput::Elements(nodes as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
-            b.iter(|| {
-                let mut sim = Engine::new();
-                let res = SharedResource::new("pfs", 330e9);
-                let flows: Vec<_> = (0..nodes)
-                    .map(|_| (1e9, Some(2.7e9), |_: &mut Engine| {}))
-                    .collect();
-                res.start_flows(&mut sim, flows);
-                sim.run();
-                black_box(res.bytes_served())
-            });
+            black_box(sim.events_processed());
         });
     }
-    group.finish();
 }
 
-fn resource_staggered(c: &mut Criterion) {
-    // Worst case: every arrival re-plans against all existing flows.
-    c.bench_function("resource_staggered_256", |b| {
-        b.iter(|| {
-            let mut sim = Engine::new();
-            let res = SharedResource::new("pfs", 1e9);
-            for i in 0..256u64 {
-                let res = res.clone();
-                sim.schedule(SimDuration::from_micros(i), move |sim| {
-                    res.start_flow(sim, 1e6, None, |_| {});
+fn chained_events() {
+    // Event-from-event scheduling (the epoch-loop pattern).
+    bench("engine_chain_10k", || {
+        let mut sim = Engine::new();
+        fn step(sim: &mut Engine, remaining: u32) {
+            if remaining > 0 {
+                sim.schedule(SimDuration::from_nanos(10), move |sim| {
+                    step(sim, remaining - 1)
                 });
             }
-            sim.run();
-            black_box(sim.events_processed())
-        });
+        }
+        step(&mut sim, 10_000);
+        sim.run();
+        black_box(sim.now());
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = event_throughput, chained_events, resource_collective, resource_staggered
+fn resource_collective() {
+    // One bulk-synchronous collective: n equal flows arrive together and
+    // complete together (the dominant pattern in the figure harness).
+    section("resource_collective");
+    for nodes in [128u32, 1024, 2048] {
+        bench_elems(&format!("resource_collective/{nodes}"), u64::from(nodes), || {
+            let mut sim = Engine::new();
+            let res = SharedResource::new("pfs", 330e9);
+            let flows: Vec<_> = (0..nodes)
+                .map(|_| (1e9, Some(2.7e9), |_: &mut Engine| {}))
+                .collect();
+            res.start_flows(&mut sim, flows);
+            sim.run();
+            black_box(res.bytes_served());
+        });
+    }
 }
-criterion_main!(benches);
+
+fn resource_staggered() {
+    // Worst case: every arrival re-plans against all existing flows.
+    bench("resource_staggered_256", || {
+        let mut sim = Engine::new();
+        let res = SharedResource::new("pfs", 1e9);
+        for i in 0..256u64 {
+            let res = res.clone();
+            sim.schedule(SimDuration::from_micros(i), move |sim| {
+                res.start_flow(sim, 1e6, None, |_| {});
+            });
+        }
+        sim.run();
+        black_box(sim.events_processed());
+    });
+}
+
+fn main() {
+    event_throughput();
+    chained_events();
+    resource_collective();
+    resource_staggered();
+}

@@ -1,40 +1,61 @@
 //! Regeneration cost of the paper's figures: every table/figure of §V as
-//! one Criterion target, so `cargo bench` demonstrably reproduces the
-//! whole evaluation and reports how long each piece takes.
+//! one timed target, so `cargo bench` demonstrably reproduces the whole
+//! evaluation and reports how long each piece takes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use apio_bench::harness::{bench, section};
 use std::hint::black_box;
 
-fn figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function("fig3a_vpic_summit", |b| b.iter(|| black_box(apio_bench::fig3a())));
-    group.bench_function("fig3b_vpic_cori", |b| b.iter(|| black_box(apio_bench::fig3b())));
-    group.bench_function("fig3c_bdcats_summit", |b| b.iter(|| black_box(apio_bench::fig3c())));
-    group.bench_function("fig3d_bdcats_cori", |b| b.iter(|| black_box(apio_bench::fig3d())));
-    group.bench_function("fig4a_nyx_summit", |b| b.iter(|| black_box(apio_bench::fig4a())));
-    group.bench_function("fig4b_nyx_cori", |b| b.iter(|| black_box(apio_bench::fig4b())));
-    group.bench_function("fig4c_castro_summit", |b| b.iter(|| black_box(apio_bench::fig4c())));
-    group.bench_function("fig4d_castro_cori", |b| b.iter(|| black_box(apio_bench::fig4d())));
-    group.bench_function("fig5_cosmoflow_summit", |b| b.iter(|| black_box(apio_bench::fig5())));
-    group.bench_function("fig6_eqsim_summit", |b| b.iter(|| black_box(apio_bench::fig6())));
-    group.bench_function("fig7_overlap_sweep", |b| b.iter(|| black_box(apio_bench::fig7())));
-    group.bench_function("fig8_variability", |b| b.iter(|| black_box(apio_bench::fig8())));
-    group.finish();
-}
-
-fn micro_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("micro_models");
-    group.bench_function("memcpy_curve", |b| {
-        b.iter(|| black_box(apio_bench::memcpy_micro(&platform::summit())))
+fn figures() {
+    section("figures");
+    bench("fig3a_vpic_summit", || {
+        black_box(apio_bench::fig3a());
     });
-    group.bench_function("gpulink_curve", |b| b.iter(|| black_box(apio_bench::gpulink_micro())));
-    group.finish();
+    bench("fig3b_vpic_cori", || {
+        black_box(apio_bench::fig3b());
+    });
+    bench("fig3c_bdcats_summit", || {
+        black_box(apio_bench::fig3c());
+    });
+    bench("fig3d_bdcats_cori", || {
+        black_box(apio_bench::fig3d());
+    });
+    bench("fig4a_nyx_summit", || {
+        black_box(apio_bench::fig4a());
+    });
+    bench("fig4b_nyx_cori", || {
+        black_box(apio_bench::fig4b());
+    });
+    bench("fig4c_castro_summit", || {
+        black_box(apio_bench::fig4c());
+    });
+    bench("fig4d_castro_cori", || {
+        black_box(apio_bench::fig4d());
+    });
+    bench("fig5_cosmoflow_summit", || {
+        black_box(apio_bench::fig5());
+    });
+    bench("fig6_eqsim_summit", || {
+        black_box(apio_bench::fig6());
+    });
+    bench("fig7_overlap_sweep", || {
+        black_box(apio_bench::fig7());
+    });
+    bench("fig8_variability", || {
+        black_box(apio_bench::fig8());
+    });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = figures, micro_models
+fn micro_models() {
+    section("micro_models");
+    bench("memcpy_curve", || {
+        black_box(apio_bench::memcpy_micro(&platform::summit()));
+    });
+    bench("gpulink_curve", || {
+        black_box(apio_bench::gpulink_micro());
+    });
 }
-criterion_main!(benches);
+
+fn main() {
+    figures();
+    micro_models();
+}

@@ -4,39 +4,34 @@
 //! benchmark, validating the saturating-curve shape of
 //! `platform::MemcpyModel`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use apio_bench::harness::{bench, bench_bytes, section};
 use std::hint::black_box;
 
-fn memcpy_by_size(c: &mut Criterion) {
-    let mut group = c.benchmark_group("real_memcpy");
+fn memcpy_by_size() {
+    section("real_memcpy");
     for exp in [12u32, 16, 20, 22, 24, 25] {
         let bytes = 1usize << exp;
         let src = vec![0xA5u8; bytes];
-        group.throughput(Throughput::Bytes(bytes as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(bytes), &src, |b, src| {
-            b.iter(|| {
-                // The transactional snapshot is exactly this: a fresh
-                // allocation plus a copy of the caller's buffer.
-                let snapshot = black_box(src).to_vec();
-                black_box(snapshot.len())
-            });
+        bench_bytes(&format!("real_memcpy/{bytes}"), bytes as u64, || {
+            // The transactional snapshot is exactly this: a fresh
+            // allocation plus a copy of the caller's buffer.
+            let snapshot = black_box(&src).to_vec();
+            black_box(snapshot.len());
         });
     }
-    group.finish();
 }
 
-fn model_copy_time(c: &mut Criterion) {
+fn model_copy_time() {
     // The modeled counterpart (pure arithmetic) — here to quantify that
     // consulting the model is ~free relative to doing the copy.
+    section("model");
     let sys = platform::summit();
-    c.bench_function("model_copy_time_32MiB", |b| {
-        b.iter(|| black_box(sys.memcpy.copy_time(black_box(32 << 20))));
+    bench("model_copy_time_32MiB", || {
+        black_box(sys.memcpy.copy_time(black_box(32 << 20)));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = memcpy_by_size, model_copy_time
+fn main() {
+    memcpy_by_size();
+    model_copy_time();
 }
-criterion_main!(benches);

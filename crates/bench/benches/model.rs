@@ -4,11 +4,11 @@
 //! which must be negligible if the model is to sit inside an I/O library
 //! (Fig. 2).
 
+use apio_bench::harness::{bench, section};
 use apio_core::history::{Direction, History, IoMode, TransferRecord};
 use apio_core::ratemodel::RateModel;
 use apio_core::regression::{Design, LinearFit};
 use apio_core::{AdaptiveRuntime, Observation};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn saturating_history(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
@@ -25,33 +25,28 @@ fn saturating_history(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
 /// Ablation: the two designs on the same saturating data. The linear-log
 /// design should win on r² (checked in tests); here we measure that its
 /// fit cost is the same order.
-fn design_ablation(c: &mut Criterion) {
+fn design_ablation() {
+    section("fit_design");
     let (xs, ys) = saturating_history(64);
-    let mut group = c.benchmark_group("fit_design");
     for design in [Design::Linear, Design::LinearLog] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{design:?}")),
-            &design,
-            |b, &design| {
-                b.iter(|| LinearFit::fit(design, black_box(&xs), black_box(&ys)).unwrap());
-            },
-        );
-    }
-    group.finish();
-}
-
-fn fit_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fit_history_size");
-    for n in [16usize, 128, 1024] {
-        let (xs, ys) = saturating_history(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| LinearFit::fit(Design::LinearLog, black_box(&xs), black_box(&ys)).unwrap());
+        bench(&format!("fit_design/{design:?}"), || {
+            LinearFit::fit(design, black_box(&xs), black_box(&ys)).unwrap();
         });
     }
-    group.finish();
 }
 
-fn advisory_decision(c: &mut Criterion) {
+fn fit_scaling() {
+    section("fit_history_size");
+    for n in [16usize, 128, 1024] {
+        let (xs, ys) = saturating_history(n);
+        bench(&format!("fit_history_size/{n}"), || {
+            LinearFit::fit(Design::LinearLog, black_box(&xs), black_box(&ys)).unwrap();
+        });
+    }
+}
+
+fn advisory_decision() {
+    section("advisory");
     // One advise() call on a warm cache — the per-epoch cost inside an
     // I/O library.
     let mut history = History::new();
@@ -77,20 +72,19 @@ fn advisory_decision(c: &mut Criterion) {
     rt.observe(Observation::Compute { secs: 30.0 });
     // Warm the fit cache.
     rt.advise(Direction::Write, 1e9, 768).unwrap();
-    c.bench_function("advise_warm", |b| {
-        b.iter(|| rt.advise(Direction::Write, black_box(1e9), black_box(768)).unwrap());
+    bench("advise_warm", || {
+        rt.advise(Direction::Write, black_box(1e9), black_box(768)).unwrap();
     });
 
     // And a cold advisory (refit included).
-    c.bench_function("fit_rate_model", |b| {
-        let h = rt.history().clone();
-        b.iter(|| RateModel::fit(black_box(&h), IoMode::Sync, Direction::Write).unwrap());
+    let h = rt.history().clone();
+    bench("fit_rate_model", || {
+        RateModel::fit(black_box(&h), IoMode::Sync, Direction::Write).unwrap();
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = design_ablation, fit_scaling, advisory_decision
+fn main() {
+    design_ablation();
+    fit_scaling();
+    advisory_decision();
 }
-criterion_main!(benches);

@@ -387,12 +387,12 @@ pub fn fig7() -> Vec<DurationRow> {
             let p = apio_core::epoch::EpochParams::new(w.compute_secs, t_io, t_ov);
             let est_sync_secs = apio_core::epoch::app_time(
                 w.t_init,
-                std::iter::repeat(p.sync_time()).take(w.epochs as usize),
+                std::iter::repeat_n(p.sync_time(), w.epochs as usize),
                 w.t_term,
             );
             let est_async_secs = apio_core::epoch::app_time(
                 w.t_init,
-                std::iter::repeat(p.async_time()).take(w.epochs as usize),
+                std::iter::repeat_n(p.async_time(), w.epochs as usize),
                 w.t_term,
             );
             DurationRow {

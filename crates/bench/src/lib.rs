@@ -10,6 +10,7 @@
 //! dotted line) is a linear/linear-log fit over the collected history.
 
 pub mod experiments;
+pub mod harness;
 pub mod table;
 
 pub use experiments::*;

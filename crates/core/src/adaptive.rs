@@ -151,10 +151,10 @@ impl AdaptiveRuntime {
             .estimate()
             .ok_or_else(|| ModelError("no compute phases observed yet".into()))?;
         self.refit_if_stale();
-        let cache = self.cache.as_ref().unwrap();
-        let advisor = match direction {
-            Direction::Write => cache.write.as_ref(),
-            Direction::Read => cache.read.as_ref(),
+        let advisor = match (direction, self.cache.as_ref()) {
+            (Direction::Write, Some(c)) => c.write.as_ref(),
+            (Direction::Read, Some(c)) => c.read.as_ref(),
+            (_, None) => None,
         }
         .ok_or_else(|| {
             ModelError(format!(
@@ -167,9 +167,10 @@ impl AdaptiveRuntime {
     /// Current fitted models per direction, if the history supports them.
     pub fn advisor(&mut self, direction: Direction) -> Option<&ModeAdvisor> {
         self.refit_if_stale();
-        match direction {
-            Direction::Write => self.cache.as_ref().unwrap().write.as_ref(),
-            Direction::Read => self.cache.as_ref().unwrap().read.as_ref(),
+        match (direction, self.cache.as_ref()) {
+            (Direction::Write, Some(c)) => c.write.as_ref(),
+            (Direction::Read, Some(c)) => c.read.as_ref(),
+            (_, None) => None,
         }
     }
 

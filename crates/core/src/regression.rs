@@ -184,8 +184,8 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, ModelError> 
     for col in 0..n {
         // Pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
-            .unwrap();
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .unwrap_or(col);
         if a[pivot][col].abs() < 1e-12 {
             return Err(ModelError(
                 "singular normal matrix: features are collinear or constant".into(),
@@ -193,16 +193,21 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, ModelError> 
         }
         a.swap(col, pivot);
         b.swap(col, pivot);
-        // Eliminate below.
-        for row in col + 1..n {
-            let f = a[row][col] / a[col][col];
+        // Eliminate below (split so the pivot row can be read while the
+        // rows beneath it are mutated).
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        let (b_piv, b_rest) = b.split_at_mut(col + 1);
+        let b_col = b_piv[col];
+        for (row, b_row) in rest.iter_mut().zip(b_rest.iter_mut()) {
+            let f = row[col] / pivot_row[col];
             if f == 0.0 {
                 continue;
             }
-            for j in col..n {
-                a[row][j] -= f * a[col][j];
+            for (x, &p) in row[col..].iter_mut().zip(&pivot_row[col..]) {
+                *x -= f * p;
             }
-            b[row] -= f * b[col];
+            *b_row -= f * b_col;
         }
     }
     // Back substitution.

@@ -203,10 +203,12 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    fn recorder() -> (Rc<RefCell<Vec<u32>>>, impl Fn(u32) -> Box<dyn FnOnce(&mut Engine)>) {
+    type Event = Box<dyn FnOnce(&mut Engine)>;
+
+    fn recorder() -> (Rc<RefCell<Vec<u32>>>, impl Fn(u32) -> Event) {
         let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
         let l = log.clone();
-        let mk = move |tag: u32| -> Box<dyn FnOnce(&mut Engine)> {
+        let mk = move |tag: u32| -> Event {
             let l = l.clone();
             Box::new(move |_: &mut Engine| l.borrow_mut().push(tag))
         };

@@ -50,7 +50,7 @@ impl SimDuration {
     /// slightly negative through floating-point cancellation and must not
     /// panic the scheduler.
     pub fn from_secs_f64(s: f64) -> Self {
-        if !(s > 0.0) {
+        if s.is_nan() || s <= 0.0 {
             return SimDuration::ZERO;
         }
         let ns = s * NANOS_PER_SEC as f64;

@@ -121,6 +121,13 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// [`take`](Self::take) into a fixed array, for `from_le_bytes`.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let mut a = [0u8; N];
+        a.copy_from_slice(self.take(N)?);
+        Ok(a)
+    }
+
     /// Read one byte.
     pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
@@ -128,22 +135,22 @@ impl<'a> Reader<'a> {
 
     /// Read a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian IEEE-754 `f64`.
     pub fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 
     /// Read a boolean (0 or 1; anything else is corruption).

@@ -24,7 +24,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 use crate::codec::{Reader, Writer};
 use crate::dataspace::{Dataspace, Selection};
@@ -574,9 +574,11 @@ impl Container {
 
     fn contiguous_addr(&self, id: ObjectId) -> Result<u64> {
         let meta = self.meta.read();
-        match &meta.objects.get(&id).unwrap().data {
-            ObjectData::Dataset { data_addr, .. } => Ok(*data_addr),
-            _ => unreachable!("checked by dataset_info"),
+        match meta.objects.get(&id).map(|o| &o.data) {
+            Some(ObjectData::Dataset { data_addr, .. }) => Ok(*data_addr),
+            _ => Err(H5Error::Corrupt(format!(
+                "object {id:?} vanished or is not a dataset (checked by dataset_info)"
+            ))),
         }
     }
 
@@ -592,7 +594,9 @@ impl Container {
     ) -> Result<u64> {
         {
             let meta = self.meta.read();
-            if let ObjectData::Dataset { chunks, .. } = &meta.objects.get(&id).unwrap().data {
+            if let Some(ObjectData::Dataset { chunks, .. }) =
+                meta.objects.get(&id).map(|o| &o.data)
+            {
                 if let Some(addr) = chunks.get(&chunk_idx) {
                     return Ok(*addr);
                 }
@@ -605,7 +609,9 @@ impl Container {
         let chunk_bytes = chunk_elems * elem;
         // Re-check under the write lock (another writer may have won).
         let addr = {
-            if let ObjectData::Dataset { chunks, .. } = &meta.objects.get(&id).unwrap().data {
+            if let Some(ObjectData::Dataset { chunks, .. }) =
+                meta.objects.get(&id).map(|o| &o.data)
+            {
                 chunks.get(&chunk_idx).copied()
             } else {
                 None
@@ -617,8 +623,8 @@ impl Container {
         let addr = meta.eof;
         meta.eof += chunk_bytes;
         meta.dirty = true;
-        if let ObjectData::Dataset { chunks, .. } =
-            &mut meta.objects.get_mut(&id).unwrap().data
+        if let Some(ObjectData::Dataset { chunks, .. }) =
+            meta.objects.get_mut(&id).map(|o| &mut o.data)
         {
             chunks.insert(chunk_idx, addr);
         }
@@ -857,7 +863,7 @@ mod tests {
             )
             .unwrap();
         // Whole dataset zero, then write 3 values at offset 4.
-        c.write_selection(ds, &Selection::All, &to_bytes(&vec![0i32; 10]))
+        c.write_selection(ds, &Selection::All, &to_bytes(&[0i32; 10]))
             .unwrap();
         c.write_selection(
             ds,
@@ -939,9 +945,9 @@ mod tests {
         c.write_selection(ds, &Selection::Slab(Hyperslab::range1(10, 30)), &to_bytes(&vals))
             .unwrap();
         let all = from_bytes::<i32>(&c.read_selection(ds, &Selection::All).unwrap()).unwrap();
-        for i in 0..100usize {
+        for (i, &got) in all.iter().enumerate() {
             let expect = if (10..40).contains(&i) { i as i32 } else { 0 };
-            assert_eq!(all[i], expect, "element {i}");
+            assert_eq!(got, expect, "element {i}");
         }
     }
 

@@ -113,18 +113,23 @@ impl Hyperslab {
                 "stride rank mismatch".to_string(),
             ));
         }
-        for d in 0..rank {
-            if self.count[d] == 0 {
+        for (d, (&st, (&cnt, &strd))) in self
+            .start
+            .iter()
+            .zip(self.count.iter().zip(&stride))
+            .enumerate()
+        {
+            if cnt == 0 {
                 return Err(H5Error::InvalidSelection(format!(
                     "empty count in dimension {d}"
                 )));
             }
-            if stride[d] == 0 {
+            if strd == 0 {
                 return Err(H5Error::InvalidSelection(format!(
                     "zero stride in dimension {d}"
                 )));
             }
-            let last = self.start[d] + (self.count[d] - 1) * stride[d];
+            let last = st + (cnt - 1) * strd;
             if last >= space.dims()[d] {
                 return Err(H5Error::InvalidSelection(format!(
                     "dimension {d}: last index {last} >= extent {}",

@@ -115,7 +115,14 @@ macro_rules! impl_h5type {
             }
 
             fn read_le(bytes: &[u8]) -> Self {
-                <$t>::from_le_bytes(bytes.try_into().expect("exact element size"))
+                // Total on any input: short slices zero-extend rather than
+                // panic; callers always hand exactly size_of::<$t>() bytes
+                // (enforced by from_bytes' length check).
+                debug_assert_eq!(bytes.len(), std::mem::size_of::<$t>());
+                let mut le = [0u8; std::mem::size_of::<$t>()];
+                let n = le.len().min(bytes.len());
+                le[..n].copy_from_slice(&bytes[..n]);
+                <$t>::from_le_bytes(le)
             }
         }
     };
@@ -146,7 +153,7 @@ pub fn to_bytes<T: H5Type>(data: &[T]) -> Vec<u8> {
 /// Fails if the byte length is not a multiple of the element size.
 pub fn from_bytes<T: H5Type>(bytes: &[u8]) -> Result<Vec<T>> {
     let size = T::DTYPE.size();
-    if bytes.len() % size != 0 {
+    if !bytes.len().is_multiple_of(size) {
         return Err(H5Error::ShapeMismatch(format!(
             "{} bytes is not a multiple of element size {}",
             bytes.len(),

@@ -83,7 +83,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let io = std::io::Error::other("disk on fire");
         let e: H5Error = io.into();
         assert!(matches!(e, H5Error::Storage(m) if m.contains("disk on fire")));
     }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 //! # h5lite — a self-describing container format with a VOL layer
 //!
 //! A from-scratch reimplementation of the parts of HDF5 that the paper's
@@ -47,6 +48,7 @@ pub mod layout;
 pub mod native;
 pub mod promise;
 pub mod storage;
+pub mod sync;
 pub mod vol;
 
 pub use api::{Dataset, File, Group};

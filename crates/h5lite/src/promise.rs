@@ -6,7 +6,9 @@
 //! re-export: `h5lite` must not depend on any particular tasking runtime —
 //! the VOL trait is runtime-agnostic, exactly like HDF5's.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use crate::sync::{Condvar, Mutex};
 
 struct Inner<T> {
     slot: Mutex<Option<T>>,
@@ -14,6 +16,7 @@ struct Inner<T> {
 }
 
 /// One-shot, cloneable, blocking value slot.
+#[must_use = "a Promise does nothing unless taken or waited on"]
 pub struct Promise<T> {
     inner: Arc<Inner<T>>,
 }
@@ -52,7 +55,7 @@ impl<T> Promise<T> {
 
     /// Publish the value. Panics on double-fulfill: promises are one-shot.
     pub fn fulfill(&self, value: T) {
-        let mut slot = self.inner.slot.lock().unwrap();
+        let mut slot = self.inner.slot.lock();
         assert!(slot.is_none(), "Promise fulfilled twice");
         *slot = Some(value);
         self.inner.cv.notify_all();
@@ -60,18 +63,18 @@ impl<T> Promise<T> {
 
     /// Whether a value has been published.
     pub fn is_fulfilled(&self) -> bool {
-        self.inner.slot.lock().unwrap().is_some()
+        self.inner.slot.lock().is_some()
     }
 
     /// Block until the value arrives, then take it. Panics if the value
     /// was already taken by another waiter — a promise has one consumer.
     pub fn take(&self) -> T {
-        let mut slot = self.inner.slot.lock().unwrap();
+        let mut slot = self.inner.slot.lock();
         loop {
             if let Some(v) = slot.take() {
                 return v;
             }
-            slot = self.inner.cv.wait(slot).unwrap();
+            self.inner.cv.wait(&mut slot);
         }
     }
 
@@ -80,12 +83,12 @@ impl<T> Promise<T> {
     where
         T: Clone,
     {
-        let mut slot = self.inner.slot.lock().unwrap();
+        let mut slot = self.inner.slot.lock();
         loop {
             if let Some(v) = slot.as_ref() {
                 return v.clone();
             }
-            slot = self.inner.cv.wait(slot).unwrap();
+            self.inner.cv.wait(&mut slot);
         }
     }
 }

@@ -11,7 +11,7 @@ use std::fs::OpenOptions;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 use crate::error::{H5Error, Result};
 

@@ -1,0 +1,193 @@
+//! Poison-transparent wrappers over `std::sync`.
+//!
+//! `h5lite` is runtime-agnostic — it must not depend on `argolite` (the
+//! VOL trait works with any connector), so it cannot use the tasking
+//! crate's sanctioned lock module. This shim gives it the same two
+//! properties the rest of the stack relies on: guards without `Result`
+//! noise, and no lock poisoning — a panicking background I/O thread must
+//! not wedge every later metadata operation on the container.
+
+use std::sync::{self, PoisonError};
+use std::time::Duration;
+
+/// Mutual exclusion without poison propagation.
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A fresh mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking; never returns a poison error.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// RAII guard for [`Mutex`]. The `Option` is vacant only transiently
+/// inside [`Condvar`] waits, which hold the unique `&mut`.
+#[must_use = "dropping a MutexGuard immediately releases the lock"]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("guard present outside wait"),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("guard present outside wait"),
+        }
+    }
+}
+
+/// Condition variable pairing with [`Mutex`].
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// A fresh condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically release the guard's lock and wait for a notification.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        if let Some(g) = guard.inner.take() {
+            guard.inner = Some(self.inner.wait(g).unwrap_or_else(PoisonError::into_inner));
+        }
+    }
+
+    /// [`Condvar::wait`] with a relative timeout; returns whether the
+    /// wait timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        match guard.inner.take() {
+            Some(g) => {
+                let (g, res) = match self.inner.wait_timeout(g, timeout) {
+                    Ok(pair) => pair,
+                    Err(p) => p.into_inner(),
+                };
+                guard.inner = Some(g);
+                res.timed_out()
+            }
+            None => false,
+        }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Reader-writer lock without poison propagation.
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// A fresh rwlock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rwlock_poison_transparent() {
+        let l = Arc::new(RwLock::new(3));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison");
+        })
+        .join();
+        assert_eq!(*l.read(), 3);
+        *l.write() = 4;
+        assert_eq!(*l.read(), 4);
+    }
+
+    #[test]
+    fn mutex_and_condvar() {
+        let m = Mutex::new(0);
+        *m.lock() = 9;
+        assert_eq!(*m.lock(), 9);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_for(&mut g, Duration::from_millis(5)));
+        drop(g);
+        assert_eq!(m.into_inner(), 9);
+    }
+}

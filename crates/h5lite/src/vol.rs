@@ -28,6 +28,7 @@ use crate::promise::Promise;
 /// `Request::SYNC` denotes an operation that completed before the call
 /// returned (the native connector's only mode).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[must_use = "dropping a Request loses the only handle for waiting on the write"]
 pub struct Request(pub u64);
 
 impl Request {
@@ -41,6 +42,7 @@ impl Request {
 }
 
 /// An in-flight read: a [`Request`] plus the promise its data arrives on.
+#[must_use = "a ReadRequest does nothing unless waited on"]
 pub struct ReadRequest {
     promise: Promise<Result<Vec<u8>>>,
 }

@@ -98,7 +98,9 @@ pub fn run_real(
                         rank as u64 * cfg.particles_per_rank,
                         cfg.particles_per_rank,
                     );
-                    vol.prefetch(file.container(), ds.id(), &Selection::Slab(slab));
+                    // Fire-and-forget cache fill; hits are observed via
+                    // read_async, not by waiting on this request.
+                    let _ = vol.prefetch(file.container(), ds.id(), &Selection::Slab(slab));
                 }
             }
         }

@@ -149,7 +149,9 @@ fn write_into(
                         match mode {
                             KernelMode::Sync => ds.write_slab(&slab, &data)?,
                             KernelMode::Async => {
-                                ds.write_slab_async(
+                                // Drained collectively by wait_all after
+                                // the epoch, not per-request.
+                                let _ = ds.write_slab_async(
                                     &h5lite::Selection::Slab(slab.clone()),
                                     &data,
                                 )?;

@@ -34,6 +34,9 @@ use platform::pfs::{FileSystemModel, IoPattern};
 use crate::comm::Job;
 use crate::workload::{PhaseMeasure, RunConfig, RunResult, StagingTier, Workload};
 
+/// A parked application continuation, resumed by a completion event.
+type Continuation = Box<dyn FnOnce(&mut Engine)>;
+
 /// Transactional-overhead and background-extra costs for a staging tier.
 fn staging_costs(job: &Job, per_rank_bytes: u64, tier: StagingTier) -> (f64, f64) {
     match tier {
@@ -293,7 +296,7 @@ struct AwState {
     /// Snapshots not yet durable.
     in_flight: u32,
     /// Continuation of an application thread parked on a full buffer pool.
-    waiter: Option<Box<dyn FnOnce(&mut Engine)>>,
+    waiter: Option<Continuation>,
     /// Background stream status and queue of pending writes (a count —
     /// every queued write is identical in this workload).
     bg_busy: bool,
@@ -475,7 +478,7 @@ struct ArState {
     /// Completion flag per step (true = prefetched data resident).
     ready: Vec<bool>,
     /// Application continuation parked on a specific step.
-    waiter: Option<(u32, Box<dyn FnOnce(&mut Engine)>)>,
+    waiter: Option<(u32, Continuation)>,
 }
 
 fn des_async_read(

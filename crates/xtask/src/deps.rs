@@ -1,0 +1,163 @@
+//! Dependency policy: the workspace builds fully offline, so every
+//! dependency must resolve inside the repository — either a `path`
+//! dependency or `workspace = true` inheritance of one. Any entry that
+//! would reach a registry (`version = …`, `foo = "1.0"`, `git = …`) is a
+//! violation.
+
+use crate::rules::Violation;
+
+/// Check one manifest (`rel` workspace-relative path, full contents).
+///
+/// Scans `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+/// their `[target.….dependencies]` variants, and (in the root manifest)
+/// `[workspace.dependencies]`.
+pub fn check_manifest(rel: &str, text: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    let mut inline_entry: Option<(usize, String, String)> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            let section = line.trim_matches(['[', ']']);
+            in_dep_section = section == "workspace.dependencies"
+                || section.ends_with("dependencies");
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        // Multi-line inline tables: accumulate until braces balance.
+        if let Some((start, name, acc)) = &mut inline_entry {
+            acc.push(' ');
+            acc.push_str(line);
+            if acc.matches('{').count() == acc.matches('}').count() {
+                check_entry(rel, *start, name, acc, &mut out);
+                inline_entry = None;
+            }
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let name = name.trim();
+        let value = value.trim();
+        // `foo.workspace = true` / `foo.path = "…"` dotted keys.
+        if let Some((_, key)) = name.split_once('.') {
+            if key == "workspace" || key == "path" {
+                continue;
+            }
+        }
+        if value.starts_with('{') && value.matches('{').count() != value.matches('}').count() {
+            inline_entry = Some((idx + 1, name.to_owned(), value.to_owned()));
+            continue;
+        }
+        check_entry(rel, idx + 1, name, value, &mut out);
+    }
+    out
+}
+
+fn check_entry(rel: &str, line: usize, name: &str, value: &str, out: &mut Vec<Violation>) {
+    let internal = value.contains("path =")
+        || value.contains("path=")
+        || value.contains("workspace = true")
+        || value.contains("workspace=true");
+    let external = value.contains("git =") || value.contains("git=");
+    if internal && !external {
+        return;
+    }
+    out.push(Violation {
+        file: rel.to_owned(),
+        line,
+        rule: "internal-deps",
+        message: format!(
+            "dependency `{name}` is not workspace-internal ({value}); only `path` or `workspace = true` dependencies are allowed — the build must work fully offline"
+        ),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let m = "\
+[package]
+name = \"x\"
+
+[dependencies]
+desim = { path = \"../desim\" }
+h5lite.workspace = true
+argolite = { workspace = true }
+";
+        assert!(check_manifest("crates/x/Cargo.toml", m).is_empty());
+    }
+
+    #[test]
+    fn registry_deps_are_flagged() {
+        let m = "\
+[dependencies]
+serde = \"1.0\"
+rand = { version = \"0.8\", features = [\"std\"] }
+";
+        let v = check_manifest("crates/x/Cargo.toml", m);
+        assert_eq!(v.len(), 2);
+        assert!(v[0].message.contains("serde"));
+        assert!(v[1].message.contains("rand"));
+    }
+
+    #[test]
+    fn git_deps_are_flagged() {
+        let m = "[dependencies]\nfoo = { git = \"https://example.com/foo\" }\n";
+        assert_eq!(check_manifest("Cargo.toml", m).len(), 1);
+    }
+
+    #[test]
+    fn dev_and_workspace_dependency_sections_are_checked() {
+        let m = "\
+[dev-dependencies]
+proptest = \"1.4\"
+
+[workspace.dependencies]
+desim = { path = \"crates/desim\" }
+criterion = { version = \"0.5\" }
+";
+        let v = check_manifest("Cargo.toml", m);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(|x| x.message.contains("proptest")));
+        assert!(v.iter().any(|x| x.message.contains("criterion")));
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let m = "\
+[package]
+version = \"0.1.0\"
+
+[features]
+default = []
+
+[lints]
+workspace = true
+";
+        assert!(check_manifest("crates/x/Cargo.toml", m).is_empty());
+    }
+
+    #[test]
+    fn multiline_inline_tables_are_handled() {
+        let m = "\
+[dependencies]
+foo = { version = \"1.0\",
+        features = [\"a\"] }
+bar = { path = \"../bar\",
+        features = [\"b\"] }
+";
+        let v = check_manifest("crates/x/Cargo.toml", m);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("foo"));
+    }
+}

@@ -1,0 +1,211 @@
+#![warn(missing_docs)]
+//! # xtask — the workspace correctness gate
+//!
+//! A zero-dependency static-analysis driver run as
+//! `cargo run -p xtask -- <command>`:
+//!
+//! - **`lint`** — walk every workspace `.rs` file and enforce the
+//!   deny-by-default rule set in [`rules`] (virtual-time purity,
+//!   error-path discipline, lock discipline, `#[must_use]` coverage, no
+//!   debug/placeholder macros). Prints `file:line: [rule] message` per
+//!   violation and a machine-readable JSON summary; exits non-zero on any
+//!   violation.
+//! - **`check-deps`** — enforce that every manifest dependency is
+//!   workspace-internal (see [`deps`]); the build must work offline.
+//! - **`report`** — run both and print one combined JSON document.
+//!
+//! Escapes are auditable: inline `// xtask: allow(rule)` markers or
+//! path-prefix entries in the root `xtask.allow` file.
+
+pub mod deps;
+pub mod rules;
+pub mod scan;
+
+use std::path::{Path, PathBuf};
+
+use rules::Violation;
+
+/// Locate the workspace root from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Workspace-relative paths of every `.rs` file under version-controlled
+/// source directories (skips `target/`, `.git`, and hidden directories).
+pub fn source_files(root: &Path) -> Vec<String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    files.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Workspace-relative paths of every `Cargo.toml`.
+pub fn manifest_files(root: &Path) -> Vec<String> {
+    let mut files = vec!["Cargo.toml".to_owned()];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let m = entry.path().join("Cargo.toml");
+            if m.is_file() {
+                if let Ok(rel) = m.strip_prefix(root) {
+                    files.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Outcome of a lint or check-deps run.
+#[derive(Debug)]
+pub struct Report {
+    /// Violations that survived the allowlist.
+    pub violations: Vec<Violation>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+/// Run the lint rule set over the workspace at `root`.
+pub fn run_lint(root: &Path) -> Report {
+    let allow = std::fs::read_to_string(root.join("xtask.allow"))
+        .map(|t| rules::parse_allowlist(&t))
+        .unwrap_or_default();
+    let files = source_files(root);
+    let mut violations = Vec::new();
+    for rel in &files {
+        if let Ok(src) = std::fs::read_to_string(root.join(rel)) {
+            violations.extend(rules::lint_source(rel, &src));
+        }
+    }
+    let violations = rules::apply_allowlist(violations, &allow);
+    Report {
+        violations,
+        files_scanned: files.len(),
+    }
+}
+
+/// Run the dependency policy over every manifest at `root`.
+pub fn run_check_deps(root: &Path) -> Report {
+    let files = manifest_files(root);
+    let mut violations = Vec::new();
+    for rel in &files {
+        if let Ok(text) = std::fs::read_to_string(root.join(rel)) {
+            violations.extend(deps::check_manifest(rel, &text));
+        }
+    }
+    Report {
+        violations,
+        files_scanned: files.len(),
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one report section as a JSON object.
+pub fn report_json(name: &str, report: &Report) -> String {
+    let items: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&v.file),
+                v.line,
+                json_escape(v.rule),
+                json_escape(&v.message)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"check\":\"{}\",\"files_scanned\":{},\"violation_count\":{},\"violations\":[{}]}}",
+        json_escape(name),
+        report.files_scanned,
+        report.violations.len(),
+        items.join(",")
+    )
+}
+
+/// Render the combined `report` document (lint + deps + rule inventory).
+pub fn combined_json(lint: &Report, deps_report: &Report) -> String {
+    let rules: Vec<String> = rules::RULE_NAMES
+        .iter()
+        .map(|r| format!("\"{r}\""))
+        .collect();
+    format!(
+        "{{\"rules\":[{}],\"lint\":{},\"check_deps\":{},\"ok\":{}}}",
+        rules.join(","),
+        report_json("lint", lint),
+        report_json("check-deps", deps_report),
+        lint.violations.is_empty() && deps_report.violations.is_empty()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let r = Report {
+            violations: vec![Violation {
+                file: "a.rs".into(),
+                line: 3,
+                rule: "error-path",
+                message: "msg".into(),
+            }],
+            files_scanned: 7,
+        };
+        let j = report_json("lint", &r);
+        assert!(j.contains("\"files_scanned\":7"));
+        assert!(j.contains("\"violation_count\":1"));
+        assert!(j.contains("\"rule\":\"error-path\""));
+    }
+
+    #[test]
+    fn workspace_root_has_manifest() {
+        assert!(workspace_root().join("Cargo.toml").is_file());
+    }
+}

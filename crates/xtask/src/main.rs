@@ -1,0 +1,79 @@
+//! CLI entry point: `cargo run -p xtask -- <lint|check-deps|report>`.
+
+use std::process::ExitCode;
+
+use xtask::{combined_json, report_json, run_check_deps, run_lint, workspace_root};
+
+const USAGE: &str = "\
+usage: cargo run -p xtask -- <command> [--json]
+
+commands:
+  lint         enforce the correctness-gate rule set over all .rs files
+  check-deps   enforce workspace-internal-only dependencies
+  report       run both checks, print one combined JSON document
+
+flags:
+  --json       print only the machine-readable JSON summary
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_only = args.iter().any(|a| a == "--json");
+    let command = args.iter().find(|a| !a.starts_with("--"));
+    let root = workspace_root();
+
+    match command.map(String::as_str) {
+        Some("lint") => {
+            let report = run_lint(&root);
+            if json_only {
+                println!("{}", report_json("lint", &report));
+            } else {
+                for v in &report.violations {
+                    println!("{v}");
+                }
+                println!(
+                    "lint: {} violation(s) across {} file(s) scanned",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+                println!("{}", report_json("lint", &report));
+            }
+            exit_for(report.violations.is_empty())
+        }
+        Some("check-deps") => {
+            let report = run_check_deps(&root);
+            if json_only {
+                println!("{}", report_json("check-deps", &report));
+            } else {
+                for v in &report.violations {
+                    println!("{v}");
+                }
+                println!(
+                    "check-deps: {} violation(s) across {} manifest(s)",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+                println!("{}", report_json("check-deps", &report));
+            }
+            exit_for(report.violations.is_empty())
+        }
+        Some("report") => {
+            let lint = run_lint(&root);
+            let deps = run_check_deps(&root);
+            println!("{}", combined_json(&lint, &deps));
+            exit_for(lint.violations.is_empty() && deps.violations.is_empty())
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn exit_for(clean: bool) -> ExitCode {
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,440 @@
+//! The correctness-gate rule set.
+//!
+//! Every rule is deny-by-default and scoped to the layer whose invariant
+//! it protects:
+//!
+//! | rule            | scope                                   | protects |
+//! |-----------------|-----------------------------------------|----------|
+//! | `virtual-time`  | desim, mpisim, platform `src/`          | simulated clocks never read the wall clock |
+//! | `error-path`    | h5lite, asyncvol, apio-core `src/`      | library code returns errors instead of panicking |
+//! | `lock-discipline`| argolite, asyncvol `src/`              | every lock goes through `argolite::sync` (order-checked) |
+//! | `must-use`      | argolite, h5lite, asyncvol `src/`       | futures/handles/guards cannot be silently dropped |
+//! | `no-dbg-todo`   | whole workspace                         | no debugging or placeholder macros ship |
+//!
+//! Escapes are explicit and auditable: an inline `// xtask: allow(rule)`
+//! on the offending line, or a path entry in the root `xtask.allow` file.
+
+use crate::scan::{find_token, scan};
+
+/// One rule violation at a specific source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (kebab-case).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Names of all rules, for reports.
+pub const RULE_NAMES: [&str; 5] = [
+    "virtual-time",
+    "error-path",
+    "lock-discipline",
+    "must-use",
+    "no-dbg-todo",
+];
+
+/// Crates whose `src/` must stay in virtual time.
+const VIRTUAL_TIME_CRATES: [&str; 3] = ["crates/desim/", "crates/mpisim/", "crates/platform/"];
+/// Crates whose `src/` must use error returns, not panics.
+const ERROR_PATH_CRATES: [&str; 3] = ["crates/h5lite/", "crates/asyncvol/", "crates/core/"];
+/// Crates whose `src/` must take locks through the sanctioned module.
+const LOCK_CRATES: [&str; 2] = ["crates/argolite/", "crates/asyncvol/"];
+/// The one module allowed to touch `std::sync` lock primitives directly.
+const SANCTIONED_LOCK_MODULES: [&str; 2] =
+    ["crates/argolite/src/sync.rs", "crates/h5lite/src/sync.rs"];
+/// Crates whose handle/guard types must be `#[must_use]`.
+const MUST_USE_CRATES: [&str; 3] = ["crates/argolite/", "crates/h5lite/", "crates/asyncvol/"];
+/// Type names (beyond the `*Guard` convention) that must be `#[must_use]`.
+const MUST_USE_TYPES: [&str; 6] = [
+    "TaskHandle",
+    "Eventual",
+    "Promise",
+    "WriteBatch",
+    "Request",
+    "ReadRequest",
+];
+
+fn in_src(rel: &str, crates: &[&str]) -> bool {
+    crates
+        .iter()
+        .any(|c| rel.starts_with(c) && rel[c.len()..].starts_with("src/"))
+}
+
+fn inline_allowed(raw: &str, rule: &str) -> bool {
+    raw.find("xtask: allow(")
+        .map(|p| raw[p + "xtask: allow(".len()..].starts_with(rule))
+        .unwrap_or(false)
+}
+
+/// Lint one source file (workspace-relative `rel` path, full contents).
+pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lines = scan(src);
+    let rel_slash = rel.replace('\\', "/");
+    let rel = rel_slash.as_str();
+
+    let virtual_time = in_src(rel, &VIRTUAL_TIME_CRATES);
+    let error_path = in_src(rel, &ERROR_PATH_CRATES);
+    let lock_discipline =
+        in_src(rel, &LOCK_CRATES) && !SANCTIONED_LOCK_MODULES.contains(&rel);
+    let must_use = in_src(rel, &MUST_USE_CRATES);
+
+    let mut push = |line: usize, raw: &str, rule: &'static str, message: String| {
+        if !inline_allowed(raw, rule) {
+            out.push(Violation {
+                file: rel.to_owned(),
+                line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    for l in &lines {
+        if l.in_test {
+            continue;
+        }
+        let code = l.code.as_str();
+
+        if virtual_time {
+            for tok in [
+                "thread::sleep",
+                "Instant::now",
+                "std::time::Instant",
+                "SystemTime",
+            ] {
+                if find_token(code, tok) {
+                    push(
+                        l.number,
+                        &l.raw,
+                        "virtual-time",
+                        format!("`{tok}` reads the wall clock inside a virtual-time simulation path; use the engine's simulated clock"),
+                    );
+                }
+            }
+        }
+
+        if error_path {
+            for (tok, what) in [
+                (".unwrap()", "unwrap"),
+                (".expect(", "expect"),
+                ("panic!(", "panic!"),
+            ] {
+                if find_token(code, tok) {
+                    push(
+                        l.number,
+                        &l.raw,
+                        "error-path",
+                        format!("`{what}` in non-test library code; return an error (`H5Error`/`Result`) instead of panicking"),
+                    );
+                }
+            }
+        }
+
+        if lock_discipline {
+            let std_sync = find_token(code, "std::sync");
+            let lock_ident = ["Mutex", "RwLock", "Condvar"]
+                .into_iter()
+                .find(|t| find_token(code, t));
+            if let Some(ident) = lock_ident {
+                if std_sync || find_token(code, "parking_lot") {
+                    push(
+                        l.number,
+                        &l.raw,
+                        "lock-discipline",
+                        format!("raw `{ident}` acquisition outside the sanctioned lock-ordering module; use `argolite::sync` so lock-order cycles are detectable"),
+                    );
+                }
+            }
+        }
+
+        if find_token(code, "dbg!(") {
+            push(
+                l.number,
+                &l.raw,
+                "no-dbg-todo",
+                "`dbg!` must not ship; remove the debugging macro".to_owned(),
+            );
+        }
+        for tok in ["todo!(", "unimplemented!("] {
+            if find_token(code, tok) {
+                push(
+                    l.number,
+                    &l.raw,
+                    "no-dbg-todo",
+                    format!("`{}` placeholder must not ship", &tok[..tok.len() - 1]),
+                );
+            }
+        }
+    }
+
+    if must_use {
+        out.extend(lint_must_use(rel, &lines));
+    }
+    out
+}
+
+/// `#[must_use]` check: a `pub struct` whose name is in
+/// [`MUST_USE_TYPES`] or ends in `Guard` must carry the attribute within
+/// the attribute block directly above it.
+fn lint_must_use(rel: &str, lines: &[crate::scan::Line]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let Some(name) = pub_struct_name(&l.code) else {
+            continue;
+        };
+        let required = MUST_USE_TYPES.contains(&name) || name.ends_with("Guard");
+        if !required {
+            continue;
+        }
+        // Walk the contiguous attribute/doc block above the struct.
+        let mut marked = false;
+        for prev in lines[..i].iter().rev() {
+            let t = prev.code.trim();
+            if t.contains("#[must_use") {
+                marked = true;
+                break;
+            }
+            // Doc comments arrive blanked; attributes and blank lines
+            // continue the block, anything else ends it.
+            if !(t.is_empty() || t.starts_with("#[") || t.starts_with(']')) {
+                break;
+            }
+        }
+        if !marked && !inline_allowed(&l.raw, "must-use") {
+            out.push(Violation {
+                file: rel.to_owned(),
+                line: l.number,
+                rule: "must-use",
+                message: format!(
+                    "`pub struct {name}` is a handle/guard type and must be `#[must_use]` so dropped results are a compile error"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn pub_struct_name(code: &str) -> Option<&str> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("pub struct ")?;
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+/// Allowlist entry: `rule path-prefix` (or `* path-prefix`), `#` comments.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule name, or `*` for any rule.
+    pub rule: String,
+    /// Workspace-relative path prefix the waiver covers.
+    pub path_prefix: String,
+}
+
+/// Parse the root `xtask.allow` file.
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| {
+            let mut parts = l.split_whitespace();
+            let rule = parts.next()?.to_owned();
+            let path_prefix = parts.next()?.to_owned();
+            Some(AllowEntry { rule, path_prefix })
+        })
+        .collect()
+}
+
+/// Drop violations waived by the allowlist.
+pub fn apply_allowlist(violations: Vec<Violation>, allow: &[AllowEntry]) -> Vec<Violation> {
+    violations
+        .into_iter()
+        .filter(|v| {
+            !allow.iter().any(|a| {
+                (a.rule == "*" || a.rule == v.rule) && v.file.starts_with(&a.path_prefix)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(rel: &str, src: &str) -> Vec<&'static str> {
+        let mut r: Vec<&'static str> = lint_source(rel, src).into_iter().map(|v| v.rule).collect();
+        r.dedup();
+        r
+    }
+
+    #[test]
+    fn virtual_time_fires_on_wall_clock() {
+        let bad = "fn step() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(rules_fired("crates/desim/src/engine.rs", bad), ["virtual-time"]);
+        let bad2 = "fn nap() { std::thread::sleep(d); }\n";
+        assert_eq!(rules_fired("crates/mpisim/src/lib.rs", bad2), ["virtual-time"]);
+        let bad3 = "fn now() -> SystemTime { SystemTime::now() }\n";
+        assert_eq!(rules_fired("crates/platform/src/lib.rs", bad3), ["virtual-time"]);
+    }
+
+    #[test]
+    fn virtual_time_scoped_to_sim_crates() {
+        let src = "fn t0() { let t = std::time::Instant::now(); }\n";
+        assert!(lint_source("crates/bench/src/harness.rs", src).is_empty());
+        assert!(lint_source("crates/desim/tests/clock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn virtual_time_ignores_simulated_clock_types() {
+        let ok = "fn now(&self) -> SimInstant { SimInstant::now_from(self.t) }\n";
+        assert!(lint_source("crates/desim/src/engine.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn error_path_fires_on_unwrap_expect_panic() {
+        assert_eq!(
+            rules_fired("crates/h5lite/src/container.rs", "fn f() { x.unwrap(); }\n"),
+            ["error-path"]
+        );
+        assert_eq!(
+            rules_fired("crates/asyncvol/src/lib.rs", "fn f() { x.expect(\"m\"); }\n"),
+            ["error-path"]
+        );
+        assert_eq!(
+            rules_fired("crates/core/src/lib.rs", "fn f() { panic!(\"boom\"); }\n"),
+            ["error-path"]
+        );
+    }
+
+    #[test]
+    fn error_path_skips_tests_comments_and_strings() {
+        let src = "\
+// a comment may say x.unwrap()
+fn f() -> &'static str { \"not .unwrap() either\" }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { f().parse::<u8>().unwrap(); }
+}
+";
+        assert!(lint_source("crates/h5lite/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn error_path_allows_unwrap_or_variants() {
+        let ok = "fn f() { x.unwrap_or_else(PoisonError::into_inner); y.unwrap_or(0); }\n";
+        assert!(lint_source("crates/h5lite/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn lock_discipline_fires_outside_sanctioned_module() {
+        let bad = "use std::sync::Mutex;\n";
+        assert_eq!(
+            rules_fired("crates/argolite/src/lib.rs", bad),
+            ["lock-discipline"]
+        );
+        assert_eq!(
+            rules_fired("crates/asyncvol/src/lib.rs", "let m = std::sync::RwLock::new(0);\n"),
+            ["lock-discipline"]
+        );
+        // The sanctioned module itself wraps std::sync — exempt.
+        assert!(lint_source("crates/argolite/src/sync.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn lock_discipline_permits_sanctioned_and_unrelated_sync() {
+        let ok = "use crate::sync::Mutex;\nuse std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\n";
+        assert!(lint_source("crates/argolite/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn must_use_fires_on_unmarked_handle_types() {
+        let bad = "pub struct TaskHandle {\n    x: u32,\n}\n";
+        assert_eq!(rules_fired("crates/argolite/src/lib.rs", bad), ["must-use"]);
+        let bad_guard = "pub struct FlushGuard<'a> {\n    x: &'a u32,\n}\n";
+        assert_eq!(rules_fired("crates/h5lite/src/x.rs", bad_guard), ["must-use"]);
+    }
+
+    #[test]
+    fn must_use_satisfied_by_attribute() {
+        let ok = "/// Doc.\n#[must_use = \"reason\"]\npub struct TaskHandle {\n    x: u32,\n}\n";
+        assert!(lint_source("crates/argolite/src/lib.rs", ok).is_empty());
+        let ok2 = "#[derive(Debug)]\n#[must_use]\npub struct IoGuard;\n";
+        assert!(lint_source("crates/asyncvol/src/lib.rs", ok2).is_empty());
+    }
+
+    #[test]
+    fn must_use_ignores_other_types() {
+        let ok = "pub struct Runtime {\n    x: u32,\n}\n";
+        assert!(lint_source("crates/argolite/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn no_dbg_todo_fires_everywhere() {
+        assert_eq!(
+            rules_fired("crates/apps/src/nyx.rs", "fn f() { dbg!(1); }\n"),
+            ["no-dbg-todo"]
+        );
+        assert_eq!(
+            rules_fired("src/lib.rs", "fn f() { todo!() }\n"),
+            ["no-dbg-todo"]
+        );
+        assert_eq!(
+            rules_fired("tests/e2e.rs", "fn f() { unimplemented!() }\n"),
+            ["no-dbg-todo"]
+        );
+    }
+
+    #[test]
+    fn inline_allow_waives_exactly_that_rule() {
+        let src = "fn f() { x.unwrap(); } // xtask: allow(error-path) checked by caller\n";
+        assert!(lint_source("crates/h5lite/src/lib.rs", src).is_empty());
+        // Wrong rule name does not waive.
+        let src2 = "fn f() { x.unwrap(); } // xtask: allow(virtual-time)\n";
+        assert_eq!(lint_source("crates/h5lite/src/lib.rs", src2).len(), 1);
+    }
+
+    #[test]
+    fn allowlist_waives_by_rule_and_path() {
+        let v = vec![
+            Violation {
+                file: "crates/h5lite/src/a.rs".into(),
+                line: 1,
+                rule: "error-path",
+                message: String::new(),
+            },
+            Violation {
+                file: "crates/desim/src/b.rs".into(),
+                line: 2,
+                rule: "virtual-time",
+                message: String::new(),
+            },
+        ];
+        let allow = parse_allowlist(
+            "# comment\nerror-path crates/h5lite/ # legacy code\n",
+        );
+        let left = apply_allowlist(v, &allow);
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].rule, "virtual-time");
+    }
+}

@@ -1,0 +1,303 @@
+//! Source preprocessing for token-level linting.
+//!
+//! Rust token rules must not fire on comments, string literals, or code
+//! that only exists under `#[cfg(test)]` — a doc sentence mentioning
+//! `unwrap()` is not an error path, and tests are allowed to panic. This
+//! module reduces a source file to per-line *code text* (comments and
+//! literal contents blanked to spaces, structure preserved) and marks
+//! which lines live inside a `#[cfg(test)]` item.
+
+/// One source line after preprocessing.
+#[derive(Debug)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line with comments and string/char literal contents blanked.
+    pub code: String,
+    /// The original text (used for `xtask: allow(...)` markers).
+    pub raw: String,
+    /// Whether the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// Blank comments and literal contents, preserving length and newlines.
+///
+/// Handles line comments, nested block comments, string literals with
+/// escapes, raw strings (`r"…"`, `r#"…"#`, byte variants), and char
+/// literals — distinguishing `'a'` from the lifetime `'a`.
+pub fn strip(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nesting).
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 0;
+            while i < b.len() {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string (with optional b prefix): r"…", r#"…"#, …
+        if (c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r')))
+            && !prev_is_ident(&b, i)
+        {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0;
+            let mut j = start;
+            while b.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&'"') {
+                // Emit the prefix verbatim-length as spaces.
+                for _ in i..=j {
+                    out.push(' ');
+                }
+                i = j + 1;
+                // Scan until `"` followed by `hashes` hashes.
+                while i < b.len() {
+                    if b[i] == '"' && b[i + 1..].iter().take(hashes).filter(|&&h| h == '#').count() == hashes {
+                        for _ in 0..=hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes;
+                        break;
+                    }
+                    out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // String literal (with optional b prefix).
+        if c == '"' || (c == 'b' && b.get(i + 1) == Some(&'"') && !prev_is_ident(&b, i)) {
+            if c == 'b' {
+                out.push(' ');
+                i += 1;
+            }
+            out.push(' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' {
+                    out.push(' ');
+                    if let Some(&e) = b.get(i + 1) {
+                        out.push(if e == '\n' { '\n' } else { ' ' });
+                    }
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                }
+                out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let is_char = match b.get(i + 1) {
+                Some('\\') => true,
+                Some(_) => b.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char {
+                out.push(' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' {
+                        out.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '\'' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    }
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            // Lifetime: drop the quote, keep the identifier.
+            out.push(' ');
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// Split preprocessed source into [`Line`]s with `#[cfg(test)]` regions
+/// marked. Region tracking is brace-based: after a `#[cfg(test)]`
+/// attribute, everything through the end of the next brace-balanced item
+/// is test code (covers both `mod tests { … }` and single guarded fns).
+pub fn scan(src: &str) -> Vec<Line> {
+    let stripped = strip(src);
+    let mut lines = Vec::new();
+    let mut test_depth: Option<i64> = None; // brace depth inside a test item
+    let mut pending_test = false; // saw the attribute, waiting for `{`
+
+    for (idx, (code, raw)) in stripped.lines().zip(src.lines()).enumerate() {
+        let compact: String = code.chars().filter(|c| !c.is_whitespace()).collect();
+        if compact.contains("#[cfg(test)]") {
+            pending_test = true;
+        }
+        let started_in_test = test_depth.is_some() || pending_test;
+        if pending_test || test_depth.is_some() {
+            for c in code.chars() {
+                match c {
+                    '{' => {
+                        if pending_test {
+                            pending_test = false;
+                            test_depth = Some(1);
+                        } else if let Some(d) = &mut test_depth {
+                            *d += 1;
+                        }
+                    }
+                    '}' => {
+                        if let Some(d) = &mut test_depth {
+                            *d -= 1;
+                            if *d == 0 {
+                                test_depth = None;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        lines.push(Line {
+            number: idx + 1,
+            code: code.to_owned(),
+            raw: raw.to_owned(),
+            in_test: started_in_test,
+        });
+    }
+    lines
+}
+
+/// Find `token` in `code` at an identifier boundary: the character before
+/// the match must not be part of an identifier (so `Instant::now` does
+/// not match inside `SimInstant::now`). Tokens starting with a
+/// non-identifier character (like `.unwrap()`) match anywhere.
+pub fn find_token(code: &str, token: &str) -> bool {
+    let needs_boundary = token
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(token) {
+        let at = from + pos;
+        if !needs_boundary {
+            return true;
+        }
+        let boundary = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary {
+            return true;
+        }
+        from = at + token.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = strip("a // unwrap()\nb /* panic!( */ c");
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("panic"));
+        assert!(s.contains('a') && s.contains('b') && s.contains('c'));
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let s = strip("x /* outer /* inner */ still */ y");
+        assert!(!s.contains("inner") && !s.contains("still"));
+        assert!(s.contains('x') && s.contains('y'));
+    }
+
+    #[test]
+    fn strips_string_contents_with_escapes() {
+        let s = strip(r#"let m = "say \".unwrap()\" loudly"; after"#);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("after"));
+    }
+
+    #[test]
+    fn strips_raw_strings() {
+        let s = strip(r##"let m = r#"panic!("x")"#; after"##);
+        assert!(!s.contains("panic"));
+        assert!(s.contains("after"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = strip("let c = 'x'; fn f<'a>(v: &'a str) {}");
+        assert!(!s.contains('x'));
+        assert!(s.contains("a str")); // lifetime identifier survives
+    }
+
+    #[test]
+    fn preserves_line_structure() {
+        let src = "one\ntwo // c\nthree";
+        assert_eq!(strip(src).lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn marks_cfg_test_regions() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn token_boundary_rejects_identifier_prefix() {
+        assert!(find_token("Instant::now()", "Instant::now"));
+        assert!(!find_token("SimInstant::now()", "Instant::now"));
+        assert!(find_token("x.unwrap()", ".unwrap()"));
+        assert!(!find_token("x.unwrap_or(0)", ".unwrap()"));
+    }
+}

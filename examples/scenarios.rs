@@ -36,8 +36,8 @@ fn main() {
     // Eq. 1: compose a whole application run from epochs.
     let p = EpochParams::new(30.0, 8.0, 0.4);
     let epochs = 20;
-    let sync_app = app_time(0.5, std::iter::repeat(p.sync_time()).take(epochs), 0.2);
-    let async_app = app_time(0.5, std::iter::repeat(p.async_time()).take(epochs), 0.2);
+    let sync_app = app_time(0.5, std::iter::repeat_n(p.sync_time(), epochs), 0.2);
+    let async_app = app_time(0.5, std::iter::repeat_n(p.async_time(), epochs), 0.2);
     println!(
         "\n{epochs} ideal epochs (Eq. 1): sync app {sync_app:.1}s, async app {async_app:.1}s -> {:.2}x end-to-end",
         sync_app / async_app

@@ -95,23 +95,20 @@ fn connector_observer_feeds_the_loop_automatically() {
     let vol = Arc::new(AsyncVol::new());
     vol.set_observer(Arc::new(move |rec| {
         let mut rt = rt2.lock().unwrap();
-        match rec.kind {
-            apio::asyncvol::OpKind::Write => {
-                rt.observe(Observation::SnapshotOverhead {
-                    direction: Direction::Write,
-                    total_bytes: rec.bytes as f64,
-                    ranks,
-                    secs: rec.overhead_secs,
-                });
-                rt.observe(Observation::Transfer {
-                    mode: IoMode::Sync, // background write == what sync would pay
-                    direction: Direction::Write,
-                    total_bytes: rec.bytes as f64,
-                    ranks,
-                    secs: rec.io_secs,
-                });
-            }
-            _ => {}
+        if rec.kind == apio::asyncvol::OpKind::Write {
+            rt.observe(Observation::SnapshotOverhead {
+                direction: Direction::Write,
+                total_bytes: rec.bytes as f64,
+                ranks,
+                secs: rec.overhead_secs,
+            });
+            rt.observe(Observation::Transfer {
+                mode: IoMode::Sync, // background write == what sync would pay
+                direction: Direction::Write,
+                total_bytes: rec.bytes as f64,
+                ranks,
+                secs: rec.io_secs,
+            });
         }
     }));
 
@@ -123,7 +120,7 @@ fn connector_observer_feeds_the_loop_automatically() {
         .unwrap();
     let data = vec![1.0f64; 1 << 16];
     for _ in 0..3 {
-        ds.write_async(&data).unwrap();
+        let _ = ds.write_async(&data).unwrap();
     }
     file.wait_all().unwrap();
     let history_len = rt.lock().unwrap().history().len();
@@ -144,7 +141,7 @@ fn persistence_across_connectors_and_processes() {
         let ds = run
             .create_dataset::<f64>("field", &Dataspace::d1(10_000))
             .unwrap();
-        ds.write_async(&data).unwrap();
+        let _ = ds.write_async(&data).unwrap();
         ds.set_attr("iteration", &[7u64]).unwrap();
         file.flush().unwrap();
     }
@@ -176,7 +173,7 @@ fn simulator_and_model_agree_on_epoch_structure() {
     let p = apio::model::epoch::EpochParams::new(w.compute_secs, t_io, t_ov);
     let predicted_sync = apio::model::epoch::app_time(
         w.t_init,
-        std::iter::repeat(p.sync_time()).take(w.epochs as usize),
+        std::iter::repeat_n(p.sync_time(), w.epochs as usize),
         w.t_term,
     );
     assert!(
@@ -186,7 +183,7 @@ fn simulator_and_model_agree_on_epoch_structure() {
     // Ideal overlap: async wall = init + epochs×(comp+ov) + final drain.
     let predicted_async_lower = apio::model::epoch::app_time(
         w.t_init,
-        std::iter::repeat(p.async_time()).take(w.epochs as usize),
+        std::iter::repeat_n(p.async_time(), w.epochs as usize),
         w.t_term,
     );
     assert!(

@@ -1,143 +1,209 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Randomized inputs come from a fixed-seed LCG (no external dependency),
+//! so every run explores the same case set deterministically; failures
+//! print the case index and inputs for replay.
 
 use apio::desim::{Engine, SharedResource, SimDuration};
 use apio::h5lite::{Dataspace, File, Hyperslab, Selection};
 use apio::model::epoch::EpochParams;
 use apio::model::regression::{Design, LinearFit};
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-proptest! {
-    /// Any valid hyperslab's runs are sorted, disjoint, in bounds, and
-    /// cover exactly `npoints` elements.
-    #[test]
-    fn hyperslab_runs_partition_the_selection(
-        dims in proptest::collection::vec(1u64..20, 1..4),
-        seed in any::<u64>(),
-    ) {
+/// Deterministic 64-bit LCG (MMIX constants), upper bits as output.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        self.next() as f64 / (1u64 << 31) as f64 / 2.0
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+}
+
+const CASES: usize = 128;
+
+/// Any valid hyperslab's runs are sorted, disjoint, in bounds, and
+/// cover exactly `npoints` elements.
+#[test]
+fn hyperslab_runs_partition_the_selection() {
+    let mut rng = Lcg::new(0x5AB1);
+    for case in 0..CASES {
+        let rank = rng.in_range(1, 4) as usize;
+        let dims: Vec<u64> = (0..rank).map(|_| rng.in_range(1, 20)).collect();
         let space = Dataspace::new(&dims);
-        // Derive a valid slab from the seed.
-        let mut s = seed;
-        let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1); s >> 33 };
-        let rank = dims.len();
         let mut start = vec![0u64; rank];
         let mut count = vec![1u64; rank];
         let mut stride = vec![1u64; rank];
         for d in 0..rank {
-            start[d] = next() % dims[d];
+            start[d] = rng.next() % dims[d];
             let room = dims[d] - start[d];
-            stride[d] = 1 + next() % 3;
-            let max_count = (room + stride[d] - 1) / stride[d];
-            count[d] = 1 + next() % max_count;
+            stride[d] = 1 + rng.next() % 3;
+            let max_count = room.div_ceil(stride[d]);
+            count[d] = 1 + rng.next() % max_count;
         }
         let slab = Hyperslab::strided(&start, &count, &stride);
         let sel = Selection::Slab(slab);
-        let runs = sel.runs(&space).unwrap();
+        let runs = sel.runs(&space).expect("valid slab");
         let total: u64 = runs.iter().map(|&(_, l)| l).sum();
-        prop_assert_eq!(total, sel.npoints(&space));
+        assert_eq!(
+            total,
+            sel.npoints(&space),
+            "case {case}: dims {dims:?} start {start:?} count {count:?} stride {stride:?}"
+        );
         for w in runs.windows(2) {
-            prop_assert!(w[0].0 + w[0].1 <= w[1].0, "sorted + disjoint");
+            assert!(w[0].0 + w[0].1 <= w[1].0, "case {case}: sorted + disjoint");
         }
         if let Some(&(off, len)) = runs.last() {
-            prop_assert!(off + len <= space.npoints(), "in bounds");
+            assert!(off + len <= space.npoints(), "case {case}: in bounds");
         }
     }
+}
 
-    /// Writing a random hyperslab then reading it back returns the data;
-    /// elements outside the slab stay zero.
-    #[test]
-    fn slab_write_read_roundtrip(
-        n in 1u64..200,
-        start_frac in 0.0f64..1.0,
-        len_frac in 0.0f64..1.0,
-    ) {
-        let file = File::create_in_memory().unwrap();
-        let ds = file.root().create_dataset::<i64>("d", &Dataspace::d1(n)).unwrap();
-        ds.write(&vec![0i64; n as usize]).unwrap();
+/// Writing a random hyperslab then reading it back returns the data;
+/// elements outside the slab stay zero.
+#[test]
+fn slab_write_read_roundtrip() {
+    let mut rng = Lcg::new(0x0C0FFEE);
+    for case in 0..CASES {
+        let n = rng.in_range(1, 200);
+        let start_frac = rng.unit();
+        let len_frac = rng.unit();
+        let file = File::create_in_memory().expect("in-memory file");
+        let ds = file
+            .root()
+            .create_dataset::<i64>("d", &Dataspace::d1(n))
+            .expect("create");
+        ds.write(&vec![0i64; n as usize]).expect("zero fill");
         let start = ((n - 1) as f64 * start_frac) as u64;
         let len = 1 + ((n - start - 1) as f64 * len_frac) as u64;
         let slab = Hyperslab::range1(start, len);
         let vals: Vec<i64> = (0..len as i64).map(|i| i + 1).collect();
-        ds.write_slab(&slab, &vals).unwrap();
-        let all = ds.read::<i64>().unwrap();
+        ds.write_slab(&slab, &vals).expect("slab write");
+        let all = ds.read::<i64>().expect("read");
         for (i, &v) in all.iter().enumerate() {
             let i = i as u64;
             if i >= start && i < start + len {
-                prop_assert_eq!(v, (i - start) as i64 + 1);
+                assert_eq!(v, (i - start) as i64 + 1, "case {case}: n {n} start {start} len {len}");
             } else {
-                prop_assert_eq!(v, 0);
+                assert_eq!(v, 0, "case {case}: n {n} start {start} len {len}");
             }
         }
     }
+}
 
-    /// Flow conservation on the processor-sharing resource: all bytes are
-    /// served, and total service time is at least total_bytes/capacity.
-    #[test]
-    fn resource_conserves_bytes(
-        capacity in 1.0f64..1e6,
-        sizes in proptest::collection::vec(0.0f64..1e6, 1..12),
-    ) {
+/// Flow conservation on the processor-sharing resource: all bytes are
+/// served, and total service time is at least total_bytes/capacity.
+#[test]
+fn resource_conserves_bytes() {
+    let mut rng = Lcg::new(0xF10E5);
+    for case in 0..CASES {
+        let capacity = rng.f64_in(1.0, 1e6);
+        let nflows = rng.in_range(1, 12) as usize;
+        let sizes: Vec<f64> = (0..nflows).map(|_| rng.f64_in(0.0, 1e6)).collect();
         let mut sim = Engine::new();
         let res = SharedResource::new("r", capacity);
         let done = Rc::new(RefCell::new(0usize));
         for &bytes in &sizes {
             let d = done.clone();
-            res.start_flow(&mut sim, bytes, None, move |_| { *d.borrow_mut() += 1; });
+            res.start_flow(&mut sim, bytes, None, move |_| {
+                *d.borrow_mut() += 1;
+            });
         }
         sim.run();
-        prop_assert_eq!(*done.borrow(), sizes.len());
+        assert_eq!(*done.borrow(), sizes.len(), "case {case}");
         let total: f64 = sizes.iter().sum();
-        prop_assert!((res.bytes_served() - total).abs() <= 1e-6 * total.max(1.0));
+        assert!(
+            (res.bytes_served() - total).abs() <= 1e-6 * total.max(1.0),
+            "case {case}: served {} vs {total}",
+            res.bytes_served()
+        );
         let ideal = total / capacity;
         let elapsed = sim.now().as_secs_f64();
-        prop_assert!(elapsed >= ideal - 1e-6, "can't beat capacity: {} < {}", elapsed, ideal);
+        assert!(
+            elapsed >= ideal - 1e-6,
+            "case {case}: can't beat capacity: {elapsed} < {ideal}"
+        );
     }
+}
 
-    /// Eq. 2b invariants: async epoch time is monotone in each argument
-    /// and never beats `max(t_comp, t_io/2... )` — concretely, it is
-    /// bounded below by both `t_comp` and `t_io − t_comp`.
-    #[test]
-    fn epoch_equations_invariants(
-        comp in 0.0f64..100.0,
-        io in 0.0f64..100.0,
-        ov in 0.0f64..10.0,
-    ) {
+/// Eq. 2b invariants: async epoch time is monotone in each argument
+/// and never beats `max(t_comp, t_io/2... )` — concretely, it is
+/// bounded below by both `t_comp` and `t_io − t_comp`.
+#[test]
+fn epoch_equations_invariants() {
+    let mut rng = Lcg::new(0xE90C);
+    for case in 0..CASES {
+        let comp = rng.f64_in(0.0, 100.0);
+        let io = rng.f64_in(0.0, 100.0);
+        let ov = rng.f64_in(0.0, 10.0);
         let p = EpochParams::new(comp, io, ov);
-        prop_assert!(p.async_time() >= comp);
-        prop_assert!(p.async_time() >= io - comp);
-        prop_assert!(p.async_time() >= ov);
-        prop_assert!(p.sync_time() >= io.max(comp));
+        assert!(p.async_time() >= comp, "case {case}: comp {comp} io {io} ov {ov}");
+        assert!(p.async_time() >= io - comp, "case {case}");
+        assert!(p.async_time() >= ov, "case {case}");
+        assert!(p.sync_time() >= io.max(comp), "case {case}");
         // Removing overhead can only help.
         let p0 = EpochParams::new(comp, io, 0.0);
-        prop_assert!(p0.async_time() <= p.async_time());
+        assert!(p0.async_time() <= p.async_time(), "case {case}");
         // The slowdown characterization.
         let slow = p.async_time() >= p.sync_time();
-        prop_assert_eq!(slow, ov >= io.min(2.0 * comp));
+        assert_eq!(slow, ov >= io.min(2.0 * comp), "case {case}: comp {comp} io {io} ov {ov}");
     }
+}
 
-    /// OLS on exactly-linear data recovers predictions regardless of the
-    /// coefficient scales (well-conditioned, distinct features).
-    #[test]
-    fn regression_recovers_exact_linear_data(
-        b0 in -100.0f64..100.0,
-        b1 in -100.0f64..100.0,
-    ) {
+/// OLS on exactly-linear data recovers predictions regardless of the
+/// coefficient scales (well-conditioned, distinct features).
+#[test]
+fn regression_recovers_exact_linear_data() {
+    let mut rng = Lcg::new(0x0152);
+    for case in 0..CASES {
+        let b0 = rng.f64_in(-100.0, 100.0);
+        let b1 = rng.f64_in(-100.0, 100.0);
         let xs: Vec<Vec<f64>> = (1..25)
             .map(|i| vec![i as f64, ((i * i) % 23) as f64 + 0.5])
             .collect();
         let ys: Vec<f64> = xs.iter().map(|x| b0 * x[0] + b1 * x[1]).collect();
-        let fit = LinearFit::fit(Design::Linear, &xs, &ys).unwrap();
+        let fit = LinearFit::fit(Design::Linear, &xs, &ys).expect("fit");
         for (x, y) in xs.iter().zip(&ys) {
             let err = (fit.predict(x) - y).abs();
-            prop_assert!(err <= 1e-6 * y.abs().max(1.0), "err {}", err);
+            assert!(
+                err <= 1e-6 * y.abs().max(1.0),
+                "case {case}: b0 {b0} b1 {b1} err {err}"
+            );
         }
     }
+}
 
-    /// Engine determinism: the same schedule always fires in the same
-    /// order (a regression guard for the heap tie-break).
-    #[test]
-    fn engine_is_deterministic(delays in proptest::collection::vec(0u64..1000, 1..50)) {
+/// Engine determinism: the same schedule always fires in the same
+/// order (a regression guard for the heap tie-break).
+#[test]
+fn engine_is_deterministic() {
+    let mut rng = Lcg::new(0xDE7E);
+    for case in 0..CASES {
+        let n = rng.in_range(1, 50) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| rng.next() % 1000).collect();
         let run_once = |delays: &[u64]| -> Vec<usize> {
             let mut sim = Engine::new();
             let log = Rc::new(RefCell::new(Vec::new()));
@@ -146,8 +212,8 @@ proptest! {
                 sim.schedule(SimDuration::from_nanos(d), move |_| log.borrow_mut().push(i));
             }
             sim.run();
-            Rc::try_unwrap(log).unwrap().into_inner()
+            Rc::try_unwrap(log).expect("sole owner").into_inner()
         };
-        prop_assert_eq!(run_once(&delays), run_once(&delays));
+        assert_eq!(run_once(&delays), run_once(&delays), "case {case}: {delays:?}");
     }
 }
