@@ -22,6 +22,10 @@ cargo test -q "${CARGO_FLAGS[@]}" -p argolite --features debug-invariants
 cargo test -q "${CARGO_FLAGS[@]}" -p asyncvol --features debug-invariants
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants
 
+echo "== fault injection (chaos + resilience properties) =="
+cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test chaos
+cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test properties
+
 echo "== clippy =="
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy -q "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings

@@ -21,6 +21,7 @@ use std::time::Instant;
 use argolite::TaskGraph;
 use h5lite::{Container, H5Error, ObjectId, Request, Result, Selection};
 
+use crate::retry::with_backoff;
 use crate::stats::{OpKind, OpRecord};
 use crate::{AsyncVol, ErrorCell, Payload, Staging};
 
@@ -69,7 +70,7 @@ impl WriteBatch<'_> {
         let t0 = Instant::now();
         let payload = match &self.vol.staging {
             Staging::Dram => Payload::Dram(data.to_vec()),
-            Staging::Device(log) => Payload::Staged(log.clone(), log.append(data)?),
+            Staging::Device(log) => Payload::Staged(log.clone(), log.append(ds, sel, data)?),
         };
         let overhead_secs = t0.elapsed().as_secs_f64();
         self.vol
@@ -147,16 +148,36 @@ impl WriteBatch<'_> {
             let c = container.clone();
             let stats = vol.stats.clone();
             let observer = observer.clone();
+            let policy = vol.retry;
+            let breaker = vol.breaker.clone();
+            let salt = i as u64;
             let node = graph.add_task(format!("write[{i}]:{ds:?}"), move || {
-                let t0 = Instant::now();
-                let result = (|| -> Result<()> {
-                    let snapshot = match payload {
-                        Payload::Dram(buf) => buf,
-                        Payload::Staged(log, extent) => log.read(extent)?,
-                    };
-                    c.write_selection(ds, &sel, &snapshot)
-                })();
-                let io_secs = t0.elapsed().as_secs_f64();
+                // Same resilience contract as the plain write path: one
+                // deadline across staged read-back and container write,
+                // transient faults retried, device faults feed the
+                // breaker. (Batches are never themselves degraded — they
+                // are an explicitly asynchronous construct — but their
+                // failures count toward tripping the breaker.)
+                let started = Instant::now();
+                let outcome: Result<()> = match &payload {
+                    Payload::Dram(buf) => with_backoff(&policy, salt, started, &stats, || {
+                        c.write_selection(ds, &sel, buf)
+                    }),
+                    Payload::Staged(log, extent) => {
+                        match with_backoff(&policy, salt, started, &stats, || log.read(*extent)) {
+                            Err(e) => Err(e),
+                            Ok(buf) => with_backoff(&policy, !salt, started, &stats, || {
+                                c.write_selection(ds, &sel, &buf)
+                            }),
+                        }
+                    }
+                };
+                if outcome.is_ok() {
+                    if let Payload::Staged(log, extent) = &payload {
+                        let _ = log.mark_applied(*extent);
+                    }
+                }
+                let io_secs = started.elapsed().as_secs_f64();
                 stats.record_write(bytes, io_secs);
                 if let Some(obs) = observer {
                     obs(&OpRecord {
@@ -166,7 +187,12 @@ impl WriteBatch<'_> {
                         overhead_secs,
                     });
                 }
-                if let Err(e) = result {
+                match &outcome {
+                    Ok(()) => breaker.on_success(false, &stats),
+                    Err(e) if e.is_device_fault() => breaker.on_device_failure(false, &stats),
+                    Err(_) => breaker.on_success(false, &stats),
+                }
+                if let Err(e) = outcome {
                     *cell.lock() = Some(e);
                 }
             });

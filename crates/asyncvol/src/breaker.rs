@@ -1,0 +1,246 @@
+//! Circuit breaker: async → sync graceful degradation.
+//!
+//! When the storage device fails persistently, pushing more work onto
+//! the background streams just converts every `wait` into an error and
+//! loses the writes. After `failure_threshold` *consecutive* background
+//! device failures the breaker opens and the connector degrades to
+//! synchronous passthrough: writes run on the caller's thread (correct
+//! but slow, and the failure — if it persists — is returned to the
+//! caller immediately, so no acknowledged write is ever lost to a dead
+//! pipeline).
+//!
+//! While open, every `probe_after`-th issue is dispatched as a single
+//! asynchronous *probe* (half-open state). A probe that completes
+//! cleanly closes the breaker and restores async mode; a probe that hits
+//! a device fault reopens it. Only device faults
+//! ([`h5lite::H5Error::is_device_fault`]) move the state machine — a
+//! caller repeatedly issuing bad-shape writes must not degrade the
+//! pipeline.
+//!
+//! ```text
+//!            K consecutive device failures
+//!   Closed ─────────────────────────────────▶ Open
+//!     ▲                                        │ probe_after degraded
+//!     │ probe succeeds                         ▼ issues
+//!   HalfOpen ◀───────────────────────────── (probe dispatched)
+//!     │ probe hits a device fault
+//!     └───────────────────────────────────▶ Open (again)
+//! ```
+//!
+//! Transitions are reported through the stats counters
+//! (`breaker_opens` / `breaker_closes` / `probes`) and — because
+//! degraded writes emit [`OpKind::DegradedWrite`](crate::OpKind)
+//! records — through the observer, so the model layer's `ModeAdvisor`
+//! sees the regime change in its feedback loop.
+
+use std::sync::Arc;
+
+use argolite::sync::Mutex;
+
+use crate::stats::StatsCells;
+
+/// Tuning for the async→sync degradation state machine.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive background device failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// While open: number of degraded issues between async probes.
+    pub probe_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 8,
+            probe_after: 4,
+        }
+    }
+}
+
+/// Breaker state (see the module docs for the transition diagram).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BreakerState {
+    /// Normal asynchronous operation.
+    Closed,
+    /// Degraded: writes run synchronously on the caller's thread.
+    Open,
+    /// A probe write is in flight; still degraded until it succeeds.
+    HalfOpen,
+}
+
+struct Inner {
+    state: BreakerState,
+    /// Consecutive device failures while closed.
+    consecutive_failures: u32,
+    /// Issues routed degraded since the breaker opened (or last probe).
+    degraded_since_open: u32,
+}
+
+/// Where the breaker routes one write issue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Route {
+    /// Dispatch to the background streams. `probe: true` marks the
+    /// half-open trial whose outcome decides recovery.
+    Async {
+        /// Whether this dispatch is the half-open probe.
+        probe: bool,
+    },
+    /// Execute synchronously on the caller's thread.
+    Degraded,
+}
+
+/// Shared async→sync degradation state machine. Cloning shares state.
+#[derive(Clone)]
+pub(crate) struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl CircuitBreaker {
+    pub(crate) fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            inner: Arc::new(Mutex::new_named(
+                "asyncvol.breaker",
+                Inner {
+                    state: BreakerState::Closed,
+                    consecutive_failures: 0,
+                    degraded_since_open: 0,
+                },
+            )),
+        }
+    }
+
+    pub(crate) fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// Whether writes are currently degraded to synchronous passthrough.
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.state() != BreakerState::Closed
+    }
+
+    /// Route the next write issue. Open-state bookkeeping happens here:
+    /// every `probe_after`-th issue while open becomes the half-open
+    /// probe.
+    pub(crate) fn route(&self, stats: &StatsCells) -> Route {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => Route::Async { probe: false },
+            BreakerState::HalfOpen => Route::Degraded,
+            BreakerState::Open => {
+                inner.degraded_since_open += 1;
+                if inner.degraded_since_open >= self.cfg.probe_after {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.degraded_since_open = 0;
+                    stats.record_probe();
+                    Route::Async { probe: true }
+                } else {
+                    Route::Degraded
+                }
+            }
+        }
+    }
+
+    /// A routed operation completed without a device fault.
+    pub(crate) fn on_success(&self, probe: bool, stats: &StatsCells) {
+        let mut inner = self.inner.lock();
+        inner.consecutive_failures = 0;
+        if probe && inner.state == BreakerState::HalfOpen {
+            inner.state = BreakerState::Closed;
+            stats.record_breaker_close();
+        }
+    }
+
+    /// A routed operation failed with a device fault (transient faults
+    /// that exhausted their retries included).
+    pub(crate) fn on_device_failure(&self, probe: bool, stats: &StatsCells) {
+        let mut inner = self.inner.lock();
+        if probe {
+            if inner.state == BreakerState::HalfOpen {
+                inner.state = BreakerState::Open;
+                inner.degraded_since_open = 0;
+                stats.record_breaker_open();
+            }
+            return;
+        }
+        inner.consecutive_failures += 1;
+        if inner.state == BreakerState::Closed
+            && inner.consecutive_failures >= self.cfg.failure_threshold
+        {
+            inner.state = BreakerState::Open;
+            inner.degraded_since_open = 0;
+            inner.consecutive_failures = 0;
+            stats.record_breaker_open();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, probe_after: u32) -> (CircuitBreaker, StatsCells) {
+        (
+            CircuitBreaker::new(BreakerConfig {
+                failure_threshold: threshold,
+                probe_after,
+            }),
+            StatsCells::new(),
+        )
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let (b, s) = breaker(3, 2);
+        b.on_device_failure(false, &s);
+        b.on_device_failure(false, &s);
+        b.on_success(false, &s); // success resets the streak
+        b.on_device_failure(false, &s);
+        b.on_device_failure(false, &s);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_device_failure(false, &s);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(s.snapshot().breaker_opens, 1);
+    }
+
+    #[test]
+    fn open_routes_degraded_then_probes() {
+        let (b, s) = breaker(1, 3);
+        b.on_device_failure(false, &s);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.route(&s), Route::Degraded);
+        assert_eq!(b.route(&s), Route::Degraded);
+        assert_eq!(b.route(&s), Route::Async { probe: true });
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // While the probe is in flight, further issues stay degraded.
+        assert_eq!(b.route(&s), Route::Degraded);
+        assert_eq!(s.snapshot().probes, 1);
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_reopens() {
+        let (b, s) = breaker(1, 1);
+        b.on_device_failure(false, &s);
+        assert_eq!(b.route(&s), Route::Async { probe: true });
+        b.on_device_failure(true, &s);
+        assert_eq!(b.state(), BreakerState::Open, "failed probe reopens");
+
+        assert_eq!(b.route(&s), Route::Async { probe: true });
+        b.on_success(true, &s);
+        assert_eq!(b.state(), BreakerState::Closed, "clean probe recovers");
+        assert_eq!(b.route(&s), Route::Async { probe: false });
+        let snap = s.snapshot();
+        assert_eq!(snap.breaker_opens, 2);
+        assert_eq!(snap.breaker_closes, 1);
+        assert_eq!(snap.probes, 2);
+    }
+
+    #[test]
+    fn non_probe_success_does_not_close_an_open_breaker() {
+        let (b, s) = breaker(1, 100);
+        b.on_device_failure(false, &s);
+        b.on_success(false, &s); // e.g. a degraded write that worked
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}

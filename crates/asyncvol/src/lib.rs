@@ -31,7 +31,14 @@
 //!
 //! Background failures are held per request and surface at wait time as
 //! [`H5Error::Async`], matching the deferred error reporting of the real
-//! connector.
+//! connector. Before an error is ever held, the resilience layer tries to
+//! make it not exist: background storage operations retry transient
+//! faults with capped, jittered exponential backoff ([`retry`]); repeated
+//! device failures trip a circuit breaker that degrades the connector to
+//! synchronous passthrough with half-open probing to restore async mode
+//! ([`breaker`]); and device staging is a write-ahead log whose
+//! staged-but-unflushed records replay into the container after a crash
+//! ([`staging`], [`AsyncVol::recover_staging`]).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -44,11 +51,18 @@ use h5lite::{
 };
 
 pub mod batch;
+pub mod breaker;
+pub mod retry;
 pub mod staging;
 pub mod stats;
 pub use batch::{BatchOpId, WriteBatch};
-pub use staging::{Staging, StagingLog};
+pub use breaker::{BreakerConfig, BreakerState};
+pub use retry::RetryPolicy;
+pub use staging::{RecoveryReport, Staging, StagingLog};
 pub use stats::{AsyncVolStats, OpKind, OpRecord};
+
+use breaker::{CircuitBreaker, Route};
+use retry::with_backoff;
 
 /// How one write's snapshot travels to the background stream.
 enum Payload {
@@ -64,6 +78,8 @@ pub struct AsyncVolBuilder {
     streams: usize,
     observer: Option<Observer>,
     staging: Staging,
+    retry: RetryPolicy,
+    breaker: BreakerConfig,
 }
 
 impl Default for AsyncVolBuilder {
@@ -73,12 +89,15 @@ impl Default for AsyncVolBuilder {
 }
 
 impl AsyncVolBuilder {
-    /// Defaults: one stream, no observer, DRAM staging.
+    /// Defaults: one stream, no observer, DRAM staging, default retry
+    /// policy and breaker thresholds.
     pub fn new() -> Self {
         AsyncVolBuilder {
             streams: 1,
             observer: None,
             staging: Staging::Dram,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 
@@ -97,9 +116,26 @@ impl AsyncVolBuilder {
 
     /// Stage write snapshots on a node-local device instead of DRAM
     /// (paper §II-C: "caching data either to a memory buffer on the same
-    /// node ... or to a node-local SSD").
+    /// node ... or to a node-local SSD"). The device is opened as a
+    /// write-ahead log: if it already holds records from a crashed run,
+    /// the append cursor resumes after them and
+    /// [`AsyncVol::recover_staging`] can replay them.
     pub fn stage_to_device(mut self, device: Arc<dyn h5lite::StorageBackend>) -> Self {
-        self.staging = Staging::Device(Arc::new(StagingLog::new(device)));
+        self.staging = Staging::Device(Arc::new(StagingLog::open(device)));
+        self
+    }
+
+    /// Retry policy for background storage operations (default: 5
+    /// attempts, 500 µs base backoff capped at 50 ms, 2 s deadline).
+    /// [`RetryPolicy::none`] restores fail-fast behaviour.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Circuit-breaker thresholds for async→sync degradation.
+    pub fn breaker(mut self, cfg: BreakerConfig) -> Self {
+        self.breaker = cfg;
         self
     }
 
@@ -117,6 +153,8 @@ impl AsyncVolBuilder {
             }),
             stats: stats::StatsCells::new(),
             observer: Mutex::new_named("asyncvol.observer", self.observer),
+            retry: self.retry,
+            breaker: CircuitBreaker::new(self.breaker),
         }
     }
 }
@@ -148,6 +186,8 @@ pub struct AsyncVol {
     stats: stats::StatsCells,
     observer: Mutex<Option<Observer>>,
     staging: Staging,
+    retry: RetryPolicy,
+    breaker: CircuitBreaker,
 }
 
 impl AsyncVol {
@@ -161,9 +201,30 @@ impl AsyncVol {
         AsyncVolBuilder::new()
     }
 
-    /// Snapshot of the instrumentation counters.
+    /// Snapshot of the instrumentation counters, including whether the
+    /// circuit breaker currently has writes degraded to synchronous
+    /// passthrough.
     pub fn stats(&self) -> AsyncVolStats {
-        self.stats.snapshot()
+        let mut s = self.stats.snapshot();
+        s.degraded = self.breaker.is_degraded();
+        s
+    }
+
+    /// Current circuit-breaker state (async→sync degradation machine).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Replay staged-but-unflushed write-ahead records into `c` — the
+    /// crash-recovery step. Call after reopening a container whose
+    /// connector died mid-epoch, with the connector built via
+    /// [`AsyncVolBuilder::stage_to_device`] on the *same* staging device.
+    /// A no-op under DRAM staging (DRAM snapshots die with the process).
+    pub fn recover_staging(&self, c: &Arc<Container>) -> Result<RecoveryReport> {
+        match &self.staging {
+            Staging::Dram => Ok(RecoveryReport::default()),
+            Staging::Device(log) => log.recover_into(c),
+        }
     }
 
     /// Install (or replace) the per-operation observer.
@@ -179,7 +240,7 @@ impl AsyncVol {
     pub fn recycle_staging(&self) -> Result<()> {
         self.wait_all()?;
         if let Staging::Device(log) = &self.staging {
-            log.reset();
+            log.reset()?;
         }
         Ok(())
     }
@@ -223,9 +284,10 @@ impl AsyncVol {
         let p = promise.clone();
         let stats = self.stats.clone();
         let observer = self.observer.lock().clone();
+        let policy = self.retry;
         let handle = self.rt.spawn_dependent(&deps, move || {
             let t0 = Instant::now();
-            let result = c.read_selection(ds, &sel_task);
+            let result = with_backoff(&policy, req, t0, &stats, || c.read_selection(ds, &sel_task));
             let io_secs = t0.elapsed().as_secs_f64();
             let bytes = result.as_ref().map(|d| d.len() as u64).unwrap_or(0);
             stats.record_read(bytes, io_secs, true);
@@ -259,6 +321,55 @@ impl AsyncVol {
         }
         inner.last_op.retain(|_, h| !h.is_terminal());
     }
+
+    /// Synchronous passthrough write, used while the circuit breaker has
+    /// the connector degraded. Runs on the caller's thread: the result is
+    /// known before returning, so an `Ok` here is as durable as the
+    /// container itself — no acknowledged write can be lost to a dead
+    /// background pipeline. Per-dataset ordering is preserved by waiting
+    /// out any in-flight background op on the same dataset first.
+    fn degraded_write(
+        &self,
+        c: &Arc<Container>,
+        ds: ObjectId,
+        sel: &Selection,
+        data: &[u8],
+    ) -> Result<Request> {
+        let (salt, dep) = {
+            let mut inner = self.inner.lock();
+            let salt = inner.next_req;
+            inner.next_req += 1; // consumed as jitter salt only
+            (salt, inner.last_op.get(&ds).cloned())
+        };
+        if let Some(dep) = dep {
+            dep.wait()
+                .map_err(|p| H5Error::Async(format!("dependency panicked: {}", p.message)))?;
+        }
+        let started = Instant::now();
+        let result = with_backoff(&self.retry, salt, started, &self.stats, || {
+            c.write_selection(ds, sel, data)
+        });
+        let io_secs = started.elapsed().as_secs_f64();
+        match result {
+            Ok(()) => {
+                self.stats.record_degraded_write(data.len() as u64, io_secs);
+                self.breaker.on_success(false, &self.stats);
+                self.notify(OpRecord {
+                    kind: OpKind::DegradedWrite,
+                    bytes: data.len() as u64,
+                    io_secs,
+                    overhead_secs: 0.0,
+                });
+                Ok(Request::SYNC)
+            }
+            Err(e) => {
+                if e.is_device_fault() {
+                    self.breaker.on_device_failure(false, &self.stats);
+                }
+                Err(e)
+            }
+        }
+    }
 }
 
 impl Default for AsyncVol {
@@ -279,6 +390,14 @@ impl Vol for AsyncVol {
         sel: &Selection,
         data: &[u8],
     ) -> Result<Request> {
+        // The circuit breaker decides the regime first: degraded issues
+        // run synchronously on the caller's thread and are acknowledged
+        // only once durable.
+        let probe = match self.breaker.route(&self.stats) {
+            Route::Degraded => return self.degraded_write(c, ds, sel, data),
+            Route::Async { probe } => probe,
+        };
+
         // The transactional overhead (Eq. 2b's t_transact_overhead): a
         // synchronous copy out of the caller's buffer — into a heap
         // snapshot (DRAM staging) or onto the node-local staging device —
@@ -286,7 +405,7 @@ impl Vol for AsyncVol {
         let t0 = Instant::now();
         let payload = match &self.staging {
             Staging::Dram => Payload::Dram(data.to_vec()),
-            Staging::Device(log) => Payload::Staged(log.clone(), log.append(data)?),
+            Staging::Device(log) => Payload::Staged(log.clone(), log.append(ds, sel, data)?),
         };
         let overhead_secs = t0.elapsed().as_secs_f64();
         self.stats.record_snapshot(data.len() as u64, overhead_secs);
@@ -304,18 +423,34 @@ impl Vol for AsyncVol {
         let error_cell: ErrorCell = Arc::new(Mutex::new_named("asyncvol.error_cell", None));
         let errors_task = error_cell.clone();
         let bytes = data.len() as u64;
+        let policy = self.retry;
+        let breaker = self.breaker.clone();
         let handle = self.rt.spawn_dependent(&deps, move || {
-            let t0 = Instant::now();
-            let result = (|| -> Result<()> {
-                let snapshot = match payload {
-                    Payload::Dram(buf) => buf,
-                    // Device staging: the background stream reads the
-                    // snapshot back from the staging log first.
-                    Payload::Staged(log, extent) => log.read(extent)?,
-                };
-                c.write_selection(ds, &sel_task, &snapshot)
-            })();
-            let io_secs = t0.elapsed().as_secs_f64();
+            // One deadline covers the staged read-back and the container
+            // write; transient faults in either are retried with backoff.
+            let started = Instant::now();
+            let outcome: Result<()> = match &payload {
+                Payload::Dram(buf) => with_backoff(&policy, req, started, &stats, || {
+                    c.write_selection(ds, &sel_task, buf)
+                }),
+                Payload::Staged(log, extent) => {
+                    match with_backoff(&policy, req, started, &stats, || log.read(*extent)) {
+                        Err(e) => Err(e),
+                        Ok(buf) => {
+                            with_backoff(&policy, !req, started, &stats, || {
+                                c.write_selection(ds, &sel_task, &buf)
+                            })
+                        }
+                    }
+                }
+            };
+            if outcome.is_ok() {
+                if let Payload::Staged(log, extent) = &payload {
+                    // Benign if this fails: WAL replay is idempotent.
+                    let _ = log.mark_applied(*extent);
+                }
+            }
+            let io_secs = started.elapsed().as_secs_f64();
             stats.record_write(bytes, io_secs);
             if let Some(obs) = observer {
                 obs(&OpRecord {
@@ -325,7 +460,15 @@ impl Vol for AsyncVol {
                     overhead_secs,
                 });
             }
-            if let Err(e) = result {
+            match &outcome {
+                Ok(()) => breaker.on_success(probe, &stats),
+                // Only device faults move the breaker: a malformed
+                // request (shape/type mismatch) must not degrade the
+                // pipeline.
+                Err(e) if e.is_device_fault() => breaker.on_device_failure(probe, &stats),
+                Err(_) => breaker.on_success(probe, &stats),
+            }
+            if let Err(e) = outcome {
                 *errors_task.lock() = Some(e);
             }
         });
@@ -361,7 +504,9 @@ impl Vol for AsyncVol {
                 .map_err(|p| H5Error::Async(format!("dependency panicked: {}", p.message)))?;
         }
         let t0 = Instant::now();
-        let result = c.read_selection(ds, sel);
+        let result = with_backoff(&self.retry, ds.wrapping_mul(0x9E37_79B9_7F4A_7C15), t0, &self.stats, || {
+            c.read_selection(ds, sel)
+        });
         let io_secs = t0.elapsed().as_secs_f64();
         let bytes = result.as_ref().map(|d| d.len() as u64).unwrap_or(0);
         self.stats.record_read(bytes, io_secs, false);
@@ -409,31 +554,45 @@ impl Vol for AsyncVol {
                 .collect();
             (handles, cells, pf)
         };
-        let mut first_err: Option<H5Error> = None;
+        // Aggregate EVERY failure — first-error-wins would silently drop
+        // the rest, and a checkpoint writer deciding what to re-drive
+        // needs the full list of failed requests.
+        let mut failures: Vec<(u64, String)> = Vec::new();
         for (req, handle) in handles {
             if let Err(p) = handle.wait() {
-                first_err.get_or_insert(H5Error::Async(format!(
-                    "background task panicked: {}",
-                    p.message
-                )));
+                failures.push((req, format!("background task panicked: {}", p.message)));
             }
-            if let Some(cell) = error_cells.get(&req) {
-                if let Some(err) = cell.lock().take() {
-                    first_err.get_or_insert(H5Error::Async(err.to_string()));
-                }
+        }
+        // Walk all drained cells, not just those with a live handle: a
+        // task reaped by gc may still hold an unreported deferred error.
+        for (req, cell) in &error_cells {
+            if let Some(err) = cell.lock().take() {
+                failures.push((*req, err.to_string()));
             }
         }
         for handle in prefetch_handles {
             if let Err(p) = handle.wait() {
-                first_err.get_or_insert(H5Error::Async(format!(
-                    "prefetch panicked: {}",
-                    p.message
-                )));
+                failures.push((u64::MAX, format!("prefetch panicked: {}", p.message)));
             }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(()),
+        if failures.is_empty() {
+            return Ok(());
         }
+        failures.sort();
+        let parts: Vec<String> = failures
+            .iter()
+            .map(|(req, msg)| {
+                if *req == u64::MAX {
+                    msg.clone()
+                } else {
+                    format!("req {req}: {msg}")
+                }
+            })
+            .collect();
+        Err(H5Error::Async(format!(
+            "{} background operation(s) failed: [{}]",
+            failures.len(),
+            parts.join("; ")
+        )))
     }
 }

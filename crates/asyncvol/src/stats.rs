@@ -16,6 +16,11 @@ pub enum OpKind {
     Read,
     /// Background prefetch read.
     Prefetch,
+    /// Synchronous passthrough write issued while the circuit breaker has
+    /// degraded the connector (correct but slow — the caller pays the
+    /// full I/O time). The observer seeing these is how the model layer
+    /// learns the pipeline has changed regime.
+    DegradedWrite,
 }
 
 /// One completed operation, as delivered to the observer.
@@ -44,6 +49,12 @@ struct Cells {
     write_io_nanos: AtomicU64,
     read_bytes: AtomicU64,
     read_io_nanos: AtomicU64,
+    retries: AtomicU64,
+    retry_successes: AtomicU64,
+    degraded_writes: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_closes: AtomicU64,
+    probes: AtomicU64,
 }
 
 /// Shared handle to the connector's counters.
@@ -92,6 +103,42 @@ impl StatsCells {
         self.cells.prefetch_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One retry of a transient-failed storage operation.
+    pub(crate) fn record_retry(&self) {
+        self.cells.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An operation that ultimately succeeded after at least one retry.
+    pub(crate) fn record_retry_success(&self) {
+        self.cells.retry_successes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A synchronous passthrough write completed while degraded. Bytes
+    /// and time also land in the write totals so bandwidth math covers
+    /// the degraded regime.
+    pub(crate) fn record_degraded_write(&self, bytes: u64, io_secs: f64) {
+        self.cells.degraded_writes.fetch_add(1, Ordering::Relaxed);
+        self.cells.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.cells
+            .write_io_nanos
+            .fetch_add(to_nanos(io_secs), Ordering::Relaxed);
+    }
+
+    /// The circuit breaker tripped (async → degraded transition).
+    pub(crate) fn record_breaker_open(&self) {
+        self.cells.breaker_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The circuit breaker closed (degraded → async transition).
+    pub(crate) fn record_breaker_close(&self) {
+        self.cells.breaker_closes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A half-open probe write was dispatched asynchronously.
+    pub(crate) fn record_probe(&self) {
+        self.cells.probes.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> AsyncVolStats {
         let c = &self.cells;
         AsyncVolStats {
@@ -105,6 +152,13 @@ impl StatsCells {
             write_io_secs: c.write_io_nanos.load(Ordering::Relaxed) as f64 / 1e9,
             read_bytes: c.read_bytes.load(Ordering::Relaxed),
             read_io_secs: c.read_io_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            retries: c.retries.load(Ordering::Relaxed),
+            retry_successes: c.retry_successes.load(Ordering::Relaxed),
+            degraded_writes: c.degraded_writes.load(Ordering::Relaxed),
+            breaker_opens: c.breaker_opens.load(Ordering::Relaxed),
+            breaker_closes: c.breaker_closes.load(Ordering::Relaxed),
+            probes: c.probes.load(Ordering::Relaxed),
+            degraded: false,
         }
     }
 }
@@ -132,6 +186,23 @@ pub struct AsyncVolStats {
     pub read_bytes: u64,
     /// Seconds spent reading (blocking + prefetch).
     pub read_io_secs: f64,
+    /// Transient storage failures absorbed by backoff-and-retry.
+    pub retries: u64,
+    /// Operations that succeeded after at least one retry.
+    pub retry_successes: u64,
+    /// Writes executed as synchronous passthrough while degraded.
+    pub degraded_writes: u64,
+    /// Circuit-breaker trips (async → degraded).
+    pub breaker_opens: u64,
+    /// Circuit-breaker recoveries (degraded → async).
+    pub breaker_closes: u64,
+    /// Half-open probe writes dispatched.
+    pub probes: u64,
+    /// Whether the connector is currently degraded to synchronous
+    /// passthrough (breaker open or half-open). Filled from the breaker
+    /// by [`AsyncVol::stats`](crate::AsyncVol::stats); a raw counter
+    /// snapshot reports `false`.
+    pub degraded: bool,
 }
 
 impl AsyncVolStats {

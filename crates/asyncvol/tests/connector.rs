@@ -419,10 +419,9 @@ fn device_staging_roundtrip_and_footprint() {
     let req = vol
         .dataset_write(&c, ds, &Selection::All, &to_bytes_f64(&data))
         .unwrap();
-    assert_eq!(
-        vol.staging_bytes_used(),
-        1024 * 8,
-        "snapshot lives on the staging device"
+    assert!(
+        vol.staging_bytes_used() >= 1024 * 8,
+        "snapshot (plus WAL framing) lives on the staging device"
     );
     vol.wait(req).unwrap();
     let back = vol
@@ -531,8 +530,8 @@ fn injected_device_failure_surfaces_as_deferred_async_error() {
     // The container lives on a device that dies after a few writes: the
     // async connector must keep accepting work and surface the failure at
     // wait time, without hanging or panicking the background stream.
-    let backend = Arc::new(h5lite::FaultyBackend::failing_after(
-        Box::new(h5lite::MemBackend::new()),
+    let backend = Arc::new(h5lite::FaultInjector::failing_after(
+        Arc::new(h5lite::MemBackend::new()),
         4,
     ));
     let c = Arc::new(Container::create(backend));
@@ -565,12 +564,174 @@ fn injected_device_failure_surfaces_as_deferred_async_error() {
 }
 
 #[test]
+fn wait_all_aggregates_all_background_errors() {
+    // Three malformed writes plus one good one: wait_all must list every
+    // failed request, not just the first.
+    let c = mem_container();
+    let vol = AsyncVol::new();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::F64,
+            &Dataspace::d1(4),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    let mut bad_reqs = Vec::new();
+    for _ in 0..3 {
+        bad_reqs.push(
+            vol.dataset_write(&c, ds, &Selection::All, &[0u8; 3])
+                .unwrap(),
+        );
+    }
+    let _good = vol
+        .dataset_write(&c, ds, &Selection::All, &[0u8; 32])
+        .unwrap();
+    let err = vol.wait_all().unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("3 background operation(s) failed"),
+        "must count every failure, got: {msg}"
+    );
+    for req in &bad_reqs {
+        assert!(
+            msg.contains(&format!("req {}", req.0)),
+            "request {} missing from: {msg}",
+            req.0
+        );
+    }
+    // Exactly-once: a second wait_all is clean.
+    vol.wait_all().unwrap();
+}
+
+#[test]
+fn transient_faults_are_absorbed_by_retry() {
+    // Two transient faults on the data-write path: the background task
+    // retries with backoff and the operation succeeds — no error reaches
+    // wait, and the retry counters record the absorption.
+    let inner = Arc::new(h5lite::MemBackend::new());
+    let plan = h5lite::FaultPlan::new(11)
+        .fail_at(h5lite::FaultOp::Write, 0, h5lite::FaultKind::Transient)
+        .fail_at(h5lite::FaultOp::Write, 1, h5lite::FaultKind::Transient);
+    let injector = Arc::new(h5lite::FaultInjector::new(inner, plan));
+    injector.set_armed(false);
+    let c = Arc::new(Container::create(injector.clone()));
+    let vol = AsyncVol::new();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::U8,
+            &Dataspace::d1(64),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    injector.set_armed(true);
+    let req = vol
+        .dataset_write(&c, ds, &Selection::All, &[5u8; 64])
+        .unwrap();
+    vol.wait(req).expect("transient faults must be absorbed");
+    assert_eq!(injector.injected(), 2);
+    let s = vol.stats();
+    assert_eq!(s.retries, 2);
+    assert_eq!(s.retry_successes, 1);
+    let back = vol
+        .dataset_read(&c, ds, &Selection::All)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(back.iter().all(|&b| b == 5));
+}
+
+#[test]
+fn breaker_degrades_to_sync_passthrough_and_recovers() {
+    // A persistent-fault window trips the breaker; writes degrade to
+    // synchronous passthrough; the half-open probe restores async mode.
+    let inner = Arc::new(h5lite::MemBackend::new());
+    let plan = h5lite::FaultPlan::new(3)
+        .fail_at(h5lite::FaultOp::Write, 0, h5lite::FaultKind::Persistent)
+        .fail_at(h5lite::FaultOp::Write, 1, h5lite::FaultKind::Persistent);
+    let injector = Arc::new(h5lite::FaultInjector::new(inner, plan));
+    injector.set_armed(false);
+    let c = Arc::new(Container::create(injector.clone()));
+    let vol = AsyncVol::builder()
+        .breaker(asyncvol::BreakerConfig {
+            failure_threshold: 2,
+            probe_after: 2,
+        })
+        .build();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::U8,
+            &Dataspace::d1(16),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    injector.set_armed(true);
+
+    // Two async writes hit the dead device; their failures surface at
+    // wait and trip the breaker.
+    for _ in 0..2 {
+        let req = vol
+            .dataset_write(&c, ds, &Selection::All, &[1u8; 16])
+            .unwrap();
+        assert!(vol.wait(req).is_err());
+    }
+    assert_eq!(vol.breaker_state(), asyncvol::BreakerState::Open);
+    assert!(vol.stats().degraded);
+    assert_eq!(vol.stats().breaker_opens, 1);
+
+    // Degraded issue #1: synchronous passthrough. The fault window has
+    // passed, so it succeeds and is durable before the call returns.
+    let req = vol
+        .dataset_write(&c, ds, &Selection::All, &[2u8; 16])
+        .unwrap();
+    assert!(req.is_sync(), "degraded write completes synchronously");
+    assert_eq!(
+        c.read_selection(ds, &Selection::All).unwrap(),
+        vec![2u8; 16],
+        "acknowledged degraded write is already durable"
+    );
+
+    // Degraded issue #2 becomes the half-open probe; its success closes
+    // the breaker.
+    let req = vol
+        .dataset_write(&c, ds, &Selection::All, &[3u8; 16])
+        .unwrap();
+    assert!(!req.is_sync(), "probe is dispatched asynchronously");
+    vol.wait(req).unwrap();
+    assert_eq!(vol.breaker_state(), asyncvol::BreakerState::Closed);
+
+    // Async mode restored.
+    let req = vol
+        .dataset_write(&c, ds, &Selection::All, &[4u8; 16])
+        .unwrap();
+    assert!(!req.is_sync());
+    vol.wait(req).unwrap();
+    let s = vol.stats();
+    assert!(!s.degraded);
+    assert_eq!(s.degraded_writes, 1);
+    assert_eq!(s.probes, 1);
+    assert_eq!(s.breaker_closes, 1);
+    assert_eq!(
+        c.read_selection(ds, &Selection::All).unwrap(),
+        vec![4u8; 16]
+    );
+}
+
+#[test]
 fn staging_device_failure_fails_the_issue_not_the_background() {
     // When the *staging* device dies, the failure is synchronous (the
     // snapshot itself cannot be taken) — the paper's transactional copy
     // is on the caller's critical path.
-    let staging = Arc::new(h5lite::FaultyBackend::failing_after(
-        Box::new(h5lite::MemBackend::new()),
+    let staging = Arc::new(h5lite::FaultInjector::failing_after(
+        Arc::new(h5lite::MemBackend::new()),
         1,
     ));
     let vol = AsyncVol::builder().stage_to_device(staging).build();

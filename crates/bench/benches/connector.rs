@@ -105,8 +105,39 @@ fn epoch_overlap() {
     }
 }
 
+/// Resilience ablation: epoch time with the retry path in place but
+/// idle (0% faults — the overhead must be indistinguishable from the
+/// plain connector) and under a 1% transient-fault rate (the cost of
+/// absorbing real faults, still with zero application-visible errors).
+fn chaos() {
+    use apio_bench::chaos::run_chaos_epoch;
+    section("chaos");
+    let bytes_per_op = 1 << 16; // 64 KiB slabs
+    let ops = 64u64;
+    let total = bytes_per_op as u64 * ops;
+    for (name, rate) in [("chaos/faults_0pct", 0.0), ("chaos/faults_1pct", 0.01)] {
+        bench_bytes(name, total, || {
+            let r = run_chaos_epoch(rate, bytes_per_op, ops, 0xC4A05).unwrap();
+            black_box(r);
+        });
+    }
+    // One non-timed run per rate so the printed retry counts document
+    // what the 1% line actually absorbed.
+    for rate in [0.0, 0.01] {
+        let r = run_chaos_epoch(rate, bytes_per_op, ops, 0xC4A05).unwrap();
+        println!(
+            "chaos: rate {:>4.1}%  injected {:>3}  retries {:>3}  epoch {:8.3} ms",
+            r.fault_rate * 100.0,
+            r.injected,
+            r.retries,
+            r.epoch_secs * 1e3
+        );
+    }
+}
+
 fn main() {
     sync_visible_write();
     async_visible_write();
     epoch_overlap();
+    chaos();
 }

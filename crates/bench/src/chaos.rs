@@ -1,0 +1,85 @@
+//! Chaos benchmark: what the resilience layer costs when nothing goes
+//! wrong, and what it delivers when something does.
+//!
+//! The retry path wraps every background container write in
+//! `with_backoff`, so the interesting numbers are (a) the epoch-time
+//! overhead of that wrapper at a 0% fault rate — which must be noise —
+//! and (b) the sustained throughput under a low transient-fault rate,
+//! where each injected fault costs one backoff-and-rewrite round trip
+//! but never surfaces to the application.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use h5lite::{
+    container::ROOT_ID, Container, Dataspace, Datatype, FaultInjector, FaultKind, FaultOp,
+    FaultPlan, Layout, MemBackend, Selection, Vol,
+};
+
+use asyncvol::AsyncVol;
+
+/// Outcome of one chaos epoch (issue + drain of `ops` slab writes).
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosReport {
+    /// Transient-fault probability per backend write.
+    pub fault_rate: f64,
+    /// Wall time of the epoch: all issues plus the collective drain.
+    pub epoch_secs: f64,
+    /// Application bytes moved per second of epoch time.
+    pub throughput_bps: f64,
+    /// Background retries the connector performed.
+    pub retries: u64,
+    /// Faults the injector actually fired.
+    pub injected: u64,
+}
+
+/// Drive `ops` slab writes of `bytes_per_op` through the async connector
+/// over a backend that transient-faults each write with probability
+/// `fault_rate`, and time the whole epoch. Every fault must be absorbed
+/// by retry: an error reaching `wait_all` fails the run.
+pub fn run_chaos_epoch(
+    fault_rate: f64,
+    bytes_per_op: usize,
+    ops: u64,
+    seed: u64,
+) -> h5lite::Result<ChaosReport> {
+    let mut plan = FaultPlan::new(seed);
+    if fault_rate > 0.0 {
+        plan = plan.random(FaultOp::Write, fault_rate, FaultKind::Transient);
+    }
+    let injector = Arc::new(FaultInjector::new(Arc::new(MemBackend::new()), plan));
+    injector.set_armed(false);
+
+    let elems_per_op = (bytes_per_op / 8) as u64;
+    let c = Arc::new(Container::create(injector.clone()));
+    let ds = c.create_dataset(
+        ROOT_ID,
+        "chaos",
+        Datatype::F64,
+        &Dataspace::d1(ops * elems_per_op),
+        Layout::Contiguous,
+    )?;
+    c.flush()?;
+
+    let vol = AsyncVol::builder().streams(1).build();
+    let data = vec![1.0f64; elems_per_op as usize];
+    let bytes = h5lite::datatype::to_bytes(&data);
+
+    injector.set_armed(true);
+    let t0 = Instant::now();
+    for i in 0..ops {
+        let sel = Selection::Slab(h5lite::Hyperslab::range1(i * elems_per_op, elems_per_op));
+        let _ = vol.dataset_write(&c, ds, &sel, &bytes)?;
+    }
+    vol.wait_all()?;
+    let epoch_secs = t0.elapsed().as_secs_f64();
+
+    let total_bytes = ops * bytes_per_op as u64;
+    Ok(ChaosReport {
+        fault_rate,
+        epoch_secs,
+        throughput_bps: total_bytes as f64 / epoch_secs,
+        retries: vol.stats().retries,
+        injected: injector.injected(),
+    })
+}

@@ -9,6 +9,7 @@
 //! report the peak aggregate bandwidth, and the model's estimate (the
 //! dotted line) is a linear/linear-log fit over the collected history.
 
+pub mod chaos;
 pub mod experiments;
 pub mod harness;
 pub mod table;

@@ -354,3 +354,23 @@ fn ablation_collective_buffering_fixes_small_requests() {
     // More aggregators = smaller requests each: slightly worse than 1.
     assert!(at_scale.agg4_bw < at_scale.agg1_bw);
 }
+
+#[test]
+fn chaos_epoch_absorbs_faults_and_idles_cheaply() {
+    // The bench scenario's two claims, in miniature: a 0% fault rate
+    // injects nothing and retries nothing (the retry path is pure
+    // plumbing), while a heavy transient rate injects real faults,
+    // absorbs every one through retry, and still completes the epoch
+    // with all data intact.
+    let clean = chaos::run_chaos_epoch(0.0, 1 << 12, 16, 0xC4A05).unwrap();
+    assert_eq!(clean.injected, 0);
+    assert_eq!(clean.retries, 0);
+    assert!(clean.epoch_secs > 0.0 && clean.throughput_bps > 0.0);
+
+    // 20% is high enough that 16 ops fire at least one fault for this
+    // seed (deterministic), yet far below what exhausts the retry budget.
+    let noisy = chaos::run_chaos_epoch(0.2, 1 << 12, 16, 0xC4A05).unwrap();
+    assert!(noisy.injected > 0, "{noisy:?}");
+    assert!(noisy.retries >= noisy.injected, "{noisy:?}");
+    assert_eq!(noisy.fault_rate, 0.2);
+}

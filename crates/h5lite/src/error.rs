@@ -24,8 +24,14 @@ pub enum H5Error {
     InvalidSelection(String),
     /// Unsupported combination (e.g. chunked layout on an N-D dataset).
     Unsupported(String),
-    /// Underlying storage failed (I/O error, short read, ...).
+    /// Underlying storage failed (I/O error, short read, ...) in a way a
+    /// retry will not fix — a dead device, a short read of valid data.
     Storage(String),
+    /// Underlying storage failed transiently (device busy, timeout, torn
+    /// write that left the range rewritable): the same operation may
+    /// succeed if retried. Produced by fault injection and by I/O errors
+    /// the OS marks as interruptions.
+    Transient(String),
     /// The container's on-disk bytes are not a valid h5lite file.
     Corrupt(String),
     /// Operation on a closed file or connector.
@@ -48,6 +54,7 @@ impl fmt::Display for H5Error {
             H5Error::InvalidSelection(m) => write!(f, "invalid selection: {m}"),
             H5Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             H5Error::Storage(m) => write!(f, "storage error: {m}"),
+            H5Error::Transient(m) => write!(f, "transient storage error: {m}"),
             H5Error::Corrupt(m) => write!(f, "corrupt container: {m}"),
             H5Error::Closed => write!(f, "file is closed"),
             H5Error::Async(m) => write!(f, "async operation failed: {m}"),
@@ -55,11 +62,53 @@ impl fmt::Display for H5Error {
     }
 }
 
+/// Coarse classification of an error for retry policies: is the failure
+/// worth retrying, or is the operation doomed no matter how often it is
+/// reissued?
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorClass {
+    /// A retry of the same operation may succeed (transient device
+    /// faults, interrupted syscalls).
+    Retryable,
+    /// Retrying cannot help: the request itself is wrong (shape or type
+    /// mismatch, missing object) or the device failed permanently.
+    Fatal,
+}
+
+impl H5Error {
+    /// Classify this error for retry decisions.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            H5Error::Transient(_) => ErrorClass::Retryable,
+            _ => ErrorClass::Fatal,
+        }
+    }
+
+    /// Whether a backoff-and-retry of the same operation may succeed.
+    pub fn is_retryable(&self) -> bool {
+        self.class() == ErrorClass::Retryable
+    }
+
+    /// Whether the failure originated in the storage device (as opposed
+    /// to a malformed request). Device faults — transient or permanent —
+    /// are what trip the async connector's circuit breaker; a caller
+    /// repeatedly issuing bad-shape writes must not degrade the pipeline.
+    pub fn is_device_fault(&self) -> bool {
+        matches!(self, H5Error::Storage(_) | H5Error::Transient(_))
+    }
+}
+
 impl std::error::Error for H5Error {}
 
 impl From<std::io::Error> for H5Error {
     fn from(e: std::io::Error) -> Self {
-        H5Error::Storage(e.to_string())
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                H5Error::Transient(e.to_string())
+            }
+            _ => H5Error::Storage(e.to_string()),
+        }
     }
 }
 
@@ -86,5 +135,39 @@ mod tests {
         let io = std::io::Error::other("disk on fire");
         let e: H5Error = io.into();
         assert!(matches!(e, H5Error::Storage(m) if m.contains("disk on fire")));
+    }
+
+    #[test]
+    fn interrupted_io_is_transient() {
+        let io = std::io::Error::new(std::io::ErrorKind::Interrupted, "try again");
+        let e: H5Error = io.into();
+        assert!(matches!(e, H5Error::Transient(_)), "got {e:?}");
+        assert!(e.is_retryable());
+    }
+
+    #[test]
+    fn taxonomy_classifies_retryable_vs_fatal() {
+        assert_eq!(
+            H5Error::Transient("busy".into()).class(),
+            ErrorClass::Retryable
+        );
+        for fatal in [
+            H5Error::Storage("dead".into()),
+            H5Error::NotFound("x".into()),
+            H5Error::ShapeMismatch("m".into()),
+            H5Error::Closed,
+            H5Error::Async("m".into()),
+        ] {
+            assert_eq!(fatal.class(), ErrorClass::Fatal, "{fatal:?}");
+            assert!(!fatal.is_retryable());
+        }
+    }
+
+    #[test]
+    fn device_faults_are_storage_and_transient_only() {
+        assert!(H5Error::Storage("dead".into()).is_device_fault());
+        assert!(H5Error::Transient("busy".into()).is_device_fault());
+        assert!(!H5Error::ShapeMismatch("m".into()).is_device_fault());
+        assert!(!H5Error::NotFound("x".into()).is_device_fault());
     }
 }

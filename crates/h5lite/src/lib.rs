@@ -55,9 +55,12 @@ pub use api::{Dataset, File, Group};
 pub use container::{Container, ObjectId};
 pub use dataspace::{Dataspace, Hyperslab, Selection};
 pub use datatype::{Datatype, H5Type};
-pub use error::{H5Error, Result};
+pub use error::{ErrorClass, H5Error, Result};
 pub use layout::Layout;
 pub use native::NativeVol;
 pub use promise::Promise;
-pub use storage::{FaultyBackend, FileBackend, MemBackend, StorageBackend, ThrottledBackend};
+pub use storage::{
+    FaultInjector, FaultKind, FaultOp, FaultPlan, FileBackend, MemBackend, StorageBackend,
+    ThrottledBackend,
+};
 pub use vol::{ReadRequest, Request, Vol};

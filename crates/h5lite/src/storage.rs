@@ -9,9 +9,10 @@
 
 use std::fs::OpenOptions;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
-use crate::sync::RwLock;
+use crate::sync::{Mutex, RwLock};
 
 use crate::error::{H5Error, Result};
 
@@ -206,48 +207,291 @@ impl StorageBackend for ThrottledBackend {
 }
 
 
-/// A backend that injects a failure after a configured number of
-/// operations — for exercising error paths: deferred async errors,
-/// torn-flush detection, connector poisoning.
-pub struct FaultyBackend {
-    inner: Box<dyn StorageBackend>,
-    /// Operations remaining before every further write fails.
-    writes_left: AtomicU64,
+/// Which backend operation a [`FaultRule`] applies to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultOp {
+    /// `read_at`.
+    Read,
+    /// `write_at`.
+    Write,
+    /// `sync` (flush to durable storage).
+    Flush,
 }
 
-impl FaultyBackend {
-    /// Fail every write after the first `writes_allowed`.
-    pub fn failing_after(inner: Box<dyn StorageBackend>, writes_allowed: u64) -> Self {
-        FaultyBackend {
+/// What happens when a fault rule fires.
+#[derive(Clone, Debug)]
+pub enum FaultKind {
+    /// Fail with [`H5Error::Transient`]: a retry of the same operation
+    /// may succeed (the rule may be budget-limited via
+    /// [`FaultPlan::times`]).
+    Transient,
+    /// Fail with [`H5Error::Storage`]: the device is gone; retrying the
+    /// same operation cannot help.
+    Persistent,
+    /// Torn write: persist only the leading `fraction` of the payload,
+    /// then fail with [`H5Error::Transient`]. A full rewrite (the retry
+    /// path) repairs the tear, which is why it classifies as transient.
+    /// Applies to writes only; on other ops it degrades to `Transient`.
+    Torn {
+        /// Fraction of the payload (0.0..=1.0) written before the error.
+        fraction: f64,
+    },
+    /// Latency spike: stall the calling thread for `secs`, then let the
+    /// operation through untouched.
+    Delay {
+        /// Stall duration in seconds.
+        secs: f64,
+    },
+}
+
+#[derive(Clone, Debug)]
+enum Trigger {
+    /// Fire on exactly the `n`-th operation of the class (0-based).
+    At(u64),
+    /// Fire on every operation of the class with index >= `n`.
+    After(u64),
+    /// Fire on each operation of the class independently with
+    /// probability `rate`, drawn from the plan's seeded generator.
+    Random(f64),
+}
+
+#[derive(Clone, Debug)]
+struct FaultRule {
+    op: FaultOp,
+    trigger: Trigger,
+    kind: FaultKind,
+    /// Remaining firings (`None` = unlimited).
+    budget: Option<u64>,
+}
+
+/// A deterministic, seeded schedule of storage faults.
+///
+/// A plan is a list of rules; each backend operation is classified
+/// ([`FaultOp`]), its per-class index taken, and the first matching rule
+/// with budget left fires. Random triggers draw from one LCG seeded at
+/// construction, so the same plan against the same operation sequence
+/// injects the same faults — chaos tests replay exactly.
+///
+/// Determinism holds per operation *sequence*: concurrent callers that
+/// race their operations will interleave class indices
+/// nondeterministically, so deterministic tests should drive the backend
+/// from one stream (e.g. a single-stream async connector).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given jitter seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Fire `kind` on exactly the `index`-th operation of class `op`.
+    pub fn fail_at(mut self, op: FaultOp, index: u64, kind: FaultKind) -> Self {
+        self.rules.push(FaultRule {
+            op,
+            trigger: Trigger::At(index),
+            kind,
+            budget: None,
+        });
+        self
+    }
+
+    /// Fire `kind` on every operation of class `op` from `index` onward.
+    pub fn fail_after(mut self, op: FaultOp, index: u64, kind: FaultKind) -> Self {
+        self.rules.push(FaultRule {
+            op,
+            trigger: Trigger::After(index),
+            kind,
+            budget: None,
+        });
+        self
+    }
+
+    /// Fire `kind` on each operation of class `op` with probability
+    /// `rate` (seeded, deterministic per operation sequence).
+    pub fn random(mut self, op: FaultOp, rate: f64, kind: FaultKind) -> Self {
+        self.rules.push(FaultRule {
+            op,
+            trigger: Trigger::Random(rate.clamp(0.0, 1.0)),
+            kind,
+            budget: None,
+        });
+        self
+    }
+
+    /// Cap the most recently added rule to fire at most `n` times — e.g.
+    /// a persistent-error *window* that heals after `n` failures.
+    pub fn times(mut self, n: u64) -> Self {
+        if let Some(rule) = self.rules.last_mut() {
+            rule.budget = Some(n);
+        }
+        self
+    }
+}
+
+/// Deterministic 64-bit LCG (MMIX constants) for the plan's random
+/// triggers; upper bits as output.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn unit(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) as f64 / (1u64 << 31) as f64
+    }
+}
+
+struct InjectorState {
+    /// Per-class operation counters, indexed Read/Write/Flush.
+    counts: [u64; 3],
+    /// Remaining budget per rule (mirrors `FaultPlan::rules`).
+    budgets: Vec<Option<u64>>,
+    rng: Lcg,
+}
+
+/// A [`StorageBackend`] wrapper executing a [`FaultPlan`] against an
+/// inner backend — the fault-injection stage for exercising error paths:
+/// deferred async errors, retry/backoff absorption, circuit-breaker
+/// degradation, torn-flush detection, staging-log recovery.
+pub struct FaultInjector {
+    inner: Arc<dyn StorageBackend>,
+    plan: FaultPlan,
+    state: Mutex<InjectorState>,
+    /// Faults injected so far (delays excluded).
+    injected: AtomicU64,
+    /// When disarmed, operations pass through untouched (and are not
+    /// counted) — lets tests set up metadata cleanly before the chaos.
+    armed: AtomicBool,
+}
+
+impl FaultInjector {
+    /// Wrap `inner` under `plan`, armed.
+    pub fn new(inner: Arc<dyn StorageBackend>, plan: FaultPlan) -> Self {
+        let budgets = plan.rules.iter().map(|r| r.budget).collect();
+        let seed = plan.seed;
+        FaultInjector {
             inner,
-            writes_left: AtomicU64::new(writes_allowed),
+            plan,
+            state: Mutex::new(InjectorState {
+                counts: [0; 3],
+                budgets,
+                rng: Lcg::new(seed),
+            }),
+            injected: AtomicU64::new(0),
+            armed: AtomicBool::new(true),
+        }
+    }
+
+    /// Convenience: the old `FaultyBackend` shape — every write after the
+    /// first `writes_allowed` fails permanently.
+    pub fn failing_after(inner: Arc<dyn StorageBackend>, writes_allowed: u64) -> Self {
+        Self::new(
+            inner,
+            FaultPlan::new(0).fail_after(FaultOp::Write, writes_allowed, FaultKind::Persistent),
+        )
+    }
+
+    /// Enable or disable injection. Disarmed, the wrapper is transparent
+    /// and operations do not advance the plan's counters.
+    pub fn set_armed(&self, armed: bool) {
+        self.armed.store(armed, Ordering::SeqCst);
+    }
+
+    /// Total faults injected so far (delays are not counted).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// The wrapped backend (e.g. to reopen a container after a simulated
+    /// crash without the injector in the path).
+    pub fn into_inner(self) -> Arc<dyn StorageBackend> {
+        self.inner
+    }
+
+    /// Decide the fault (if any) for the next operation of class `op`.
+    fn decide(&self, op: FaultOp) -> Option<FaultKind> {
+        if !self.armed.load(Ordering::SeqCst) {
+            return None;
+        }
+        let mut st = self.state.lock();
+        let idx = st.counts[op as usize];
+        st.counts[op as usize] += 1;
+        for (i, rule) in self.plan.rules.iter().enumerate() {
+            if rule.op != op {
+                continue;
+            }
+            if st.budgets[i] == Some(0) {
+                continue;
+            }
+            let fires = match rule.trigger {
+                Trigger::At(n) => idx == n,
+                Trigger::After(n) => idx >= n,
+                Trigger::Random(rate) => st.rng.unit() < rate,
+            };
+            if fires {
+                if let Some(b) = st.budgets[i].as_mut() {
+                    *b -= 1;
+                }
+                return Some(rule.kind.clone());
+            }
+        }
+        None
+    }
+
+    /// Build the error for a decided non-delay fault. `Torn` on a
+    /// payload-free path (read/flush) degrades to a plain transient.
+    fn fault_error(&self, kind: &FaultKind, what: &str) -> H5Error {
+        self.injected.fetch_add(1, Ordering::SeqCst);
+        match kind {
+            FaultKind::Persistent => H5Error::Storage(format!("injected persistent {what} fault")),
+            _ => H5Error::Transient(format!("injected transient {what} fault")),
         }
     }
 }
 
-impl StorageBackend for FaultyBackend {
+impl StorageBackend for FaultInjector {
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
-        // Decrement-with-floor: once exhausted, stay exhausted.
-        let mut left = self.writes_left.load(Ordering::SeqCst);
-        loop {
-            if left == 0 {
-                return Err(H5Error::Storage("injected device failure".into()));
+        match self.decide(FaultOp::Write) {
+            None => self.inner.write_at(offset, data),
+            Some(FaultKind::Delay { secs }) => {
+                std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.0)));
+                self.inner.write_at(offset, data)
             }
-            match self.writes_left.compare_exchange(
-                left,
-                left - 1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
-                Ok(_) => break,
-                Err(actual) => left = actual,
+            Some(FaultKind::Torn { fraction }) => {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                let keep = ((data.len() as f64) * fraction.clamp(0.0, 1.0)) as usize;
+                // Persist the tear, then report a retryable failure.
+                self.inner.write_at(offset, &data[..keep.min(data.len())])?;
+                Err(H5Error::Transient(format!(
+                    "injected torn write: {keep} of {} bytes persisted",
+                    data.len()
+                )))
             }
+            Some(kind) => Err(self.fault_error(&kind, "write")),
         }
-        self.inner.write_at(offset, data)
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        self.inner.read_at(offset, buf)
+        match self.decide(FaultOp::Read) {
+            None => self.inner.read_at(offset, buf),
+            Some(FaultKind::Delay { secs }) => {
+                std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.0)));
+                self.inner.read_at(offset, buf)
+            }
+            Some(kind) => Err(self.fault_error(&kind, "read")),
+        }
     }
 
     fn len(&self) -> u64 {
@@ -255,7 +499,14 @@ impl StorageBackend for FaultyBackend {
     }
 
     fn sync(&self) -> Result<()> {
-        self.inner.sync()
+        match self.decide(FaultOp::Flush) {
+            None => self.inner.sync(),
+            Some(FaultKind::Delay { secs }) => {
+                std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.0)));
+                self.inner.sync()
+            }
+            Some(kind) => Err(self.fault_error(&kind, "flush")),
+        }
     }
 }
 
@@ -374,15 +625,116 @@ mod tests {
     }
 
     #[test]
-    fn faulty_backend_fails_after_budget() {
-        let b = FaultyBackend::failing_after(Box::new(MemBackend::new()), 2);
+    fn injector_fails_writes_after_budget() {
+        let b = FaultInjector::failing_after(Arc::new(MemBackend::new()), 2);
         b.write_at(0, b"one").unwrap();
         b.write_at(10, b"two").unwrap();
         let err = b.write_at(20, b"three").unwrap_err();
         assert!(matches!(err, H5Error::Storage(m) if m.contains("injected")));
+        assert_eq!(b.injected(), 1);
         // Reads keep working; earlier data intact.
         let mut buf = [0u8; 3];
         b.read_at(0, &mut buf).unwrap();
         assert_eq!(&buf, b"one");
+    }
+
+    #[test]
+    fn injector_covers_reads_and_flushes_too() {
+        // Regression for the old FaultyBackend asymmetry: plans must be
+        // able to fault the read and flush paths, not just writes.
+        let plan = FaultPlan::new(7)
+            .fail_at(FaultOp::Read, 1, FaultKind::Transient)
+            .fail_at(FaultOp::Flush, 0, FaultKind::Persistent);
+        let b = FaultInjector::new(Arc::new(MemBackend::new()), plan);
+        b.write_at(0, b"data").unwrap();
+
+        let mut buf = [0u8; 4];
+        b.read_at(0, &mut buf).unwrap(); // read #0 passes
+        let err = b.read_at(0, &mut buf).unwrap_err(); // read #1 faults
+        assert!(err.is_retryable(), "read fault should be transient: {err:?}");
+        b.read_at(0, &mut buf).unwrap(); // read #2 passes again
+        assert_eq!(&buf, b"data");
+
+        let err = b.sync().unwrap_err();
+        assert!(matches!(err, H5Error::Storage(_)), "{err:?}");
+        b.sync().unwrap(); // flush #1 passes (At(0) already fired)
+        assert_eq!(b.injected(), 2);
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_and_is_retryable() {
+        let inner = Arc::new(MemBackend::new());
+        let plan = FaultPlan::new(1).fail_at(FaultOp::Write, 0, FaultKind::Torn { fraction: 0.5 });
+        let b = FaultInjector::new(inner.clone(), plan);
+
+        let err = b.write_at(0, b"ABCDEFGH").unwrap_err();
+        assert!(err.is_retryable(), "{err:?}");
+        // Half the payload reached the device.
+        assert_eq!(inner.len(), 4);
+        let mut torn = [0u8; 4];
+        inner.read_at(0, &mut torn).unwrap();
+        assert_eq!(&torn, b"ABCD");
+
+        // The retry (write #1, no rule) repairs the tear.
+        b.write_at(0, b"ABCDEFGH").unwrap();
+        let mut buf = [0u8; 8];
+        b.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"ABCDEFGH");
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let faults_for = |seed: u64| {
+            let plan = FaultPlan::new(seed).random(FaultOp::Write, 0.3, FaultKind::Transient);
+            let b = FaultInjector::new(Arc::new(MemBackend::new()), plan);
+            (0..64u64)
+                .map(|i| u8::from(b.write_at(i * 8, &[0u8; 8]).is_err()))
+                .collect::<Vec<_>>()
+        };
+        let a = faults_for(42);
+        assert_eq!(a, faults_for(42), "same seed must replay identically");
+        assert_ne!(a, faults_for(43), "different seed should differ");
+        let hits = a.iter().map(|&x| x as usize).sum::<usize>();
+        assert!(hits > 5 && hits < 40, "rate 0.3 over 64 ops, got {hits}");
+    }
+
+    #[test]
+    fn times_budget_caps_a_rule() {
+        // A persistent-error *window*: fails twice, then heals.
+        let plan = FaultPlan::new(0)
+            .fail_after(FaultOp::Write, 0, FaultKind::Persistent)
+            .times(2);
+        let b = FaultInjector::new(Arc::new(MemBackend::new()), plan);
+        assert!(b.write_at(0, b"x").is_err());
+        assert!(b.write_at(0, b"x").is_err());
+        b.write_at(0, b"x").unwrap();
+        b.write_at(1, b"y").unwrap();
+        assert_eq!(b.injected(), 2);
+    }
+
+    #[test]
+    fn disarmed_injector_is_transparent() {
+        let plan = FaultPlan::new(0).fail_after(FaultOp::Write, 0, FaultKind::Persistent);
+        let b = FaultInjector::new(Arc::new(MemBackend::new()), plan);
+        b.set_armed(false);
+        for i in 0..4 {
+            b.write_at(i * 4, b"pass").unwrap();
+        }
+        b.set_armed(true);
+        assert!(b.write_at(0, b"now").is_err());
+        assert_eq!(b.injected(), 1);
+    }
+
+    #[test]
+    fn delay_faults_stall_but_succeed() {
+        let plan = FaultPlan::new(0).fail_at(FaultOp::Write, 0, FaultKind::Delay { secs: 0.02 });
+        let b = FaultInjector::new(Arc::new(MemBackend::new()), plan);
+        let t0 = std::time::Instant::now();
+        b.write_at(0, b"slow").unwrap();
+        assert!(t0.elapsed().as_secs_f64() >= 0.015);
+        assert_eq!(b.injected(), 0, "delays are not counted as faults");
+        let mut buf = [0u8; 4];
+        b.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"slow");
     }
 }

@@ -10,6 +10,7 @@
 //! | `lock-discipline`| argolite, asyncvol `src/`              | every lock goes through `argolite::sync` (order-checked) |
 //! | `must-use`      | argolite, h5lite, asyncvol `src/`       | futures/handles/guards cannot be silently dropped |
 //! | `no-dbg-todo`   | whole workspace                         | no debugging or placeholder macros ship |
+//! | `bounded-retry` | h5lite, asyncvol `src/`                 | retry loops carry both an attempt bound and a deadline |
 //!
 //! Escapes are explicit and auditable: an inline `// xtask: allow(rule)`
 //! on the offending line, or a path entry in the root `xtask.allow` file.
@@ -40,12 +41,13 @@ impl std::fmt::Display for Violation {
 }
 
 /// Names of all rules, for reports.
-pub const RULE_NAMES: [&str; 5] = [
+pub const RULE_NAMES: [&str; 6] = [
     "virtual-time",
     "error-path",
     "lock-discipline",
     "must-use",
     "no-dbg-todo",
+    "bounded-retry",
 ];
 
 /// Crates whose `src/` must stay in virtual time.
@@ -59,6 +61,8 @@ const SANCTIONED_LOCK_MODULES: [&str; 2] =
     ["crates/argolite/src/sync.rs", "crates/h5lite/src/sync.rs"];
 /// Crates whose handle/guard types must be `#[must_use]`.
 const MUST_USE_CRATES: [&str; 3] = ["crates/argolite/", "crates/h5lite/", "crates/asyncvol/"];
+/// Crates whose retry loops must be bounded (attempts + deadline).
+const BOUNDED_RETRY_CRATES: [&str; 2] = ["crates/h5lite/", "crates/asyncvol/"];
 /// Type names (beyond the `*Guard` convention) that must be `#[must_use]`.
 const MUST_USE_TYPES: [&str; 6] = [
     "TaskHandle",
@@ -93,6 +97,21 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
     let lock_discipline =
         in_src(rel, &LOCK_CRATES) && !SANCTIONED_LOCK_MODULES.contains(&rel);
     let must_use = in_src(rel, &MUST_USE_CRATES);
+    let bounded_retry = in_src(rel, &BOUNDED_RETRY_CRATES);
+
+    // Whole-file evidence for `bounded-retry`: a retry decision
+    // (`is_retryable`) in non-test code is only legal when the same file
+    // visibly carries an attempt bound and a deadline. The policy lives
+    // next to the loop, so a reviewer can audit termination locally.
+    let has_attempt_bound = bounded_retry
+        && lines.iter().any(|l| {
+            !l.in_test
+                && (find_token(&l.code, "attempt") || find_token(&l.code, "max_attempts"))
+        });
+    let has_deadline = bounded_retry
+        && lines
+            .iter()
+            .any(|l| !l.in_test && find_token(&l.code, "deadline"));
 
     let mut push = |line: usize, raw: &str, rule: &'static str, message: String| {
         if !inline_allowed(raw, rule) {
@@ -161,6 +180,26 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                     );
                 }
             }
+        }
+
+        if bounded_retry
+            && find_token(code, "is_retryable")
+            && !find_token(code, "fn is_retryable")
+            && !(has_attempt_bound && has_deadline)
+        {
+            let missing = if has_attempt_bound {
+                "a deadline"
+            } else if has_deadline {
+                "an attempt bound"
+            } else {
+                "an attempt bound and a deadline"
+            };
+            push(
+                l.number,
+                &l.raw,
+                "bounded-retry",
+                format!("retry decision (`is_retryable`) without {missing} in scope; bound the loop with `max_attempts` and a `deadline` (see `asyncvol::retry`)"),
+            );
         }
 
         if find_token(code, "dbg!(") {
@@ -403,6 +442,42 @@ mod tests {
             rules_fired("tests/e2e.rs", "fn f() { unimplemented!() }\n"),
             ["no-dbg-todo"]
         );
+    }
+
+    #[test]
+    fn bounded_retry_fires_on_unbounded_retry_loop() {
+        let bad = "fn f() { while e.is_retryable() { e = op().unwrap_err(); } }\n";
+        assert!(rules_fired("crates/asyncvol/src/retry.rs", bad).contains(&"bounded-retry"));
+        // Half a bound is still unbounded.
+        let half = "fn f(attempt: u32) { while e.is_retryable() && attempt < 5 { op(); } }\n";
+        let fired = lint_source("crates/asyncvol/src/retry.rs", half);
+        assert!(fired.iter().any(|v| v.rule == "bounded-retry"
+            && v.message.contains("a deadline")));
+    }
+
+    #[test]
+    fn bounded_retry_satisfied_by_attempt_bound_and_deadline() {
+        let ok = "\
+fn f(policy: &RetryPolicy, started: Instant) {
+    let mut attempt = 1;
+    while e.is_retryable()
+        && attempt < policy.max_attempts
+        && started.elapsed() < policy.deadline
+    {
+        attempt += 1;
+    }
+}
+";
+        assert!(lint_source("crates/asyncvol/src/retry.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn bounded_retry_ignores_the_taxonomy_definition_and_other_crates() {
+        let def = "impl H5Error {\n    pub fn is_retryable(&self) -> bool {\n        true\n    }\n}\n";
+        assert!(lint_source("crates/h5lite/src/error.rs", def).is_empty());
+        let elsewhere = "fn f() { while e.is_retryable() { op(); } }\n";
+        assert!(lint_source("crates/core/src/lib.rs", elsewhere).is_empty());
+        assert!(lint_source("crates/asyncvol/tests/x.rs", elsewhere).is_empty());
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Chaos acceptance tests for the resilience layer (ISSUE 2).
+//!
+//! Scenario 1 drives VPIC-IO-style writes through a seeded [`FaultPlan`]
+//! with transient faults and a mid-run "crash" (the storage device dying
+//! persistently under the connector), reopens the container, replays the
+//! staging write-ahead log, and demands the recovered container be
+//! byte-identical to a fault-free run of the same schedule.
+//!
+//! Scenario 2 runs the connector into a bounded window of persistent
+//! faults and demands the circuit breaker degrade to synchronous
+//! passthrough without losing a single acknowledged write, then recover
+//! to async mode once the device heals.
+
+use std::sync::Arc;
+
+use apio::asyncvol::{AsyncVol, BreakerConfig, BreakerState, RetryPolicy};
+use apio::h5lite::{
+    container::ROOT_ID, Container, Dataspace, Datatype, FaultInjector, FaultKind, FaultOp,
+    FaultPlan, Hyperslab, Layout, MemBackend, Selection, StorageBackend, Vol,
+};
+use apio::kernels::vpic::particle_value;
+
+const PROPS: usize = 3; // datasets ("particle properties")
+const STEPS: u32 = 4; // slab writes per dataset ("timesteps")
+const SLAB: u64 = 64; // elements per slab write
+const N: u64 = STEPS as u64 * SLAB; // elements per dataset
+
+fn slab_values(step: u32, prop: usize) -> Vec<f32> {
+    (0..SLAB)
+        .map(|i| particle_value(step, prop, step as u64 * SLAB + i))
+        .collect()
+}
+
+/// Create the VPIC-style datasets and return their ids.
+fn create_datasets(c: &Container) -> Vec<apio::h5lite::ObjectId> {
+    (0..PROPS)
+        .map(|p| {
+            c.create_dataset(
+                ROOT_ID,
+                &format!("prop{p}"),
+                Datatype::F32,
+                &Dataspace::d1(N),
+                Layout::Contiguous,
+            )
+            .expect("create dataset")
+        })
+        .collect()
+}
+
+/// Issue the full write schedule through `vol`, in deterministic order.
+/// Returns the per-write results (acknowledged == `Ok`).
+fn issue_schedule(
+    vol: &AsyncVol,
+    c: &Arc<Container>,
+    ids: &[apio::h5lite::ObjectId],
+) -> Vec<apio::h5lite::Result<apio::h5lite::Request>> {
+    let mut results = Vec::new();
+    for step in 0..STEPS {
+        for (p, &ds) in ids.iter().enumerate() {
+            let sel = Selection::Slab(Hyperslab::range1(step as u64 * SLAB, SLAB));
+            let bytes = apio::h5lite::datatype::to_bytes(&slab_values(step, p));
+            results.push(vol.dataset_write(c, ds, &sel, &bytes));
+        }
+    }
+    results
+}
+
+/// The fault-free reference: same schedule, clean backend, same config.
+fn fault_free_contents() -> Vec<Vec<u8>> {
+    let c = Arc::new(Container::create_mem());
+    let ids = create_datasets(&c);
+    c.flush().expect("flush metadata");
+    let vol = AsyncVol::builder()
+        .streams(1)
+        .stage_to_device(Arc::new(MemBackend::new()))
+        .build();
+    for r in issue_schedule(&vol, &c, &ids) {
+        let _ = r.expect("fault-free write");
+    }
+    vol.wait_all().expect("fault-free drain");
+    ids.iter()
+        .map(|&ds| c.read_selection(ds, &Selection::All).expect("read"))
+        .collect()
+}
+
+#[test]
+fn crash_recovery_restores_fault_free_contents() {
+    let reference = fault_free_contents();
+
+    // Transient noise early, then the device dies for good at the 8th
+    // data write — the "crash". The fail_at rule guarantees at least one
+    // retryable fault regardless of what the random rule rolls.
+    let plan = FaultPlan::new(0xC4A05)
+        .fail_after(FaultOp::Write, 8, FaultKind::Persistent)
+        .fail_at(FaultOp::Write, 2, FaultKind::Transient)
+        .random(FaultOp::Write, 0.10, FaultKind::Transient);
+
+    let inner: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+    let injector = Arc::new(FaultInjector::new(inner.clone(), plan));
+    injector.set_armed(false); // metadata setup is not under test
+
+    let c = Arc::new(Container::create(injector.clone()));
+    let ids = create_datasets(&c);
+    c.flush().expect("metadata durable before the chaos starts");
+
+    let device: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+    let vol = AsyncVol::builder()
+        .streams(1)
+        .stage_to_device(device.clone())
+        .retry(RetryPolicy {
+            max_attempts: 6,
+            ..RetryPolicy::default()
+        })
+        // Scenario 1 studies WAL recovery, not degradation: keep the
+        // breaker out of the way so every write is acknowledged into
+        // the staging log before the crash.
+        .breaker(BreakerConfig {
+            failure_threshold: u32::MAX,
+            probe_after: 4,
+        })
+        .build();
+
+    injector.set_armed(true);
+    for r in issue_schedule(&vol, &c, &ids) {
+        let _ = r.expect("issue is acknowledged once staged in the WAL");
+    }
+
+    // The drain surfaces the persistent failures: this is where a real
+    // application would die mid-epoch.
+    let drain = vol.wait_all();
+    assert!(drain.is_err(), "the dead device must surface at wait_all");
+    let stats = vol.stats();
+    assert!(stats.retries > 0, "transient faults must have been retried");
+    assert!(injector.injected() > 0, "the plan must actually fire");
+    drop(vol); // crash: connector dies, DRAM state is gone
+
+    // Reboot: reopen the container from the raw (healed) device and
+    // replay the staging log through a fresh connector.
+    let c2 = Arc::new(Container::open(inner).expect("reopen after crash"));
+    let ids2: Vec<_> = (0..PROPS)
+        .map(|p| c2.lookup(ROOT_ID, &format!("prop{p}")).expect("lookup"))
+        .collect();
+    assert_eq!(ids2, ids, "flushed metadata survives the crash");
+
+    let vol2 = AsyncVol::builder().stage_to_device(device).build();
+    let report = vol2.recover_staging(&c2).expect("recovery");
+    assert!(
+        report.replayed > 0,
+        "crash left staged-but-unflushed extents: {report:?}"
+    );
+    assert!(report.bytes_replayed > 0);
+    assert_eq!(report.orphaned, 0, "every record targets a live dataset");
+
+    for (p, &ds) in ids2.iter().enumerate() {
+        let got = c2.read_selection(ds, &Selection::All).expect("read back");
+        assert_eq!(
+            got, reference[p],
+            "dataset prop{p} must be byte-identical to the fault-free run"
+        );
+    }
+
+    // Recovery is idempotent: a second replay finds everything applied.
+    let again = vol2.recover_staging(&c2).expect("second recovery");
+    assert_eq!(again.replayed, 0);
+    assert_eq!(again.already_applied, report.scanned);
+}
+
+#[test]
+fn persistent_faults_degrade_to_sync_without_losing_acknowledged_writes() {
+    // The device fails persistently for a bounded window of 4 writes,
+    // then heals. threshold=2 / probe_after=2 walks the breaker through
+    // Closed → Open → (degraded, probe fails) → Open → degraded → probe
+    // succeeds → Closed within a handful of issues.
+    let plan = FaultPlan::new(0xB4EA4E4)
+        .fail_after(FaultOp::Write, 0, FaultKind::Persistent)
+        .times(4);
+    let inner: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+    let injector = Arc::new(FaultInjector::new(inner, plan));
+    injector.set_armed(false);
+
+    let c = Arc::new(Container::create(injector.clone()));
+    let ds = c
+        .create_dataset(
+            ROOT_ID,
+            "x",
+            Datatype::F64,
+            &Dataspace::d1(64),
+            Layout::Contiguous,
+        )
+        .expect("create");
+    c.flush().expect("flush");
+
+    let vol = AsyncVol::builder()
+        .streams(1)
+        .retry(RetryPolicy::none())
+        .breaker(BreakerConfig {
+            failure_threshold: 2,
+            probe_after: 2,
+        })
+        .build();
+    injector.set_armed(true);
+
+    // One 8-element slab per issue, each with a distinct fingerprint;
+    // wait per request so breaker transitions happen deterministically
+    // between issues. An issue is "acknowledged" only if both the issue
+    // and its wait succeed.
+    let mut acked: Vec<(u64, Vec<f64>)> = Vec::new();
+    let mut saw_degraded_ack = false;
+    for i in 0..8u64 {
+        let start = i * 8;
+        let vals: Vec<f64> = (0..8).map(|j| (i * 100 + j) as f64).collect();
+        let sel = Selection::Slab(Hyperslab::range1(start, 8));
+        let bytes = apio::h5lite::datatype::to_bytes(&vals);
+        match vol.dataset_write(&c, ds, &sel, &bytes) {
+            Ok(req) => {
+                let synchronous = req.is_sync();
+                if !synchronous {
+                    if vol.wait(req).is_err() {
+                        continue; // async failure: reported, not acked
+                    }
+                } else {
+                    saw_degraded_ack = true;
+                }
+                acked.push((start, vals));
+            }
+            Err(_) => {
+                // Degraded synchronous write against the dead device:
+                // the failure is returned immediately, nothing is acked.
+            }
+        }
+    }
+
+    let stats = vol.stats();
+    assert!(stats.breaker_opens >= 1, "the breaker must trip: {stats:?}");
+    assert!(
+        stats.degraded_writes >= 1 && saw_degraded_ack,
+        "the healed device must serve degraded writes: {stats:?}"
+    );
+    assert!(stats.probes >= 1, "open state must probe: {stats:?}");
+    assert!(
+        stats.breaker_closes >= 1,
+        "a clean probe must restore async mode: {stats:?}"
+    );
+    assert_eq!(
+        vol.breaker_state(),
+        BreakerState::Closed,
+        "the connector must fully recover"
+    );
+    assert!(!vol.stats().degraded);
+    assert!(
+        acked.len() >= 3,
+        "post-window writes must succeed: {} acked",
+        acked.len()
+    );
+
+    vol.wait_all().expect("no unreported failures remain");
+    for (start, vals) in &acked {
+        let sel = Selection::Slab(Hyperslab::range1(*start, 8));
+        let got = c.read_selection(ds, &sel).expect("read acked slab");
+        let got: Vec<f64> = apio::h5lite::datatype::from_bytes(&got).expect("decode");
+        assert_eq!(&got, vals, "acknowledged slab at {start} must be intact");
+    }
+}
