@@ -152,6 +152,21 @@ impl CircuitBreaker {
         }
     }
 
+    /// RAII tracking for a dispatched half-open probe: call immediately
+    /// after [`route`](Self::route) returns `Async { probe: true }`. The
+    /// guard must be resolved with [`ProbeGuard::success`] or
+    /// [`ProbeGuard::device_fault`]; dropping it unresolved (the staging
+    /// append failed before the probe task was spawned, or the probe
+    /// task panicked) reverts HalfOpen → Open so a later issue can probe
+    /// again instead of stranding the connector in degraded mode.
+    pub(crate) fn probe_guard(&self, stats: &StatsCells) -> ProbeGuard {
+        ProbeGuard {
+            breaker: self.clone(),
+            stats: stats.clone(),
+            done: false,
+        }
+    }
+
     /// A routed operation failed with a device fault (transient faults
     /// that exhausted their retries included).
     pub(crate) fn on_device_failure(&self, probe: bool, stats: &StatsCells) {
@@ -172,6 +187,46 @@ impl CircuitBreaker {
             inner.degraded_since_open = 0;
             inner.consecutive_failures = 0;
             stats.record_breaker_open();
+        }
+    }
+}
+
+/// Tracks one dispatched half-open probe; see
+/// [`CircuitBreaker::probe_guard`]. Every probe must resolve exactly
+/// once — by outcome, or by the drop-revert.
+#[must_use = "an unresolved guard reverts the probe on drop"]
+pub(crate) struct ProbeGuard {
+    breaker: CircuitBreaker,
+    stats: StatsCells,
+    done: bool,
+}
+
+impl ProbeGuard {
+    /// The probe completed without a device fault: close the breaker.
+    pub(crate) fn success(mut self) {
+        self.done = true;
+        self.breaker.on_success(true, &self.stats);
+    }
+
+    /// The probe hit a device fault: reopen the breaker.
+    pub(crate) fn device_fault(mut self) {
+        self.done = true;
+        self.breaker.on_device_failure(true, &self.stats);
+    }
+}
+
+impl Drop for ProbeGuard {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // The probe never reported an outcome (aborted before dispatch,
+        // or its task panicked). Revert so the open-state counter can
+        // dispatch a fresh probe on a later issue.
+        let mut inner = self.breaker.inner.lock();
+        if inner.state == BreakerState::HalfOpen {
+            inner.state = BreakerState::Open;
+            inner.degraded_since_open = 0;
         }
     }
 }
@@ -234,6 +289,32 @@ mod tests {
         assert_eq!(snap.breaker_opens, 2);
         assert_eq!(snap.breaker_closes, 1);
         assert_eq!(snap.probes, 2);
+    }
+
+    #[test]
+    fn dropped_probe_guard_reverts_half_open_to_open() {
+        let (b, s) = breaker(1, 1);
+        b.on_device_failure(false, &s);
+        assert_eq!(b.route(&s), Route::Async { probe: true });
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // The probe is abandoned (e.g. its staging append failed before
+        // dispatch): dropping the guard must not strand HalfOpen.
+        drop(b.probe_guard(&s));
+        assert_eq!(b.state(), BreakerState::Open);
+        // A later issue probes again and can still recover.
+        assert_eq!(b.route(&s), Route::Async { probe: true });
+        b.probe_guard(&s).success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn resolved_probe_guard_does_not_double_report() {
+        let (b, s) = breaker(1, 1);
+        b.on_device_failure(false, &s);
+        assert_eq!(b.route(&s), Route::Async { probe: true });
+        b.probe_guard(&s).device_fault(); // resolve + drop
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(s.snapshot().breaker_opens, 2, "one open per report");
     }
 
     #[test]

@@ -397,6 +397,14 @@ impl Vol for AsyncVol {
             Route::Degraded => return self.degraded_write(c, ds, sel, data),
             Route::Async { probe } => probe,
         };
+        // A dispatched probe must always resolve: the guard reports the
+        // outcome, and reverts HalfOpen → Open if dropped unresolved
+        // (staging append failure below, or a panicking probe task).
+        let mut probe_guard = if probe {
+            Some(self.breaker.probe_guard(&self.stats))
+        } else {
+            None
+        };
 
         // The transactional overhead (Eq. 2b's t_transact_overhead): a
         // synchronous copy out of the caller's buffer — into a heap
@@ -405,7 +413,24 @@ impl Vol for AsyncVol {
         let t0 = Instant::now();
         let payload = match &self.staging {
             Staging::Dram => Payload::Dram(data.to_vec()),
-            Staging::Device(log) => Payload::Staged(log.clone(), log.append(ds, sel, data)?),
+            Staging::Device(log) => match log.append(ds, sel, data) {
+                Ok(extent) => Payload::Staged(log.clone(), extent),
+                Err(e) => {
+                    // The issue failed synchronously; nothing was
+                    // dispatched. A dead staging device still counts
+                    // toward the breaker — degraded mode bypasses
+                    // staging entirely, which is exactly the remedy.
+                    match probe_guard.take() {
+                        Some(g) if e.is_device_fault() => g.device_fault(),
+                        Some(g) => drop(g), // revert HalfOpen → Open
+                        None if e.is_device_fault() => {
+                            self.breaker.on_device_failure(false, &self.stats)
+                        }
+                        None => {}
+                    }
+                    return Err(e);
+                }
+            },
         };
         let overhead_secs = t0.elapsed().as_secs_f64();
         self.stats.record_snapshot(data.len() as u64, overhead_secs);
@@ -452,6 +477,20 @@ impl Vol for AsyncVol {
             }
             let io_secs = started.elapsed().as_secs_f64();
             stats.record_write(bytes, io_secs);
+            // Resolve the breaker before notifying the observer, so a
+            // panicking observer cannot leave a probe unresolved. Only
+            // device faults move the breaker: a malformed request
+            // (shape/type mismatch) must not degrade the pipeline.
+            match (&outcome, probe_guard) {
+                (Ok(()), Some(g)) => g.success(),
+                (Err(e), Some(g)) if e.is_device_fault() => g.device_fault(),
+                (Err(_), Some(g)) => g.success(),
+                (Ok(()), None) => breaker.on_success(false, &stats),
+                (Err(e), None) if e.is_device_fault() => {
+                    breaker.on_device_failure(false, &stats)
+                }
+                (Err(_), None) => breaker.on_success(false, &stats),
+            }
             if let Some(obs) = observer {
                 obs(&OpRecord {
                     kind: OpKind::Write,
@@ -459,14 +498,6 @@ impl Vol for AsyncVol {
                     io_secs,
                     overhead_secs,
                 });
-            }
-            match &outcome {
-                Ok(()) => breaker.on_success(probe, &stats),
-                // Only device faults move the breaker: a malformed
-                // request (shape/type mismatch) must not degrade the
-                // pipeline.
-                Err(e) if e.is_device_fault() => breaker.on_device_failure(probe, &stats),
-                Err(_) => breaker.on_success(probe, &stats),
             }
             if let Err(e) = outcome {
                 *errors_task.lock() = Some(e);

@@ -27,8 +27,11 @@ pub struct RetryPolicy {
     /// Upper bound on any single backoff delay.
     pub max_delay: Duration,
     /// Wall-clock budget per request, measured from when the operation
-    /// first started: once exceeded, no further retry is attempted even
-    /// if attempts remain.
+    /// first started. A bound, not advisory: once exceeded no further
+    /// retry is attempted, and a backoff sleep that would outlast the
+    /// remaining budget is skipped entirely — total elapsed time can
+    /// overshoot the deadline by at most one operation, never by a
+    /// sleep.
     pub deadline: Duration,
     /// Seed for the jitter generator (combined with a per-request salt).
     pub seed: u64,
@@ -110,14 +113,22 @@ pub(crate) fn with_backoff<T>(
                 return Ok(v);
             }
             Err(e) => {
-                if !e.is_retryable()
-                    || attempt >= policy.max_attempts
-                    || started.elapsed() >= policy.deadline
-                {
+                if !e.is_retryable() || attempt >= policy.max_attempts {
+                    return Err(e);
+                }
+                // Deadline check, and clamp: never start a sleep that
+                // would eat past the remaining budget — the backoff
+                // must not be the thing that overshoots the deadline.
+                let remaining = match policy.deadline.checked_sub(started.elapsed()) {
+                    Some(r) if !r.is_zero() => r,
+                    _ => return Err(e),
+                };
+                let delay = policy.delay_for(attempt, &mut rng);
+                if delay >= remaining {
                     return Err(e);
                 }
                 stats.record_retry();
-                std::thread::sleep(policy.delay_for(attempt, &mut rng));
+                std::thread::sleep(delay);
                 attempt += 1;
             }
         }
@@ -200,6 +211,28 @@ mod tests {
             t0.elapsed() < Duration::from_millis(500),
             "deadline must cut the loop"
         );
+    }
+
+    #[test]
+    fn backoff_sleep_never_overshoots_the_deadline() {
+        let stats = StatsCells::new();
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(50),
+            deadline: Duration::from_millis(5),
+            seed: 1,
+        };
+        let t0 = Instant::now();
+        let err = with_backoff(&policy, 1, t0, &stats, flaky(u32::MAX)).unwrap_err();
+        assert!(err.is_retryable());
+        // The first backoff (jittered into [25, 50] ms) would outlast
+        // the 5 ms budget: it must be skipped, not slept through.
+        assert!(
+            t0.elapsed() < Duration::from_millis(25),
+            "sleep must be clamped to the deadline budget"
+        );
+        assert_eq!(stats.snapshot().retries, 0);
     }
 
     #[test]

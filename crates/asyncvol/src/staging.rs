@@ -31,6 +31,14 @@
 //! Replay is idempotent (re-writing the same extent with the same bytes),
 //! so a crash *during* recovery is also safe.
 //!
+//! Appends are serialized and the append cursor advances past a record
+//! only once its device write has succeeded, making the log hole-free by
+//! construction: every acknowledged record sits in an unbroken,
+//! seq-chained prefix, and the only invalid frame a scan can meet is the
+//! torn tail of the one record that was in flight at the crash. Stopping
+//! the scan at the first invalid frame therefore never abandons an
+//! acknowledged write.
+//!
 //! Recovery replays data records only; it assumes the container's
 //! *metadata* (the datasets the records point into) was flushed before the
 //! crash window. Writers get this by creating datasets up front and
@@ -42,9 +50,9 @@
 //! connector is drained (the same coarse-grained recycling burst buffers
 //! use between checkpoint epochs).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use argolite::sync::Mutex;
 use h5lite::codec::{Reader, Writer};
 use h5lite::{Container, H5Error, Hyperslab, ObjectId, Result, Selection, StorageBackend};
 
@@ -126,11 +134,20 @@ fn decode_selection(r: &mut Reader<'_>) -> Result<Selection> {
     }
 }
 
+/// Append position and next sequence number. Advanced only *after* the
+/// record at `cursor` is durable on the device, so the log never holds a
+/// hole (an invalid frame with valid records beyond it) — which is what
+/// lets [`StagingLog::scan`] treat the first invalid frame as the end of
+/// the log without ever skipping an acknowledged record.
+struct Tail {
+    cursor: u64,
+    seq: u64,
+}
+
 /// Append-only write-ahead staging log over a storage backend.
 pub struct StagingLog {
     device: Arc<dyn StorageBackend>,
-    cursor: AtomicU64,
-    seq: AtomicU64,
+    tail: Mutex<Tail>,
 }
 
 /// A staged snapshot: where the payload (and its record) live on the
@@ -178,8 +195,7 @@ impl StagingLog {
     pub fn new(device: Arc<dyn StorageBackend>) -> Self {
         StagingLog {
             device,
-            cursor: AtomicU64::new(0),
-            seq: AtomicU64::new(0),
+            tail: Mutex::new_named("asyncvol.wal", Tail { cursor: 0, seq: 0 }),
         }
     }
 
@@ -197,8 +213,13 @@ impl StagingLog {
             .unwrap_or((0, 0));
         StagingLog {
             device,
-            cursor: AtomicU64::new(end),
-            seq: AtomicU64::new(count),
+            tail: Mutex::new_named(
+                "asyncvol.wal",
+                Tail {
+                    cursor: end,
+                    seq: count,
+                },
+            ),
         }
     }
 
@@ -229,11 +250,18 @@ impl StagingLog {
                 prefix[4], prefix[5], prefix[6], prefix[7], prefix[8], prefix[9], prefix[10],
                 prefix[11],
             ]);
-            let total = REC_PREFIX + body_len + REC_SUFFIX;
-            if pos + total > len {
-                break; // torn tail
+            // body_len is untrusted (read back from the device): a
+            // corrupt length field must read as a torn tail, not wrap
+            // the arithmetic and panic the recovery path.
+            let total = match body_len.checked_add(REC_PREFIX + REC_SUFFIX) {
+                Some(t) => t,
+                None => break,
+            };
+            match pos.checked_add(total) {
+                Some(end) if end <= len => {}
+                _ => break, // torn tail
             }
-            let mut rest = vec![0u8; (body_len + REC_SUFFIX) as usize];
+            let mut rest = vec![0u8; (total - REC_PREFIX) as usize];
             if device.read_at(pos + REC_PREFIX, &mut rest).is_err() {
                 break;
             }
@@ -248,9 +276,17 @@ impl StagingLog {
                 break; // torn or corrupt record ends the log
             }
             let applied = rest[(body_len + 8) as usize] != 0;
+            let expected_seq = records.len() as u64;
             let parsed = (|| -> Result<WalRecord> {
                 let mut r = Reader::new(body);
-                let _seq = r.u64()?;
+                // Appends are serialized, so valid records carry
+                // consecutive seq numbers from 0. A checksum-valid frame
+                // that does not chain is not part of this log — stale
+                // bytes from a previous log generation, or payload bytes
+                // masquerading as a frame — and ends the scan.
+                if r.u64()? != expected_seq {
+                    return Err(H5Error::Corrupt("WAL seq chain broken".into()));
+                }
                 let ds = ObjectId::from(r.u64()?);
                 let sel = decode_selection(&mut r)?;
                 let payload_len = r.u64()? as usize;
@@ -283,10 +319,16 @@ impl StagingLog {
     /// caller blocks for the device write, then may reuse its buffer. Once
     /// this returns, the write is recoverable — a crash before the
     /// background flush can replay it from the log.
+    ///
+    /// Appends serialize: the cursor advances past a record only after
+    /// the device write succeeded, so a failed append leaves no hole
+    /// (the next append rewrites the same slot) and a crash can only
+    /// tear the *last* record — never strand acknowledged records
+    /// behind an invalid frame.
     pub fn append(&self, ds: ObjectId, sel: &Selection, data: &[u8]) -> Result<StagedExtent> {
-        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let mut tail = self.tail.lock();
         let mut header = Writer::new();
-        header.u64(seq);
+        header.u64(tail.seq);
         header.u64(ds);
         encode_selection(&mut header, sel);
         header.u64(data.len() as u64);
@@ -303,8 +345,10 @@ impl StagingLog {
         rec.extend_from_slice(&fnv.to_le_bytes());
         rec.push(0); // applied = false
 
-        let offset = self.cursor.fetch_add(total, Ordering::SeqCst);
+        let offset = tail.cursor;
         self.device.write_at(offset, &rec)?;
+        tail.seq += 1;
+        tail.cursor = offset + total;
         Ok(StagedExtent {
             offset: offset + REC_PREFIX + header.len() as u64,
             len: data.len() as u64,
@@ -358,19 +402,22 @@ impl StagingLog {
     /// Bytes appended (records *and* framing) since creation, open, or the
     /// last [`reset`](Self::reset).
     pub fn bytes_used(&self) -> u64 {
-        self.cursor.load(Ordering::SeqCst)
+        self.tail.lock().cursor
     }
 
     /// Recycle the log. Callers must ensure no staged extent is still
     /// referenced and nothing unflushed remains (the connector drains
     /// first). Stamps out the first record's magic so a later
     /// [`open`](Self::open) of the same device sees an empty log instead
-    /// of replaying stale records.
+    /// of replaying stale records. If stamping fails, the log is left
+    /// unchanged (still consistent) and the error propagates.
     pub fn reset(&self) -> Result<()> {
-        if self.cursor.swap(0, Ordering::SeqCst) > 0 {
+        let mut tail = self.tail.lock();
+        if tail.cursor > 0 {
             self.device.write_at(0, &[0u8; REC_PREFIX as usize])?;
         }
-        self.seq.store(0, Ordering::SeqCst);
+        tail.cursor = 0;
+        tail.seq = 0;
         Ok(())
     }
 }
@@ -535,6 +582,107 @@ mod tests {
         assert_eq!(report.orphaned, 1);
         assert_eq!(report.replayed, 1);
         assert_eq!(c.read_selection(ds, &Selection::All).unwrap(), [2u8; 4]);
+    }
+
+    /// Frame `data` exactly as `append` would, but with a caller-chosen
+    /// seq — for forging checksum-valid frames that must not chain.
+    fn raw_frame(seq: u64, ds: ObjectId, data: &[u8]) -> Vec<u8> {
+        let mut body = Writer::new();
+        body.u64(seq);
+        body.u64(ds);
+        encode_selection(&mut body, &Selection::All);
+        body.u64(data.len() as u64);
+        let mut body = body.into_bytes();
+        body.extend_from_slice(data);
+        let mut rec = Vec::new();
+        rec.extend_from_slice(&REC_MAGIC.to_le_bytes());
+        rec.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        rec.extend_from_slice(&body);
+        rec.extend_from_slice(&fnv1a64(FNV_BASIS, &body).to_le_bytes());
+        rec.push(0);
+        rec
+    }
+
+    #[test]
+    fn failed_append_leaves_no_hole_in_the_log() {
+        // The second append's device write fails: the cursor must not
+        // advance past the failed slot, so the third (acknowledged)
+        // append rewrites it and the whole log stays recoverable.
+        let plan = h5lite::FaultPlan::new(1).fail_at(
+            h5lite::FaultOp::Write,
+            1,
+            h5lite::FaultKind::Persistent,
+        );
+        let dev: Arc<dyn StorageBackend> = Arc::new(h5lite::FaultInjector::new(
+            Arc::new(MemBackend::new()),
+            plan,
+        ));
+        let log = StagingLog::new(dev.clone());
+        let (c, ds) = container_with_ds(8);
+        log.append(ds, &Selection::Slab(Hyperslab::range1(0, 4)), &[1u8; 4])
+            .unwrap();
+        let before = log.bytes_used();
+        let err = log
+            .append(ds, &Selection::Slab(Hyperslab::range1(4, 4)), &[2u8; 4])
+            .unwrap_err();
+        assert!(err.is_device_fault());
+        assert_eq!(
+            log.bytes_used(),
+            before,
+            "failed append must not advance the cursor"
+        );
+        log.append(ds, &Selection::Slab(Hyperslab::range1(4, 4)), &[3u8; 4])
+            .unwrap();
+
+        let report = StagingLog::open(dev).recover_into(&c).unwrap();
+        assert_eq!(report.scanned, 2, "no hole: both acked records found");
+        assert_eq!(report.replayed, 2);
+        assert_eq!(
+            c.read_selection(ds, &Selection::All).unwrap(),
+            [1, 1, 1, 1, 3, 3, 3, 3]
+        );
+    }
+
+    #[test]
+    fn scan_treats_corrupt_length_fields_as_torn_tail() {
+        let dev = Arc::new(MemBackend::new());
+        let log = StagingLog::new(dev.clone());
+        let (_, ds) = container_with_ds(8);
+        log.append(ds, &Selection::All, &[1u8; 4]).unwrap();
+        // A frame whose length field overflows the span arithmetic —
+        // must end the scan, not panic the recovery path.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&REC_MAGIC.to_le_bytes());
+        evil.extend_from_slice(&(u64::MAX - 4).to_le_bytes());
+        dev.write_at(log.bytes_used(), &evil).unwrap();
+        let reopened = StagingLog::open(dev.clone());
+        assert_eq!(reopened.bytes_used(), log.bytes_used());
+        // And one that survives checked_add but overflows pos + total.
+        let mut evil2 = Vec::new();
+        evil2.extend_from_slice(&REC_MAGIC.to_le_bytes());
+        evil2.extend_from_slice(&(u64::MAX - 64).to_le_bytes());
+        dev.write_at(log.bytes_used(), &evil2).unwrap();
+        let reopened = StagingLog::open(dev);
+        assert_eq!(reopened.bytes_used(), log.bytes_used());
+    }
+
+    #[test]
+    fn scan_rejects_checksum_valid_frames_with_broken_seq_chain() {
+        let dev = Arc::new(MemBackend::new());
+        let log = StagingLog::new(dev.clone());
+        let (_, ds) = container_with_ds(8);
+        log.append(ds, &Selection::All, &[1u8; 4]).unwrap(); // seq 0
+        // A stale frame (say, from a previous log generation) right
+        // after the tail: checksum-valid, but seq 7 does not chain.
+        let stale = raw_frame(7, ds, &[9u8; 4]);
+        dev.write_at(log.bytes_used(), &stale).unwrap();
+        let recs = StagingLog::scan(&(dev.clone() as Arc<dyn StorageBackend>));
+        assert_eq!(recs.len(), 1, "non-chaining seq ends the scan");
+        // The same frame with the chaining seq is accepted.
+        let next = raw_frame(1, ds, &[9u8; 4]);
+        dev.write_at(log.bytes_used(), &next).unwrap();
+        let recs = StagingLog::scan(&(dev as Arc<dyn StorageBackend>));
+        assert_eq!(recs.len(), 2);
     }
 
     #[test]

@@ -726,6 +726,76 @@ fn breaker_degrades_to_sync_passthrough_and_recovers() {
 }
 
 #[test]
+fn failed_probe_dispatch_reverts_breaker_to_open() {
+    // If the half-open probe dies before it is even dispatched — its
+    // staging append fails — the breaker must revert to Open so a later
+    // issue can probe again, not sit in HalfOpen forever waiting for a
+    // probe that was never spawned.
+    let staging = Arc::new(h5lite::FaultInjector::new(
+        Arc::new(h5lite::MemBackend::new()),
+        h5lite::FaultPlan::new(5).fail_at(
+            h5lite::FaultOp::Write,
+            1,
+            h5lite::FaultKind::Persistent,
+        ),
+    ));
+    let data = Arc::new(h5lite::FaultInjector::new(
+        Arc::new(h5lite::MemBackend::new()),
+        h5lite::FaultPlan::new(7)
+            .fail_after(h5lite::FaultOp::Write, 0, h5lite::FaultKind::Persistent)
+            .times(1),
+    ));
+    data.set_armed(false);
+    let c = Arc::new(Container::create(data.clone()));
+    let vol = AsyncVol::builder()
+        .stage_to_device(staging.clone())
+        .retry(asyncvol::RetryPolicy::none())
+        .breaker(asyncvol::BreakerConfig {
+            failure_threshold: 1,
+            probe_after: 1,
+        })
+        .build();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::U8,
+            &Dataspace::d1(8),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    data.set_armed(true);
+
+    // Issue 1: staged fine, but the background container write hits the
+    // persistent fault — the breaker opens.
+    let req = vol.dataset_write(&c, ds, &Selection::All, &[1u8; 8]).unwrap();
+    assert!(vol.wait(req).is_err());
+    assert_eq!(vol.breaker_state(), asyncvol::BreakerState::Open);
+
+    // Issue 2 becomes the half-open probe, but its staging append
+    // fails: the error surfaces synchronously and the probe is never
+    // dispatched. The breaker must revert to Open.
+    let err = vol
+        .dataset_write(&c, ds, &Selection::All, &[2u8; 8])
+        .unwrap_err();
+    assert!(err.is_device_fault());
+    assert_eq!(
+        vol.breaker_state(),
+        asyncvol::BreakerState::Open,
+        "aborted probe must not strand the breaker in HalfOpen"
+    );
+
+    // Issue 3: staging and container are healthy again; a fresh probe
+    // is dispatched and its success closes the breaker.
+    let req = vol.dataset_write(&c, ds, &Selection::All, &[3u8; 8]).unwrap();
+    assert!(!req.is_sync(), "a fresh probe is dispatched asynchronously");
+    vol.wait(req).unwrap();
+    assert_eq!(vol.breaker_state(), asyncvol::BreakerState::Closed);
+    assert_eq!(c.read_selection(ds, &Selection::All).unwrap(), vec![3u8; 8]);
+}
+
+#[test]
 fn staging_device_failure_fails_the_issue_not_the_background() {
     // When the *staging* device dies, the failure is synchronous (the
     // snapshot itself cannot be taken) — the paper's transactional copy
