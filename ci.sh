@@ -26,6 +26,10 @@ echo "== fault injection (chaos + resilience properties) =="
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test chaos
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test properties
 
+echo "== bench smoke (one iteration per benchmark; no numbers persisted) =="
+cargo bench -q "${CARGO_FLAGS[@]}" -p apio-bench --bench connector -- --smoke
+cargo bench -q "${CARGO_FLAGS[@]}" -p apio-bench --bench micro -- --smoke
+
 echo "== clippy =="
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy -q "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings

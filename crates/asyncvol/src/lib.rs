@@ -23,6 +23,13 @@
 //! - **Synchronization** mirrors the HDF5 async VOL's event sets:
 //!   [`h5lite::Vol::wait`] on one request token, or
 //!   [`h5lite::Vol::wait_all`] to drain the connector.
+//! - **Coalescing**: every background data path — the write stream, the
+//!   staged read-back, prefetch, cold reads, and WAL recovery replay —
+//!   lands selections through the container's I/O planner
+//!   ([`h5lite::plan`]): one metadata-lock acquisition per operation and
+//!   vectored scatter-gather batches to the backend, so a strided
+//!   VPIC/BD-CATS selection costs a handful of device requests instead of
+//!   one per hyperslab run.
 //! - **Instrumentation** ([`stats::AsyncVolStats`], [`OpRecord`]) exposes
 //!   every measured quantity the paper's model consumes: snapshot
 //!   (transactional) time, background I/O time, bytes moved, prefetch

@@ -54,7 +54,7 @@ use std::sync::Arc;
 
 use argolite::sync::Mutex;
 use h5lite::codec::{Reader, Writer};
-use h5lite::{Container, H5Error, Hyperslab, ObjectId, Result, Selection, StorageBackend};
+use h5lite::{Container, H5Error, Hyperslab, IoVec, ObjectId, Result, Selection, StorageBackend};
 
 /// Where write snapshots live until the background write lands.
 #[derive(Clone)]
@@ -377,26 +377,49 @@ impl StagingLog {
     /// replays nothing twice. Records for datasets missing from `c` are
     /// counted as orphaned and skipped; device errors during replay
     /// propagate (the caller may retry — nothing is lost).
+    ///
+    /// Replay is coalesced end to end: each record's payload lands through
+    /// the container's planned `write_selection` (one metadata-lock
+    /// acquisition, vectored extents), and the applied flags of every
+    /// replayed record are set in one vectored batch on the staging device
+    /// instead of a one-byte write per record.
     pub fn recover_into(&self, c: &Container) -> Result<RecoveryReport> {
         let mut report = RecoveryReport::default();
-        for rec in Self::scan(&self.device) {
-            report.scanned += 1;
-            if rec.applied {
-                report.already_applied += 1;
-                continue;
-            }
-            match c.write_selection(rec.ds, &rec.sel, &rec.payload) {
-                Ok(()) => {
-                    report.replayed += 1;
-                    report.bytes_replayed += rec.payload.len() as u64;
-                    // Benign if this fails: replay is idempotent.
-                    let _ = self.device.write_at(rec.flag_off, &[1]);
+        let mut landed_flags: Vec<u64> = Vec::new();
+        let result = (|| {
+            for rec in Self::scan(&self.device) {
+                report.scanned += 1;
+                if rec.applied {
+                    report.already_applied += 1;
+                    continue;
                 }
-                Err(H5Error::NotFound(_)) => report.orphaned += 1,
-                Err(e) => return Err(e),
+                match c.write_selection(rec.ds, &rec.sel, &rec.payload) {
+                    Ok(()) => {
+                        report.replayed += 1;
+                        report.bytes_replayed += rec.payload.len() as u64;
+                        landed_flags.push(rec.flag_off);
+                    }
+                    Err(H5Error::NotFound(_)) => report.orphaned += 1,
+                    Err(e) => return Err(e),
+                }
             }
+            Ok(())
+        })();
+        // Flag whatever landed — also on the error path, so a retried
+        // recovery does not re-replay records that already made it.
+        // Benign if this fails: replay is idempotent.
+        if !landed_flags.is_empty() {
+            let one = [1u8];
+            let batch: Vec<IoVec<'_>> = landed_flags
+                .iter()
+                .map(|&off| IoVec {
+                    offset: off,
+                    data: &one,
+                })
+                .collect();
+            let _ = self.device.write_vectored_at(&batch);
         }
-        Ok(report)
+        result.map(|()| report)
     }
 
     /// Bytes appended (records *and* framing) since creation, open, or the

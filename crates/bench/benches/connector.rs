@@ -1,21 +1,52 @@
 //! Connector ablation: what a dataset write costs the *calling thread*
 //! under the native VOL (full transfer) versus the async VOL (snapshot
-//! only), and what the snapshot itself costs — the three quantities whose
-//! relation decides every figure in the paper.
+//! only), what the snapshot itself costs, and — since the planner
+//! landed — what coalescing buys a strided BD-CATS-style selection over
+//! the historical one-backend-op-per-run path.
+//!
+//! Besides the printed table, a full (non-smoke) run rewrites
+//! `BENCH_connector.json` at the workspace root with every sample plus
+//! the planned-vs-per-run speedups, so the numbers quoted in DESIGN.md
+//! are regenerable from one command.
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use apio_bench::harness::{bench, bench_bytes, bench_custom, section};
+use apio_bench::harness::{
+    bench, bench_bytes, bench_custom, bench_elems, section, smoke_mode, Sample,
+};
 use asyncvol::AsyncVol;
-use h5lite::{Container, Dataspace, File, NativeVol, ThrottledBackend};
+use h5lite::container::ROOT_ID;
+use h5lite::{
+    Container, Dataspace, Datatype, File, Hyperslab, IoPlan, IoVec, Layout, MemBackend, NativeVol,
+    Selection, StorageBackend, ThrottledBackend,
+};
+use kernels::vpic::interleaved_slab;
 use std::hint::black_box;
 
 const SIZES: [usize; 3] = [1 << 16, 1 << 20, 1 << 24];
 
+/// One recorded measurement, flattened for the JSON report.
+struct Rec {
+    name: String,
+    secs_per_iter: f64,
+    iters: u64,
+    bytes: u64,
+}
+
+fn rec(recs: &mut Vec<Rec>, name: &str, s: Sample, bytes: u64) {
+    recs.push(Rec {
+        name: name.to_owned(),
+        secs_per_iter: s.secs_per_iter(),
+        iters: s.iters,
+        bytes,
+    });
+}
+
 /// Visible write latency through the native connector on throttled
 /// storage (the sync baseline).
-fn sync_visible_write() {
+fn sync_visible_write(recs: &mut Vec<Rec>) {
     section("visible_write_sync");
     for bytes in SIZES {
         let data = vec![1.0f32; bytes / 4];
@@ -30,15 +61,17 @@ fn sync_visible_write() {
             .root()
             .create_dataset::<f32>("x", &Dataspace::d1((bytes / 4) as u64))
             .unwrap();
-        bench_bytes(&format!("visible_write_sync/{bytes}"), bytes as u64, || {
+        let name = format!("visible_write_sync/{bytes}");
+        let s = bench_bytes(&name, bytes as u64, || {
             ds.write(black_box(&data)).unwrap();
         });
+        rec(recs, &name, s, bytes as u64);
     }
 }
 
 /// Visible write latency through the async connector (snapshot only; the
 /// background wait is excluded by timing only the submission).
-fn async_visible_write() {
+fn async_visible_write(recs: &mut Vec<Rec>) {
     section("visible_write_async");
     for bytes in SIZES {
         let data = vec![1.0f32; bytes / 4];
@@ -49,7 +82,8 @@ fn async_visible_write() {
             .root()
             .create_dataset::<f32>("x", &Dataspace::d1((bytes / 4) as u64))
             .unwrap();
-        bench_custom(&format!("visible_write_async/{bytes}"), |iters| {
+        let name = format!("visible_write_async/{bytes}");
+        let s = bench_custom(&name, |iters| {
             let mut total = Duration::ZERO;
             for _ in 0..iters {
                 let t0 = Instant::now();
@@ -61,12 +95,13 @@ fn async_visible_write() {
             }
             total
         });
+        rec(recs, &name, s, bytes as u64);
     }
 }
 
 /// End-to-end epoch: compute + write, sync vs async — the smallest
 /// reproduction of Fig. 1's comparison on real threads.
-fn epoch_overlap() {
+fn epoch_overlap(recs: &mut Vec<Rec>) {
     section("epoch");
     let bytes = 1 << 22; // 4 MiB
     let compute = Duration::from_millis(4);
@@ -82,10 +117,11 @@ fn epoch_overlap() {
             .root()
             .create_dataset::<f32>("x", &Dataspace::d1((bytes / 4) as u64))
             .unwrap();
-        bench("epoch/sync", || {
+        let s = bench("epoch/sync", || {
             std::thread::sleep(compute);
             ds.write(black_box(&data)).unwrap();
         });
+        rec(recs, "epoch/sync", s, bytes as u64);
     }
     {
         let backend = Arc::new(ThrottledBackend::in_memory(1e9, 0.0));
@@ -95,13 +131,14 @@ fn epoch_overlap() {
             .root()
             .create_dataset::<f32>("x", &Dataspace::d1((bytes / 4) as u64))
             .unwrap();
-        bench("epoch/async", || {
+        let s = bench("epoch/async", || {
             // The previous iteration's write overlaps this sleep; the
             // requests are drained collectively by wait_all below.
             std::thread::sleep(compute);
             let _ = ds.write_async(black_box(&data)).unwrap();
         });
         file.wait_all().unwrap();
+        rec(recs, "epoch/async", s, bytes as u64);
     }
 }
 
@@ -109,17 +146,18 @@ fn epoch_overlap() {
 /// idle (0% faults — the overhead must be indistinguishable from the
 /// plain connector) and under a 1% transient-fault rate (the cost of
 /// absorbing real faults, still with zero application-visible errors).
-fn chaos() {
+fn chaos(recs: &mut Vec<Rec>) {
     use apio_bench::chaos::run_chaos_epoch;
     section("chaos");
     let bytes_per_op = 1 << 16; // 64 KiB slabs
     let ops = 64u64;
     let total = bytes_per_op as u64 * ops;
     for (name, rate) in [("chaos/faults_0pct", 0.0), ("chaos/faults_1pct", 0.01)] {
-        bench_bytes(name, total, || {
+        let s = bench_bytes(name, total, || {
             let r = run_chaos_epoch(rate, bytes_per_op, ops, 0xC4A05).unwrap();
             black_box(r);
         });
+        rec(recs, name, s, total);
     }
     // One non-timed run per rate so the printed retry counts document
     // what the 1% line actually absorbed.
@@ -135,9 +173,216 @@ fn chaos() {
     }
 }
 
+/// Planner and vectored-backend micro-costs: how long building an
+/// [`IoPlan`] over a pathological many-run selection takes, and what a
+/// scatter batch costs through `write_vectored_at` versus the same
+/// segments issued one scalar call at a time.
+fn ioplan_micro(recs: &mut Vec<Rec>) {
+    section("ioplan_micro");
+
+    // 2048 single-element f32 runs — the strided worst case below.
+    let space = Dataspace::d1(4 * 2048);
+    let sel = Selection::Slab(interleaved_slab(1, 4, 2048));
+    let runs = sel.runs(&space).unwrap();
+    let name = "ioplan/build_contiguous_2048_runs";
+    let s = bench_elems(name, runs.len() as u64, || {
+        black_box(IoPlan::for_contiguous(black_box(64), 4, &runs));
+    });
+    rec(recs, name, s, 0);
+
+    let name = "ioplan/build_chunked_2048_runs";
+    let s = bench_elems(name, runs.len() as u64, || {
+        black_box(IoPlan::for_chunked(256, 4, &runs, |idx| {
+            Some(black_box(idx) * 1024)
+        }));
+    });
+    rec(recs, name, s, 0);
+
+    // 1024 scattered 4-byte segments, 16 bytes apart: scalar loop vs one
+    // vectored batch against the raw sharded MemBackend.
+    let nsegs = 1024u64;
+    let payload = vec![0xA5u8; (nsegs * 4) as usize];
+    let backend = MemBackend::new();
+    let batch: Vec<IoVec<'_>> = (0..nsegs)
+        .map(|i| IoVec {
+            offset: i * 16,
+            data: &payload[(i * 4) as usize..(i * 4 + 4) as usize],
+        })
+        .collect();
+
+    let name = "membackend/write_scalar_1024x4B";
+    let s = bench_bytes(name, nsegs * 4, || {
+        for seg in &batch {
+            backend.write_at(seg.offset, seg.data).unwrap();
+        }
+    });
+    rec(recs, name, s, nsegs * 4);
+
+    let name = "membackend/write_vectored_1024x4B";
+    let s = bench_bytes(name, nsegs * 4, || {
+        backend.write_vectored_at(black_box(&batch)).unwrap();
+    });
+    rec(recs, name, s, nsegs * 4);
+}
+
+/// The BD-CATS-IO pattern the planner exists for: rank `r` of `R` owns
+/// every `R`-th element of a shared 1-D dataset, so one rank's selection
+/// is thousands of single-element runs. `*_planned` issues the whole
+/// selection through the coalescing path; `*_per_run` replays the
+/// pre-planner granularity — one single-run `write_selection`/
+/// `read_selection` call per run (one metadata-lock acquisition and one
+/// scalar-sized backend op each), which is exactly what the old code
+/// did internally.
+fn strided_vpic(recs: &mut Vec<Rec>) {
+    section("strided_vpic");
+    let ranks = 4u32;
+    let elems_per_rank = 2048u64; // 2048 runs ≥ the 1k-run acceptance bar
+    let space = Dataspace::d1(ranks as u64 * elems_per_rank);
+    let sel = Selection::Slab(interleaved_slab(1, ranks, elems_per_rank));
+    let runs = sel.runs(&space).unwrap();
+    let bytes = elems_per_rank * 4;
+    let data: Vec<u8> = (0..bytes).map(|i| (i % 251) as u8).collect();
+
+    // (variant, backend latency, layout). 5 µs/op models a cheap NVMe
+    // round trip: the per-run path pays it ~2048×, the planned path
+    // ceil(2048/COALESCE_WINDOW) = 2×.
+    let variants: [(&str, Option<f64>, Layout); 3] = [
+        ("mem_contig", None, Layout::Contiguous),
+        ("mem_chunked", None, Layout::Chunked1D { chunk_elems: 256 }),
+        ("throttled_contig", Some(5e-6), Layout::Contiguous),
+    ];
+
+    for (tag, latency, layout) in variants {
+        let backend: Arc<dyn StorageBackend> = match latency {
+            None => Arc::new(MemBackend::new()),
+            Some(lat) => Arc::new(ThrottledBackend::in_memory(8e9, lat)),
+        };
+        let c = Container::create(backend);
+        let id = c
+            .create_dataset(ROOT_ID, "x", Datatype::F32, &space, layout)
+            .unwrap();
+        // Touch every chunk once so both paths measure steady state
+        // (no first-write allocation inside the timed region).
+        c.write_selection(id, &sel, &data).unwrap();
+
+        let name = format!("strided_vpic/{tag}/write_planned");
+        let s = bench_bytes(&name, bytes, || {
+            c.write_selection(id, black_box(&sel), black_box(&data))
+                .unwrap();
+        });
+        rec(recs, &name, s, bytes);
+
+        let name = format!("strided_vpic/{tag}/write_per_run");
+        let s = bench_bytes(&name, bytes, || {
+            let mut cur = 0usize;
+            for &(off, len) in &runs {
+                let nb = (len * 4) as usize;
+                c.write_selection(
+                    id,
+                    &Selection::Slab(Hyperslab::range1(off, len)),
+                    &data[cur..cur + nb],
+                )
+                .unwrap();
+                cur += nb;
+            }
+        });
+        rec(recs, &name, s, bytes);
+
+        let name = format!("strided_vpic/{tag}/read_planned");
+        let s = bench_bytes(&name, bytes, || {
+            black_box(c.read_selection(id, black_box(&sel)).unwrap());
+        });
+        rec(recs, &name, s, bytes);
+
+        let name = format!("strided_vpic/{tag}/read_per_run");
+        let s = bench_bytes(&name, bytes, || {
+            for &(off, len) in &runs {
+                black_box(
+                    c.read_selection(id, &Selection::Slab(Hyperslab::range1(off, len)))
+                        .unwrap(),
+                );
+            }
+        });
+        rec(recs, &name, s, bytes);
+    }
+}
+
+fn lookup(recs: &[Rec], name: &str) -> Option<f64> {
+    recs.iter()
+        .find(|r| r.name == name)
+        .map(|r| r.secs_per_iter)
+}
+
+/// Planned-vs-per-run speedups for every strided variant, as
+/// `(label, speedup)` pairs.
+fn strided_speedups(recs: &[Rec]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for tag in ["mem_contig", "mem_chunked", "throttled_contig"] {
+        for op in ["write", "read"] {
+            let planned = lookup(recs, &format!("strided_vpic/{tag}/{op}_planned"));
+            let per_run = lookup(recs, &format!("strided_vpic/{tag}/{op}_per_run"));
+            if let (Some(p), Some(r)) = (planned, per_run) {
+                if p > 0.0 {
+                    out.push((format!("strided_vpic/{tag}/{op}"), r / p));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Hand-rolled JSON report (the workspace is dependency-free). `{:e}`
+/// renders every float as a valid JSON number.
+fn emit_json(recs: &[Rec], speedups: &[(String, f64)]) {
+    let mut out = String::from("{\n  \"bench\": \"connector\",\n");
+    out.push_str("  \"command\": \"cargo bench -p apio-bench --bench connector\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"secs_per_iter\": {:e}, \"iters\": {}, \"bytes\": {}}}{}\n",
+            r.name,
+            r.secs_per_iter,
+            r.iters,
+            r.bytes,
+            if i + 1 < recs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"speedup_planned_over_per_run\": {\n");
+    for (i, (name, x)) in speedups.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{name}\": {:.2}{}\n",
+            x,
+            if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_connector.json");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => println!("\nfailed to write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
-    sync_visible_write();
-    async_visible_write();
-    epoch_overlap();
-    chaos();
+    let mut recs = Vec::new();
+    sync_visible_write(&mut recs);
+    async_visible_write(&mut recs);
+    epoch_overlap(&mut recs);
+    chaos(&mut recs);
+    ioplan_micro(&mut recs);
+    strided_vpic(&mut recs);
+
+    let speedups = strided_speedups(&recs);
+    if !speedups.is_empty() {
+        println!("\n== planned / per_run speedups ==");
+        for (name, x) in &speedups {
+            println!("{name:<44} {x:8.2}x");
+        }
+    }
+    // Smoke runs time a single iteration; persisting those numbers
+    // would overwrite the committed report with noise.
+    if !smoke_mode() {
+        emit_json(&recs, &speedups);
+    }
 }

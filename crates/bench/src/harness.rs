@@ -6,7 +6,14 @@
 //! reliably, take the best of a few batches, and print one aligned line
 //! per benchmark (with derived throughput when the caller supplies a
 //! bytes-or-elements denominator).
+//!
+//! **Smoke mode** (`--smoke` on the bench binary's command line, or
+//! `APIO_BENCH_SMOKE=1`): every benchmark body runs exactly once with no
+//! warm-up, scaling, or repeat rounds. CI uses it as a build-and-run gate
+//! so bench code cannot rot; the timings it produces are meaningless and
+//! callers must not persist them (see [`smoke_mode`]).
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Shortest batch we trust the OS clock to time well.
@@ -52,7 +59,21 @@ fn human_time(secs: f64) -> String {
     }
 }
 
+/// Whether the suite runs in smoke mode: one iteration per benchmark,
+/// no warm-up or repeat rounds — a CI gate that the bench code still
+/// builds and runs, not a measurement.
+pub fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| {
+        std::env::args().any(|a| a == "--smoke") || std::env::var_os("APIO_BENCH_SMOKE").is_some()
+    })
+}
+
 fn measure(mut f: impl FnMut()) -> Sample {
+    if smoke_mode() {
+        let total = time_batch(&mut f, 1);
+        return Sample { iters: 1, total };
+    }
     f(); // warm-up (first-touch allocation, caches, lazy init)
     let mut iters = 1u64;
     let mut batch = time_batch(&mut f, iters);
@@ -107,6 +128,14 @@ pub fn bench_elems(name: &str, elems: u64, f: impl FnMut()) -> Sample {
 /// Criterion's `iter_custom`: the closure runs `iters` iterations and
 /// returns only the time it chose to count (excluding drains, setup).
 pub fn bench_custom(name: &str, mut f: impl FnMut(u64) -> Duration) -> Sample {
+    if smoke_mode() {
+        let s = Sample {
+            iters: 1,
+            total: f(1),
+        };
+        println!("{name:<44} {:>8} iters  (smoke)", s.iters);
+        return s;
+    }
     let _ = f(1); // warm-up
     let mut iters = 1u64;
     let mut batch = f(iters);

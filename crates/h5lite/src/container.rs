@@ -20,8 +20,15 @@
 //! data moves through the (internally synchronized) storage backend
 //! without holding the tree lock — this is what lets the async VOL's
 //! background streams overlap data movement with the application thread.
+//!
+//! Selection I/O goes through the planner ([`crate::plan`]):
+//! `write_selection`/`read_selection` resolve the whole selection — shape
+//! checks, run decomposition, and every chunk address — under **one**
+//! metadata-lock acquisition, then issue the coalesced segments as
+//! vectored backend batches. See [`Container::plan_io`].
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::sync::RwLock;
@@ -31,7 +38,8 @@ use crate::dataspace::{Dataspace, Selection};
 use crate::datatype::Datatype;
 use crate::error::{H5Error, Result};
 use crate::layout::Layout;
-use crate::storage::{FileBackend, MemBackend, StorageBackend};
+use crate::plan::{IoPlan, COALESCE_WINDOW};
+use crate::storage::{FileBackend, IoVec, IoVecMut, MemBackend, StorageBackend};
 
 /// Identifier of an object (group or dataset) within a container.
 pub type ObjectId = u64;
@@ -107,6 +115,10 @@ pub struct DatasetInfo {
 pub struct Container {
     backend: Arc<dyn StorageBackend>,
     meta: RwLock<Meta>,
+    /// Metadata-lock acquisitions (read + write), observable via
+    /// [`Container::meta_lock_acquisitions`] so tests and benches can
+    /// assert the planner's one-acquisition-per-operation property.
+    meta_locks: AtomicU64,
 }
 
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -139,7 +151,28 @@ impl Container {
                 eof: SUPERBLOCK_LEN,
                 dirty: true,
             }),
+            meta_locks: AtomicU64::new(0),
         }
+    }
+
+    /// Acquire the metadata lock shared, counting the acquisition.
+    fn meta_read(&self) -> std::sync::RwLockReadGuard<'_, Meta> {
+        self.meta_locks.fetch_add(1, Ordering::Relaxed);
+        self.meta.read()
+    }
+
+    /// Acquire the metadata lock exclusively, counting the acquisition.
+    fn meta_write(&self) -> std::sync::RwLockWriteGuard<'_, Meta> {
+        self.meta_locks.fetch_add(1, Ordering::Relaxed);
+        self.meta.write()
+    }
+
+    /// Total metadata-lock acquisitions so far (reads and writes). A
+    /// steady-state `write_selection`/`read_selection` takes exactly one;
+    /// a first write into unallocated chunks takes two (resolve +
+    /// allocate).
+    pub fn meta_lock_acquisitions(&self) -> u64 {
+        self.meta_locks.load(Ordering::Relaxed)
     }
 
     /// Create a container on a fresh in-memory backend.
@@ -156,7 +189,7 @@ impl Container {
     pub fn open(backend: Arc<dyn StorageBackend>) -> Result<Self> {
         let mut sb = [0u8; SUPERBLOCK_LEN as usize];
         backend
-            .read_at(0, &mut sb)
+            .read_at(0, &mut sb) // xtask: allow(planned-io) superblock read
             .map_err(|_| H5Error::Corrupt("file too short for a superblock".into()))?;
         if &sb[..8] != MAGIC {
             return Err(H5Error::Corrupt("bad magic".into()));
@@ -172,7 +205,7 @@ impl Container {
         }
 
         let mut meta_bytes = vec![0u8; meta_len as usize];
-        backend.read_at(meta_addr, &mut meta_bytes)?;
+        backend.read_at(meta_addr, &mut meta_bytes)?; // xtask: allow(planned-io) metadata extent
         if fnv1a64(&meta_bytes) != meta_fnv {
             return Err(H5Error::Corrupt("metadata checksum mismatch".into()));
         }
@@ -188,6 +221,7 @@ impl Container {
                 eof,
                 dirty: false,
             }),
+            meta_locks: AtomicU64::new(0),
         })
     }
 
@@ -198,14 +232,14 @@ impl Container {
 
     /// Persist metadata and sync the backend. Idempotent when clean.
     pub fn flush(&self) -> Result<()> {
-        let mut meta = self.meta.write();
+        let mut meta = self.meta_write();
         if !meta.dirty {
             return Ok(());
         }
         let bytes = encode_meta(&meta.objects, meta.next_id);
         let addr = meta.eof;
         meta.eof += bytes.len() as u64;
-        self.backend.write_at(addr, &bytes)?;
+        self.backend.write_at(addr, &bytes)?; // xtask: allow(planned-io) metadata extent
 
         let mut sb = Vec::with_capacity(SUPERBLOCK_LEN as usize);
         sb.extend_from_slice(MAGIC);
@@ -217,7 +251,7 @@ impl Container {
         w.u64(ROOT_ID);
         sb.extend_from_slice(&w.into_bytes());
         sb.resize(SUPERBLOCK_LEN as usize, 0);
-        self.backend.write_at(0, &sb)?;
+        self.backend.write_at(0, &sb)?; // xtask: allow(planned-io) superblock update
         self.backend.sync()?;
         meta.dirty = false;
         Ok(())
@@ -225,7 +259,7 @@ impl Container {
 
     /// Total bytes addressed in the backend (allocation high-water mark).
     pub fn allocated_bytes(&self) -> u64 {
-        self.meta.read().eof
+        self.meta_read().eof
     }
 
     // ----- object tree -----------------------------------------------
@@ -235,7 +269,7 @@ impl Container {
         id: ObjectId,
         f: impl FnOnce(&BTreeMap<String, ObjectId>) -> R,
     ) -> Result<R> {
-        let meta = self.meta.read();
+        let meta = self.meta_read();
         let obj = meta
             .objects
             .get(&id)
@@ -250,7 +284,7 @@ impl Container {
 
     /// Kind of an object.
     pub fn kind(&self, id: ObjectId) -> Result<ObjectKind> {
-        let meta = self.meta.read();
+        let meta = self.meta_read();
         let obj = meta
             .objects
             .get(&id)
@@ -264,7 +298,7 @@ impl Container {
     /// Create a group under `parent`.
     pub fn create_group(&self, parent: ObjectId, name: &str) -> Result<ObjectId> {
         validate_link_name(name)?;
-        let mut meta = self.meta.write();
+        let mut meta = self.meta_write();
         let id = meta.next_id;
         {
             let obj = meta
@@ -312,7 +346,7 @@ impl Container {
         layout.validate(space.rank())?;
         let nbytes = space.npoints() * dtype.size() as u64;
 
-        let mut meta = self.meta.write();
+        let mut meta = self.meta_write();
         let id = meta.next_id;
         {
             let obj = meta
@@ -371,7 +405,7 @@ impl Container {
 
     /// Static description of a dataset.
     pub fn dataset_info(&self, id: ObjectId) -> Result<DatasetInfo> {
-        let meta = self.meta.read();
+        let meta = self.meta_read();
         let obj = meta
             .objects
             .get(&id)
@@ -399,7 +433,7 @@ impl Container {
     /// dataset is unsupported (contiguous extents are allocated at
     /// creation).
     pub fn extend_dataset(&self, id: ObjectId, new_len: u64) -> Result<()> {
-        let mut meta = self.meta.write();
+        let mut meta = self.meta_write();
         let obj = meta
             .objects
             .get_mut(&id)
@@ -439,7 +473,7 @@ impl Container {
                 value.bytes.len()
             )));
         }
-        let mut meta = self.meta.write();
+        let mut meta = self.meta_write();
         let obj = meta
             .objects
             .get_mut(&id)
@@ -451,7 +485,7 @@ impl Container {
 
     /// Read an attribute.
     pub fn get_attr(&self, id: ObjectId, name: &str) -> Result<AttrValue> {
-        let meta = self.meta.read();
+        let meta = self.meta_read();
         let obj = meta
             .objects
             .get(&id)
@@ -464,7 +498,7 @@ impl Container {
 
     /// Attribute names on an object, sorted.
     pub fn list_attrs(&self, id: ObjectId) -> Result<Vec<String>> {
-        let meta = self.meta.read();
+        let meta = self.meta_read();
         let obj = meta
             .objects
             .get(&id)
@@ -475,168 +509,199 @@ impl Container {
     // ----- dataset I/O -----------------------------------------------
 
     /// Write `data` (raw on-disk bytes) into the selected elements.
+    ///
+    /// A thin wrapper over [`Container::plan_io`]: one metadata-lock
+    /// acquisition resolves the whole selection (two on a first write
+    /// into unallocated chunks), then the coalesced segments go to the
+    /// backend as vectored batches of at most [`COALESCE_WINDOW`]
+    /// segments.
     pub fn write_selection(&self, id: ObjectId, sel: &Selection, data: &[u8]) -> Result<()> {
-        let info = self.dataset_info(id)?;
-        let elem = info.dtype.size() as u64;
-        let npoints = sel.npoints(&info.space);
-        if data.len() as u64 != npoints * elem {
-            return Err(H5Error::ShapeMismatch(format!(
-                "selection wants {} bytes, buffer has {}",
-                npoints * elem,
-                data.len()
-            )));
-        }
-        let runs = sel.runs(&info.space)?;
-        match info.layout {
-            Layout::Contiguous => {
-                let base = self.contiguous_addr(id)?;
-                let mut cursor = 0usize;
-                for (off, len) in runs {
-                    let nbytes = (len * elem) as usize;
-                    self.backend
-                        .write_at(base + off * elem, &data[cursor..cursor + nbytes])?;
-                    cursor += nbytes;
-                }
-            }
-            Layout::Chunked1D { chunk_elems } => {
-                let mut cursor = 0usize;
-                for (off, len) in runs {
-                    let mut elem_off = off;
-                    let mut remaining = len;
-                    while remaining > 0 {
-                        let chunk_idx = elem_off / chunk_elems;
-                        let within = elem_off % chunk_elems;
-                        let take = remaining.min(chunk_elems - within);
-                        let addr = self.chunk_addr(id, chunk_idx, chunk_elems, elem, true)?;
-                        let nbytes = (take * elem) as usize;
-                        self.backend
-                            .write_at(addr + within * elem, &data[cursor..cursor + nbytes])?;
-                        cursor += nbytes;
-                        elem_off += take;
-                        remaining -= take;
-                    }
-                }
-            }
+        let plan = self.plan_io(id, sel, Some(data.len() as u64), true)?;
+        for window in plan.segments().chunks(COALESCE_WINDOW) {
+            let batch: Vec<IoVec<'_>> = window
+                .iter()
+                .map(|s| IoVec {
+                    offset: s.addr,
+                    data: &data[s.cursor as usize..(s.cursor + s.len) as usize],
+                })
+                .collect();
+            self.backend.write_vectored_at(&batch)?;
         }
         Ok(())
     }
 
     /// Read the selected elements as raw on-disk bytes.
+    ///
+    /// Planned like [`Container::write_selection`]; buffer ranges the
+    /// plan leaves unmapped (never-allocated chunks) stay at the fill
+    /// value (zero), like HDF5.
     pub fn read_selection(&self, id: ObjectId, sel: &Selection) -> Result<Vec<u8>> {
-        let info = self.dataset_info(id)?;
-        let elem = info.dtype.size() as u64;
-        let npoints = sel.npoints(&info.space);
-        let mut out = vec![0u8; (npoints * elem) as usize];
-        let runs = sel.runs(&info.space)?;
-        match info.layout {
-            Layout::Contiguous => {
-                let base = self.contiguous_addr(id)?;
-                let mut cursor = 0usize;
-                for (off, len) in runs {
-                    let nbytes = (len * elem) as usize;
-                    self.backend
-                        .read_at(base + off * elem, &mut out[cursor..cursor + nbytes])?;
-                    cursor += nbytes;
-                }
+        let plan = self.plan_io(id, sel, None, false)?;
+        let mut out = vec![0u8; plan.total_bytes() as usize];
+        // Carve disjoint `&mut` segments out of `out` in one forward
+        // pass — sound because plan segments ascend in cursor space
+        // (planner invariant 1).
+        let mut rest: &mut [u8] = &mut out;
+        let mut consumed = 0u64;
+        for window in plan.segments().chunks(COALESCE_WINDOW) {
+            let mut batch: Vec<IoVecMut<'_>> = Vec::with_capacity(window.len());
+            for s in window {
+                let tail = std::mem::take(&mut rest);
+                let (_gap, tail) = tail.split_at_mut((s.cursor - consumed) as usize);
+                let (seg, tail) = tail.split_at_mut(s.len as usize);
+                rest = tail;
+                consumed = s.cursor + s.len;
+                batch.push(IoVecMut {
+                    offset: s.addr,
+                    buf: seg,
+                });
             }
-            Layout::Chunked1D { chunk_elems } => {
-                let mut cursor = 0usize;
-                for (off, len) in runs {
-                    let mut elem_off = off;
-                    let mut remaining = len;
-                    while remaining > 0 {
-                        let chunk_idx = elem_off / chunk_elems;
-                        let within = elem_off % chunk_elems;
-                        let take = remaining.min(chunk_elems - within);
-                        let nbytes = (take * elem) as usize;
-                        match self.chunk_addr(id, chunk_idx, chunk_elems, elem, false) {
-                            Ok(addr) => {
-                                self.backend.read_at(
-                                    addr + within * elem,
-                                    &mut out[cursor..cursor + nbytes],
-                                )?;
-                            }
-                            Err(H5Error::NotFound(_)) => {
-                                // Unallocated chunk: reads as the fill value
-                                // (zero), like HDF5.
-                            }
-                            Err(e) => return Err(e),
-                        }
-                        cursor += nbytes;
-                        elem_off += take;
-                        remaining -= take;
-                    }
-                }
-            }
+            self.backend.read_vectored_at(&mut batch)?;
         }
         Ok(out)
     }
 
-    fn contiguous_addr(&self, id: ObjectId) -> Result<u64> {
-        let meta = self.meta.read();
-        match meta.objects.get(&id).map(|o| &o.data) {
-            Some(ObjectData::Dataset { data_addr, .. }) => Ok(*data_addr),
-            _ => Err(H5Error::Corrupt(format!(
-                "object {id:?} vanished or is not a dataset (checked by dataset_info)"
-            ))),
-        }
-    }
-
-    /// Address of a chunk; allocates it when `allocate` is set, otherwise
-    /// `NotFound` for never-written chunks.
-    fn chunk_addr(
+    /// Resolve a selection into a coalesced [`IoPlan`].
+    ///
+    /// The fast path takes **one** shared metadata-lock acquisition that
+    /// does everything the old per-run path re-did per segment: object
+    /// lookup, shape validation (against `expect_bytes` when given), run
+    /// decomposition, and resolution of every chunk address. When
+    /// `allocate` is set and some chunks are missing, one exclusive
+    /// acquisition follows: all still-missing chunks are claimed in a
+    /// single `eof` bump and the plan is rebuilt against the complete
+    /// chunk map. The new chunks are zero-filled *outside* the lock from
+    /// one reused buffer, as a vectored batch ordered before the caller's
+    /// data batch.
+    ///
+    /// Publishing chunk addresses before the zero-fill means a concurrent
+    /// first writer to the *same* chunk could interleave with the fill;
+    /// the async connector's per-dataset op chaining serializes that case
+    /// (see DESIGN.md §9). Concurrent writers to disjoint chunks are
+    /// unaffected — each allocator zero-fills only the chunks it claimed
+    /// under the exclusive lock.
+    fn plan_io(
         &self,
         id: ObjectId,
-        chunk_idx: u64,
-        chunk_elems: u64,
-        elem: u64,
+        sel: &Selection,
+        expect_bytes: Option<u64>,
         allocate: bool,
-    ) -> Result<u64> {
-        {
-            let meta = self.meta.read();
-            if let Some(ObjectData::Dataset { chunks, .. }) =
-                meta.objects.get(&id).map(|o| &o.data)
-            {
-                if let Some(addr) = chunks.get(&chunk_idx) {
-                    return Ok(*addr);
+    ) -> Result<IoPlan> {
+        let mut missing: Vec<u64> = Vec::new();
+        let (plan, chunk_info) = {
+            let meta = self.meta_read();
+            let obj = meta
+                .objects
+                .get(&id)
+                .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
+            let ObjectData::Dataset {
+                dtype,
+                space,
+                layout,
+                data_addr,
+                chunks,
+            } = &obj.data
+            else {
+                return Err(H5Error::WrongObjectKind(format!("object {id} is a group")));
+            };
+            let elem = dtype.size() as u64;
+            if let Some(got) = expect_bytes {
+                let want = sel.npoints(space) * elem;
+                if got != want {
+                    return Err(H5Error::ShapeMismatch(format!(
+                        "selection wants {want} bytes, buffer has {got}"
+                    )));
                 }
             }
-        }
-        if !allocate {
-            return Err(H5Error::NotFound(format!("chunk {chunk_idx}")));
-        }
-        let mut meta = self.meta.write();
-        let chunk_bytes = chunk_elems * elem;
-        // Re-check under the write lock (another writer may have won).
-        let addr = {
-            if let Some(ObjectData::Dataset { chunks, .. }) =
-                meta.objects.get(&id).map(|o| &o.data)
-            {
-                chunks.get(&chunk_idx).copied()
-            } else {
-                None
+            let runs = sel.runs(space)?;
+            match layout {
+                Layout::Contiguous => (IoPlan::for_contiguous(*data_addr, elem, &runs), None),
+                Layout::Chunked1D { chunk_elems } => {
+                    let ce = *chunk_elems;
+                    let mut seen_missing = std::collections::BTreeSet::new();
+                    let plan = IoPlan::for_chunked(ce, elem, &runs, |idx| {
+                        let addr = chunks.get(&idx).copied();
+                        if addr.is_none() && seen_missing.insert(idx) {
+                            missing.push(idx);
+                        }
+                        addr
+                    });
+                    (plan, Some((ce, elem, runs)))
+                }
             }
         };
-        if let Some(addr) = addr {
-            return Ok(addr);
+        if missing.is_empty() || !allocate {
+            return Ok(plan);
         }
-        let addr = meta.eof;
-        meta.eof += chunk_bytes;
-        meta.dirty = true;
-        if let Some(ObjectData::Dataset { chunks, .. }) =
-            meta.objects.get_mut(&id).map(|o| &mut o.data)
-        {
-            chunks.insert(chunk_idx, addr);
+        let Some((chunk_elems, elem, runs)) = chunk_info else {
+            return Err(H5Error::Corrupt(format!(
+                "object {id} reported missing chunks without a chunked layout"
+            )));
+        };
+        let chunk_bytes = chunk_elems * elem;
+
+        // Slow path: claim every still-missing chunk under one exclusive
+        // acquisition with a single eof bump, and rebuild the plan while
+        // the chunk map is complete and stable.
+        let (plan, fresh) = {
+            let mut meta = self.meta_write();
+            let Meta {
+                objects, eof, dirty, ..
+            } = &mut *meta;
+            let Some(ObjectData::Dataset { chunks, .. }) =
+                objects.get_mut(&id).map(|o| &mut o.data)
+            else {
+                return Err(H5Error::Corrupt(format!(
+                    "object {id} vanished or changed kind mid-plan"
+                )));
+            };
+            // Re-check under the write lock (another writer may have won
+            // the race for some of these chunks).
+            let still: Vec<u64> = missing
+                .iter()
+                .copied()
+                .filter(|idx| !chunks.contains_key(idx))
+                .collect();
+            let mut addr = *eof;
+            if !still.is_empty() {
+                *eof += chunk_bytes * still.len() as u64;
+                *dirty = true;
+            }
+            let mut fresh = Vec::with_capacity(still.len());
+            for idx in still {
+                chunks.insert(idx, addr);
+                fresh.push(addr);
+                addr += chunk_bytes;
+            }
+            let plan = IoPlan::for_chunked(chunk_elems, elem, &runs, |idx| {
+                chunks.get(&idx).copied()
+            });
+            (plan, fresh)
+        };
+
+        // Zero-fill the freshly claimed chunks outside the metadata lock
+        // so partially written chunks read back as the fill value. One
+        // reused zero buffer backs every segment of the batch.
+        if !fresh.is_empty() {
+            let zero = vec![0u8; chunk_bytes as usize];
+            for window in fresh.chunks(COALESCE_WINDOW) {
+                let batch: Vec<IoVec<'_>> = window
+                    .iter()
+                    .map(|&addr| IoVec {
+                        offset: addr,
+                        data: &zero,
+                    })
+                    .collect();
+                self.backend.write_vectored_at(&batch)?;
+            }
         }
-        // Zero-fill so partially written chunks read back as fill value.
-        self.backend.write_at(addr, &vec![0u8; chunk_bytes as usize])?;
-        Ok(addr)
+        Ok(plan)
     }
 }
 
 impl std::fmt::Debug for Container {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let meta = self.meta.read();
+        let meta = self.meta_read();
         f.debug_struct("Container")
             .field("objects", &meta.objects.len())
             .field("eof", &meta.eof)

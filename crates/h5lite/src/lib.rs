@@ -11,9 +11,12 @@
 //!   attributes. Metadata is serialized with a stable little-endian codec
 //!   ([`codec`]); data lives in extents allocated from the same address
 //!   space. Files written by one process reopen correctly from another.
-//! - **Storage backends** ([`storage`]): an in-memory backend for tests
-//!   and a positional-I/O file backend (`pread`/`pwrite`) supporting
-//!   concurrent access from background I/O threads.
+//! - **Storage backends** ([`storage`]): a page-sharded in-memory backend
+//!   for tests and a positional-I/O file backend (`pread`/`pwrite`)
+//!   supporting concurrent access from background I/O threads. Both speak
+//!   scalar and *vectored* (scatter-gather) operations; the I/O planner
+//!   ([`plan`]) coalesces selections into vectored batches so strided
+//!   access patterns don't degenerate into per-run request storms.
 //! - **Virtual Object Layer** ([`vol`]): every public operation routes
 //!   through a [`vol::Vol`] connector, exactly like HDF5's VOL. The
 //!   built-in [`native::NativeVol`] executes synchronously; the `asyncvol`
@@ -46,6 +49,7 @@ pub mod datatype;
 pub mod error;
 pub mod layout;
 pub mod native;
+pub mod plan;
 pub mod promise;
 pub mod storage;
 pub mod sync;
@@ -58,9 +62,10 @@ pub use datatype::{Datatype, H5Type};
 pub use error::{ErrorClass, H5Error, Result};
 pub use layout::Layout;
 pub use native::NativeVol;
+pub use plan::{IoPlan, IoSegment, COALESCE_WINDOW};
 pub use promise::Promise;
 pub use storage::{
-    FaultInjector, FaultKind, FaultOp, FaultPlan, FileBackend, MemBackend, StorageBackend,
-    ThrottledBackend,
+    FaultInjector, FaultKind, FaultOp, FaultPlan, FileBackend, IoVec, IoVecMut, MemBackend,
+    StorageBackend, ThrottledBackend,
 };
 pub use vol::{ReadRequest, Request, Vol};

@@ -5,8 +5,22 @@
 //! read and write concurrently with the application thread, so interior
 //! synchronization is part of the contract. The file backend uses
 //! positional I/O (`pread`/`pwrite`), which the OS serializes per-range;
-//! the memory backend shards a `RwLock` around its buffer.
+//! the memory backend is sharded into fixed-size pages, each shard behind
+//! its own `RwLock`, so concurrent background streams touching disjoint
+//! extents proceed in parallel instead of serializing on one lock.
+//!
+//! Beyond the scalar `write_at`/`read_at`, every backend accepts *vectored*
+//! batches ([`StorageBackend::write_vectored_at`] /
+//! [`StorageBackend::read_vectored_at`]) of `(offset, bytes)` segments.
+//! Batches are the unit the I/O planner ([`crate::plan`]) emits: a backend
+//! charges per-request costs (latency, lock acquisitions, fault-plan
+//! bookkeeping) once per *segment* where the semantics require it
+//! ([`FaultInjector`]) and once per *batch* where a real device would
+//! amortise them ([`ThrottledBackend`]). Segments are processed in order;
+//! on error, segments before the failing one may already be applied —
+//! exactly the partial state the equivalent scalar sequence would leave.
 
+use std::collections::BTreeMap;
 use std::fs::OpenOptions;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -16,6 +30,24 @@ use crate::sync::{Mutex, RwLock};
 
 use crate::error::{H5Error, Result};
 
+/// One segment of a vectored write: `data` destined for `offset`.
+#[derive(Debug)]
+pub struct IoVec<'a> {
+    /// Backend byte offset the segment lands at.
+    pub offset: u64,
+    /// Payload bytes.
+    pub data: &'a [u8],
+}
+
+/// One segment of a vectored read: fill `buf` from `offset`.
+#[derive(Debug)]
+pub struct IoVecMut<'a> {
+    /// Backend byte offset the segment starts at.
+    pub offset: u64,
+    /// Destination buffer; exactly `buf.len()` bytes are read.
+    pub buf: &'a mut [u8],
+}
+
 /// A flat, concurrently accessible byte address space.
 pub trait StorageBackend: Send + Sync {
     /// Write `data` at `offset`, growing the space as needed.
@@ -24,6 +56,26 @@ pub trait StorageBackend: Send + Sync {
     /// Read exactly `buf.len()` bytes at `offset`. Reading past the end is
     /// an error (the container never does it on valid metadata).
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Write every segment of `batch`, in order. Equivalent to the same
+    /// sequence of [`StorageBackend::write_at`] calls — including the
+    /// partial state left behind when a mid-batch segment fails — but a
+    /// backend may amortise per-request costs across the whole batch.
+    fn write_vectored_at(&self, batch: &[IoVec<'_>]) -> Result<()> {
+        for seg in batch {
+            self.write_at(seg.offset, seg.data)?;
+        }
+        Ok(())
+    }
+
+    /// Read every segment of `batch`, in order; the vectored counterpart
+    /// of [`StorageBackend::read_at`] with the same past-the-end error.
+    fn read_vectored_at(&self, batch: &mut [IoVecMut<'_>]) -> Result<()> {
+        for seg in batch.iter_mut() {
+            self.read_at(seg.offset, seg.buf)?;
+        }
+        Ok(())
+    }
 
     /// One past the highest byte ever written.
     fn len(&self) -> u64;
@@ -37,52 +89,146 @@ pub trait StorageBackend: Send + Sync {
     fn sync(&self) -> Result<()>;
 }
 
+/// Bytes per page of the sharded memory backend.
+const PAGE_BYTES: usize = 64 * 1024;
+
+/// Number of lock shards; pages map to shards round-robin by page index,
+/// so neighbouring pages land on different shards and a large sequential
+/// write still spreads across locks.
+const SHARD_COUNT: usize = 16;
+
 /// In-memory backend for tests and simulation-backed containers.
-#[derive(Default)]
+///
+/// Storage is a sparse map of fixed-size pages ([`PAGE_BYTES`]) sharded
+/// across [`SHARD_COUNT`] independent `RwLock`s; the logical length is a
+/// lock-free high-water mark. Pages inside the length that were never
+/// written read as zeros (the backends' gap-fill contract).
 pub struct MemBackend {
-    buf: RwLock<Vec<u8>>,
+    shards: Vec<RwLock<BTreeMap<u64, Box<[u8]>>>>,
+    len: AtomicU64,
+}
+
+impl Default for MemBackend {
+    fn default() -> Self {
+        MemBackend::new()
+    }
 }
 
 impl MemBackend {
     /// An empty in-memory space.
     pub fn new() -> Self {
         MemBackend {
-            buf: RwLock::new(Vec::new()),
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            len: AtomicU64::new(0),
+        }
+    }
+
+    /// Validate `offset + len` and return the exclusive end offset.
+    fn span_end(offset: u64, len: usize, what: &str) -> Result<u64> {
+        let end = offset
+            .checked_add(len as u64)
+            .ok_or_else(|| H5Error::Storage(format!("{what} offset overflow")))?;
+        usize::try_from(end)
+            .map_err(|_| H5Error::Storage(format!("{what} beyond addressable memory")))?;
+        Ok(end)
+    }
+
+    /// Copy `data` into the page map without touching the length
+    /// high-water mark (the caller publishes the new length).
+    fn copy_in(&self, offset: u64, data: &[u8]) {
+        let mut pos = offset;
+        let mut cursor = 0usize;
+        while cursor < data.len() {
+            let page = pos / PAGE_BYTES as u64;
+            let within = (pos % PAGE_BYTES as u64) as usize;
+            let take = (PAGE_BYTES - within).min(data.len() - cursor);
+            let mut shard = self.shards[(page % SHARD_COUNT as u64) as usize].write();
+            let buf = shard
+                .entry(page)
+                .or_insert_with(|| vec![0u8; PAGE_BYTES].into_boxed_slice());
+            buf[within..within + take].copy_from_slice(&data[cursor..cursor + take]);
+            drop(shard);
+            pos += take as u64;
+            cursor += take;
+        }
+    }
+
+    /// Copy bytes out of the page map; absent pages read as zeros. The
+    /// caller has already bounds-checked against the logical length.
+    fn copy_out(&self, offset: u64, out: &mut [u8]) {
+        let mut pos = offset;
+        let mut cursor = 0usize;
+        while cursor < out.len() {
+            let page = pos / PAGE_BYTES as u64;
+            let within = (pos % PAGE_BYTES as u64) as usize;
+            let take = (PAGE_BYTES - within).min(out.len() - cursor);
+            let shard = self.shards[(page % SHARD_COUNT as u64) as usize].read();
+            match shard.get(&page) {
+                Some(buf) => out[cursor..cursor + take].copy_from_slice(&buf[within..within + take]),
+                None => out[cursor..cursor + take].fill(0),
+            }
+            drop(shard);
+            pos += take as u64;
+            cursor += take;
         }
     }
 }
 
 impl StorageBackend for MemBackend {
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
-        let end = offset
-            .checked_add(data.len() as u64)
-            .ok_or_else(|| H5Error::Storage("write offset overflow".into()))?;
-        let end = usize::try_from(end)
-            .map_err(|_| H5Error::Storage("write beyond addressable memory".into()))?;
-        let mut buf = self.buf.write();
-        if buf.len() < end {
-            buf.resize(end, 0);
-        }
-        buf[offset as usize..end].copy_from_slice(data);
+        let end = Self::span_end(offset, data.len(), "write")?;
+        self.copy_in(offset, data);
+        self.len.fetch_max(end, Ordering::AcqRel);
         Ok(())
     }
 
     fn read_at(&self, offset: u64, out: &mut [u8]) -> Result<()> {
-        let buf = self.buf.read();
-        let end = offset as usize + out.len();
-        if end > buf.len() {
+        let end = Self::span_end(offset, out.len(), "read")?;
+        let len = self.len.load(Ordering::Acquire);
+        if end > len {
             return Err(H5Error::Storage(format!(
-                "short read: wanted {}..{end}, backend has {}",
-                offset,
-                buf.len()
+                "short read: wanted {offset}..{end}, backend has {len}"
             )));
         }
-        out.copy_from_slice(&buf[offset as usize..end]);
+        self.copy_out(offset, out);
+        Ok(())
+    }
+
+    fn write_vectored_at(&self, batch: &[IoVec<'_>]) -> Result<()> {
+        // Validate every segment up front so a malformed batch writes
+        // nothing, then copy, then publish the new length once.
+        let mut max_end = 0u64;
+        for seg in batch {
+            max_end = max_end.max(Self::span_end(seg.offset, seg.data.len(), "write")?);
+        }
+        for seg in batch {
+            self.copy_in(seg.offset, seg.data);
+        }
+        self.len.fetch_max(max_end, Ordering::AcqRel);
+        Ok(())
+    }
+
+    fn read_vectored_at(&self, batch: &mut [IoVecMut<'_>]) -> Result<()> {
+        // Bounds-check the whole batch against one length snapshot, then
+        // copy; each page copy still takes only its own shard lock.
+        let len = self.len.load(Ordering::Acquire);
+        for seg in batch.iter() {
+            let end = Self::span_end(seg.offset, seg.buf.len(), "read")?;
+            if end > len {
+                return Err(H5Error::Storage(format!(
+                    "short read: wanted {}..{end}, backend has {len}",
+                    seg.offset
+                )));
+            }
+        }
+        for seg in batch.iter_mut() {
+            self.copy_out(seg.offset, seg.buf);
+        }
         Ok(())
     }
 
     fn len(&self) -> u64 {
-        self.buf.read().len() as u64
+        self.len.load(Ordering::Acquire)
     }
 
     fn sync(&self) -> Result<()> {
@@ -137,6 +283,27 @@ impl StorageBackend for FileBackend {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
         use std::os::unix::fs::FileExt;
         self.file.read_exact_at(buf, offset)?;
+        Ok(())
+    }
+
+    fn write_vectored_at(&self, batch: &[IoVec<'_>]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        // Single pass of positional writes, one length update for the
+        // whole batch (each scalar write_at would fetch_max separately).
+        let mut max_end = 0u64;
+        for seg in batch {
+            self.file.write_all_at(seg.data, seg.offset)?;
+            max_end = max_end.max(seg.offset.saturating_add(seg.data.len() as u64));
+        }
+        self.len.fetch_max(max_end, Ordering::AcqRel);
+        Ok(())
+    }
+
+    fn read_vectored_at(&self, batch: &mut [IoVecMut<'_>]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        for seg in batch.iter_mut() {
+            self.file.read_exact_at(seg.buf, seg.offset)?;
+        }
         Ok(())
     }
 
@@ -195,6 +362,22 @@ impl StorageBackend for ThrottledBackend {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
         self.stall(buf.len());
         self.inner.read_at(offset, buf)
+    }
+
+    fn write_vectored_at(&self, batch: &[IoVec<'_>]) -> Result<()> {
+        // One latency charge per batch, bandwidth on the total bytes —
+        // the way a PFS amortises request latency across a large
+        // scatter-gather request. This is the modelled payoff of
+        // coalescing: N scalar writes pay N latencies, one batch pays one.
+        let total: usize = batch.iter().map(|seg| seg.data.len()).sum();
+        self.stall(total);
+        self.inner.write_vectored_at(batch)
+    }
+
+    fn read_vectored_at(&self, batch: &mut [IoVecMut<'_>]) -> Result<()> {
+        let total: usize = batch.iter().map(|seg| seg.buf.len()).sum();
+        self.stall(total);
+        self.inner.read_vectored_at(batch)
     }
 
     fn len(&self) -> u64 {
@@ -494,6 +677,26 @@ impl StorageBackend for FaultInjector {
         }
     }
 
+    fn write_vectored_at(&self, batch: &[IoVec<'_>]) -> Result<()> {
+        // Deliberately NOT a pass-through to the inner vectored op: each
+        // segment consumes one fault-plan index of its class, so a plan
+        // written against the scalar sequence observes identical faults —
+        // and a mid-batch fault leaves the same partial state (segments
+        // before it applied, segments after it untouched and uncounted).
+        for seg in batch {
+            self.write_at(seg.offset, seg.data)?;
+        }
+        Ok(())
+    }
+
+    fn read_vectored_at(&self, batch: &mut [IoVecMut<'_>]) -> Result<()> {
+        // Same per-segment fault accounting as the write path.
+        for seg in batch.iter_mut() {
+            self.read_at(seg.offset, seg.buf)?;
+        }
+        Ok(())
+    }
+
     fn len(&self) -> u64 {
         self.inner.len()
     }
@@ -605,6 +808,170 @@ mod tests {
         let b = MemBackend::new();
         let mut empty: [u8; 0] = [];
         b.read_at(0, &mut empty).unwrap();
+    }
+
+    #[test]
+    fn mem_read_at_overflow_errors_instead_of_panicking() {
+        // Regression: `offset as usize + out.len()` used to overflow and
+        // panic in debug builds; it must be a Storage error like write_at.
+        let b = MemBackend::new();
+        b.write_at(0, b"x").unwrap();
+        let mut buf = [0u8; 2];
+        let err = b.read_at(u64::MAX, &mut buf).unwrap_err();
+        assert!(matches!(err, H5Error::Storage(_)), "{err:?}");
+        let err = b.write_at(u64::MAX, b"yz").unwrap_err();
+        assert!(matches!(err, H5Error::Storage(_)), "{err:?}");
+    }
+
+    fn exercise_vectored(backend: &dyn StorageBackend) {
+        // Disjoint, unordered-in-memory-but-ordered-in-batch segments.
+        let a = [1u8; 10];
+        let b = [2u8; 10];
+        let c = [3u8; 4];
+        backend
+            .write_vectored_at(&[
+                IoVec { offset: 0, data: &a },
+                IoVec { offset: 20, data: &b },
+                IoVec { offset: 40, data: &c },
+            ])
+            .unwrap();
+        assert_eq!(backend.len(), 44);
+
+        let mut r0 = [0u8; 10];
+        let mut r1 = [9u8; 10]; // covers the 10..20 gap: must read zeros
+        let mut r2 = [0u8; 4];
+        backend
+            .read_vectored_at(&mut [
+                IoVecMut { offset: 0, buf: &mut r0 },
+                IoVecMut { offset: 10, buf: &mut r1 },
+                IoVecMut { offset: 40, buf: &mut r2 },
+            ])
+            .unwrap();
+        assert_eq!(r0, [1u8; 10]);
+        assert_eq!(r1, [0u8; 10]);
+        assert_eq!(r2, [3u8; 4]);
+
+        // A past-the-end segment fails the batch.
+        let mut past = [0u8; 8];
+        assert!(backend
+            .read_vectored_at(&mut [IoVecMut { offset: 40, buf: &mut past }])
+            .is_err());
+    }
+
+    #[test]
+    fn mem_vectored_contract() {
+        exercise_vectored(&MemBackend::new());
+    }
+
+    #[test]
+    fn file_vectored_contract() {
+        let dir = std::env::temp_dir().join(format!("h5lite-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("vectored.bin");
+        exercise_vectored(&FileBackend::create(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn throttled_vectored_contract() {
+        exercise_vectored(&ThrottledBackend::in_memory(1e12, 0.0));
+    }
+
+    #[test]
+    fn mem_backend_spans_pages_and_shards() {
+        // Writes and reads crossing page boundaries and landing on pages
+        // far apart (different shards) must behave like one flat array.
+        let b = MemBackend::new();
+        let pattern: Vec<u8> = (0..3 * PAGE_BYTES).map(|i| (i % 251) as u8).collect();
+        let base = (PAGE_BYTES as u64 * 7) + 13; // misaligned, mid-page
+        b.write_at(base, &pattern).unwrap();
+        assert_eq!(b.len(), base + pattern.len() as u64);
+
+        let mut out = vec![0u8; pattern.len()];
+        b.read_at(base, &mut out).unwrap();
+        assert_eq!(out, pattern);
+
+        // A read straddling written and never-written pages within len.
+        b.write_at(PAGE_BYTES as u64 * 40, &[7u8; 4]).unwrap();
+        let mut gap = vec![1u8; PAGE_BYTES + 8];
+        b.read_at(PAGE_BYTES as u64 * 20, &mut gap).unwrap();
+        assert!(gap.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn mem_concurrent_writers_across_shards() {
+        let backend = Arc::new(MemBackend::new());
+        let mut joins = Vec::new();
+        for t in 0..8u64 {
+            let b = backend.clone();
+            joins.push(std::thread::spawn(move || {
+                // Each thread owns a distinct page-sized extent.
+                let data = vec![t as u8 + 1; PAGE_BYTES];
+                b.write_at(t * PAGE_BYTES as u64, &data).unwrap();
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(backend.len(), 8 * PAGE_BYTES as u64);
+        for t in 0..8u64 {
+            let mut buf = vec![0u8; PAGE_BYTES];
+            backend.read_at(t * PAGE_BYTES as u64, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == t as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn throttled_batch_pays_one_latency() {
+        // 2 segments through the scalar path: 2 × 30 ms of latency.
+        // The same segments as one batch: a single 30 ms charge.
+        let lat = 0.03;
+        let b = ThrottledBackend::in_memory(1e12, lat);
+        let seg = [0u8; 64];
+
+        let t0 = std::time::Instant::now();
+        b.write_vectored_at(&[
+            IoVec { offset: 0, data: &seg },
+            IoVec { offset: 64, data: &seg },
+        ])
+        .unwrap();
+        let batched = t0.elapsed().as_secs_f64();
+        assert!(batched >= lat * 0.9, "batch must pay latency, took {batched}");
+        assert!(
+            batched < lat * 1.9,
+            "batch must pay latency ONCE, took {batched}"
+        );
+
+        let t0 = std::time::Instant::now();
+        b.write_at(128, &seg).unwrap();
+        b.write_at(192, &seg).unwrap();
+        let scalar = t0.elapsed().as_secs_f64();
+        assert!(scalar >= 2.0 * lat * 0.9, "scalar pays per op, took {scalar}");
+    }
+
+    #[test]
+    fn injector_vectored_advances_one_index_per_segment() {
+        let inner = Arc::new(MemBackend::new());
+        let plan = FaultPlan::new(0).fail_at(FaultOp::Write, 2, FaultKind::Transient);
+        let b = FaultInjector::new(inner.clone(), plan);
+
+        let seg = [5u8; 8];
+        let batch: Vec<IoVec<'_>> = (0..4)
+            .map(|i| IoVec { offset: i * 8, data: &seg })
+            .collect();
+        let err = b.write_vectored_at(&batch).unwrap_err();
+        assert!(err.is_retryable(), "{err:?}");
+        assert_eq!(b.injected(), 1);
+        // Segments 0 and 1 landed; the faulted segment 2 and the
+        // never-attempted segment 3 did not.
+        assert_eq!(inner.len(), 16);
+
+        // The next scalar write consumes index 3 (segment 3 was never
+        // attempted, so it did not advance the counter).
+        b.write_at(100, &seg).unwrap();
+        let mut buf = [0u8; 8];
+        b.read_at(100, &mut buf).unwrap();
+        assert_eq!(buf, seg);
     }
     #[test]
     fn throttled_backend_delegates_and_delays() {

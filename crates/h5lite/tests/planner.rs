@@ -1,0 +1,192 @@
+//! Acceptance tests for the I/O planner's lock and batch accounting: a
+//! strided 1-D selection with well over 1k runs must reach the backend
+//! as at most `ceil(runs / COALESCE_WINDOW)` vectored batches per
+//! operation, with exactly one metadata-lock acquisition in steady
+//! state and zero scalar data-path calls.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use h5lite::container::ROOT_ID;
+use h5lite::{
+    Container, Dataspace, Datatype, Hyperslab, IoVec, IoVecMut, Layout, MemBackend, Selection,
+    StorageBackend, COALESCE_WINDOW,
+};
+
+/// Forwards to a [`MemBackend`] while counting scalar calls, vectored
+/// batches, and total batched segments.
+#[derive(Default)]
+struct CountingBackend {
+    inner: MemBackend,
+    scalar_writes: AtomicU64,
+    scalar_reads: AtomicU64,
+    write_batches: AtomicU64,
+    read_batches: AtomicU64,
+    batch_segments: AtomicU64,
+}
+
+impl CountingBackend {
+    fn count(&self, c: &AtomicU64) -> u64 {
+        c.load(Ordering::SeqCst)
+    }
+}
+
+impl StorageBackend for CountingBackend {
+    fn write_at(&self, offset: u64, data: &[u8]) -> h5lite::Result<()> {
+        self.scalar_writes.fetch_add(1, Ordering::SeqCst);
+        self.inner.write_at(offset, data)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> h5lite::Result<()> {
+        self.scalar_reads.fetch_add(1, Ordering::SeqCst);
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_vectored_at(&self, batch: &[IoVec<'_>]) -> h5lite::Result<()> {
+        self.write_batches.fetch_add(1, Ordering::SeqCst);
+        self.batch_segments
+            .fetch_add(batch.len() as u64, Ordering::SeqCst);
+        self.inner.write_vectored_at(batch)
+    }
+
+    fn read_vectored_at(&self, batch: &mut [IoVecMut<'_>]) -> h5lite::Result<()> {
+        self.read_batches.fetch_add(1, Ordering::SeqCst);
+        self.batch_segments
+            .fetch_add(batch.len() as u64, Ordering::SeqCst);
+        self.inner.read_vectored_at(batch)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> h5lite::Result<()> {
+        self.inner.sync()
+    }
+}
+
+/// 1500 single-element runs: element 0, 3, 6, … over a 4500-element
+/// dataset. `Selection::runs` cannot coalesce any pair, so the planner
+/// sees the full per-run storm.
+const RUNS: u64 = 1500;
+
+fn strided_setup(layout: Layout) -> (Container, Arc<CountingBackend>, Selection, Vec<u8>) {
+    let backend = Arc::new(CountingBackend::default());
+    let c = Container::create(backend.clone() as Arc<dyn StorageBackend>);
+    let space = Dataspace::d1(RUNS * 3);
+    let id = c
+        .create_dataset(ROOT_ID, "x", Datatype::F32, &space, layout)
+        .unwrap();
+    assert_eq!(id, 2);
+    let sel = Selection::Slab(Hyperslab::strided(&[0], &[RUNS], &[3]));
+    let data: Vec<u8> = (0..RUNS * 4).map(|i| (i % 249) as u8 + 1).collect();
+    (c, backend, sel, data)
+}
+
+fn expected_batches(runs: u64) -> u64 {
+    runs.div_ceil(COALESCE_WINDOW as u64)
+}
+
+#[test]
+fn contiguous_strided_write_is_one_lock_and_two_batches() {
+    let (c, backend, sel, data) = strided_setup(Layout::Contiguous);
+    let id = 2;
+
+    let locks0 = c.meta_lock_acquisitions();
+    let batches0 = backend.count(&backend.write_batches);
+    let scalars0 = backend.count(&backend.scalar_writes);
+
+    c.write_selection(id, &sel, &data).unwrap();
+
+    assert_eq!(
+        c.meta_lock_acquisitions() - locks0,
+        1,
+        "contiguous strided write must resolve everything under one lock"
+    );
+    let batches = backend.count(&backend.write_batches) - batches0;
+    assert!(batches >= 1 && batches <= expected_batches(RUNS));
+    assert_eq!(
+        backend.count(&backend.scalar_writes) - scalars0,
+        0,
+        "data path must not fall back to scalar write_at"
+    );
+}
+
+#[test]
+fn contiguous_strided_read_is_one_lock_and_two_batches() {
+    let (c, backend, sel, data) = strided_setup(Layout::Contiguous);
+    let id = 2;
+    c.write_selection(id, &sel, &data).unwrap();
+
+    let locks0 = c.meta_lock_acquisitions();
+    let batches0 = backend.count(&backend.read_batches);
+    let scalars0 = backend.count(&backend.scalar_reads);
+    let segs0 = backend.count(&backend.batch_segments);
+
+    let back = c.read_selection(id, &sel).unwrap();
+    assert_eq!(back, data);
+
+    assert_eq!(c.meta_lock_acquisitions() - locks0, 1);
+    let batches = backend.count(&backend.read_batches) - batches0;
+    assert!(batches >= 1 && batches <= expected_batches(RUNS));
+    assert_eq!(backend.count(&backend.scalar_reads) - scalars0, 0);
+    // Every run reaches the backend as exactly one batched segment.
+    assert_eq!(backend.count(&backend.batch_segments) - segs0, RUNS);
+}
+
+#[test]
+fn chunked_steady_state_matches_contiguous_accounting() {
+    let layout = Layout::Chunked1D { chunk_elems: 64 };
+    let (c, backend, sel, data) = strided_setup(layout);
+    let id = 2;
+
+    // First write allocates every touched chunk: one read-locked
+    // planning pass plus one write-locked allocation pass.
+    let locks0 = c.meta_lock_acquisitions();
+    c.write_selection(id, &sel, &data).unwrap();
+    assert_eq!(
+        c.meta_lock_acquisitions() - locks0,
+        2,
+        "first write = plan pass + allocation pass"
+    );
+
+    // Steady state: chunks exist, so back to one lock and ≤2 batches.
+    let locks0 = c.meta_lock_acquisitions();
+    let batches0 = backend.count(&backend.write_batches);
+    let scalars0 = backend.count(&backend.scalar_writes);
+    c.write_selection(id, &sel, &data).unwrap();
+    assert_eq!(c.meta_lock_acquisitions() - locks0, 1);
+    let batches = backend.count(&backend.write_batches) - batches0;
+    assert!(batches >= 1 && batches <= expected_batches(RUNS));
+    assert_eq!(backend.count(&backend.scalar_writes) - scalars0, 0);
+
+    let locks0 = c.meta_lock_acquisitions();
+    let back = c.read_selection(id, &sel).unwrap();
+    assert_eq!(back, data);
+    assert_eq!(c.meta_lock_acquisitions() - locks0, 1);
+}
+
+#[test]
+fn chunked_read_of_unallocated_holes_stays_zero_filled() {
+    // Write only the strided selection, then read the *complement*:
+    // untouched chunks must come back as zeros without ever hitting the
+    // backend scalar path.
+    let layout = Layout::Chunked1D { chunk_elems: 8 };
+    let backend = Arc::new(CountingBackend::default());
+    let c = Container::create(backend.clone() as Arc<dyn StorageBackend>);
+    // 32 elements, chunks of 8; write elements 0..8 only (chunk 0).
+    let space = Dataspace::d1(32);
+    let id = c
+        .create_dataset(ROOT_ID, "x", Datatype::F32, &space, layout)
+        .unwrap();
+    let head = vec![7u8; 8 * 4];
+    c.write_selection(id, &Selection::Slab(Hyperslab::range1(0, 8)), &head)
+        .unwrap();
+
+    let scalars0 = backend.count(&backend.scalar_reads);
+    let tail = c
+        .read_selection(id, &Selection::Slab(Hyperslab::range1(8, 24)))
+        .unwrap();
+    assert_eq!(tail, vec![0u8; 24 * 4]);
+    assert_eq!(backend.count(&backend.scalar_reads) - scalars0, 0);
+}

@@ -76,6 +76,17 @@ fn rank_payload(cfg: &VpicConfig, step: u32, prop: usize, rank: u32) -> Vec<f32>
         .collect()
 }
 
+/// The strided per-rank selection over *interleaved* particle storage:
+/// rank `rank` of `ranks` owns every `ranks`-th element starting at
+/// `rank`. This is the BD-CATS-IO access shape over VPIC output when
+/// particles are stored interleaved rather than blocked per rank — and
+/// the worst case for per-run I/O, since every one of the
+/// `elems_per_rank` runs is a single element. The planner/vectored
+/// benches use it as the canonical strided scenario.
+pub fn interleaved_slab(rank: u32, ranks: u32, elems_per_rank: u64) -> Hyperslab {
+    Hyperslab::strided(&[rank as u64], &[elems_per_rank], &[ranks as u64])
+}
+
 /// Run the kernel on the real engine. Returns per-epoch timings and, for
 /// async mode, the connector statistics.
 pub fn run_real(cfg: &VpicConfig, mode: KernelMode) -> h5lite::Result<RealRunReport> {
@@ -224,6 +235,17 @@ pub fn workload(ranks: u32, timesteps: u32, compute_secs: f64) -> Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn interleaved_slab_selects_every_ranks_th_element() {
+        use h5lite::Selection;
+        let space = Dataspace::d1(12);
+        let sel = Selection::Slab(interleaved_slab(1, 4, 3));
+        let runs = sel.runs(&space).unwrap();
+        // Rank 1 of 4 over 12 elements: indices 1, 5, 9 — three
+        // single-element runs (nothing for the linear coalescer to merge).
+        assert_eq!(runs, vec![(1, 1), (5, 1), (9, 1)]);
+    }
 
     #[test]
     fn config_sizes() {

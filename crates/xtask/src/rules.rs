@@ -11,6 +11,7 @@
 //! | `must-use`      | argolite, h5lite, asyncvol `src/`       | futures/handles/guards cannot be silently dropped |
 //! | `no-dbg-todo`   | whole workspace                         | no debugging or placeholder macros ship |
 //! | `bounded-retry` | h5lite, asyncvol `src/`                 | retry loops carry both an attempt bound and a deadline |
+//! | `planned-io`    | h5lite `container.rs`                   | data-path I/O goes through the planner's vectored batches, not scalar per-run calls |
 //!
 //! Escapes are explicit and auditable: an inline `// xtask: allow(rule)`
 //! on the offending line, or a path entry in the root `xtask.allow` file.
@@ -41,13 +42,14 @@ impl std::fmt::Display for Violation {
 }
 
 /// Names of all rules, for reports.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 7] = [
     "virtual-time",
     "error-path",
     "lock-discipline",
     "must-use",
     "no-dbg-todo",
     "bounded-retry",
+    "planned-io",
 ];
 
 /// Crates whose `src/` must stay in virtual time.
@@ -63,6 +65,11 @@ const SANCTIONED_LOCK_MODULES: [&str; 2] =
 const MUST_USE_CRATES: [&str; 3] = ["crates/argolite/", "crates/h5lite/", "crates/asyncvol/"];
 /// Crates whose retry loops must be bounded (attempts + deadline).
 const BOUNDED_RETRY_CRATES: [&str; 2] = ["crates/h5lite/", "crates/asyncvol/"];
+/// Files whose data paths must issue I/O through the planner's vectored
+/// batches. Scalar `write_at`/`read_at` here is a regression back to
+/// per-run request storms; metadata paths (superblock, metadata extents)
+/// carry inline waivers.
+const PLANNED_IO_FILES: [&str; 1] = ["crates/h5lite/src/container.rs"];
 /// Type names (beyond the `*Guard` convention) that must be `#[must_use]`.
 const MUST_USE_TYPES: [&str; 6] = [
     "TaskHandle",
@@ -98,6 +105,7 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
         in_src(rel, &LOCK_CRATES) && !SANCTIONED_LOCK_MODULES.contains(&rel);
     let must_use = in_src(rel, &MUST_USE_CRATES);
     let bounded_retry = in_src(rel, &BOUNDED_RETRY_CRATES);
+    let planned_io = PLANNED_IO_FILES.contains(&rel);
 
     // Whole-file evidence for `bounded-retry`: a retry decision
     // (`is_retryable`) in non-test code is only legal when the same file
@@ -200,6 +208,19 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                 "bounded-retry",
                 format!("retry decision (`is_retryable`) without {missing} in scope; bound the loop with `max_attempts` and a `deadline` (see `asyncvol::retry`)"),
             );
+        }
+
+        if planned_io {
+            for tok in [".write_at(", ".read_at("] {
+                if find_token(code, tok) {
+                    push(
+                        l.number,
+                        &l.raw,
+                        "planned-io",
+                        format!("scalar `{tok}..)` in the container; route data-path I/O through `plan_io` + `write_vectored_at`/`read_vectored_at` so requests coalesce (metadata paths may waive inline)"),
+                    );
+                }
+            }
         }
 
         if find_token(code, "dbg!(") {
@@ -478,6 +499,38 @@ fn f(policy: &RetryPolicy, started: Instant) {
         let elsewhere = "fn f() { while e.is_retryable() { op(); } }\n";
         assert!(lint_source("crates/core/src/lib.rs", elsewhere).is_empty());
         assert!(lint_source("crates/asyncvol/tests/x.rs", elsewhere).is_empty());
+    }
+
+    #[test]
+    fn planned_io_fires_on_scalar_data_path_calls() {
+        let bad = "fn f(&self) { self.backend.write_at(addr, &bytes)?; }\n";
+        assert_eq!(
+            rules_fired("crates/h5lite/src/container.rs", bad),
+            ["planned-io"]
+        );
+        let bad_read = "fn g(&self) { backend.read_at(0, &mut sb)?; }\n";
+        assert_eq!(
+            rules_fired("crates/h5lite/src/container.rs", bad_read),
+            ["planned-io"]
+        );
+    }
+
+    #[test]
+    fn planned_io_permits_vectored_calls_and_other_files() {
+        let vectored =
+            "fn f(&self) { self.backend.write_vectored_at(&batch)?; self.backend.read_vectored_at(&mut b)?; }\n";
+        assert!(lint_source("crates/h5lite/src/container.rs", vectored).is_empty());
+        // Other files — including the storage backends themselves — are
+        // free to use the scalar ops.
+        let scalar = "fn f(&self) { self.inner.write_at(o, d) }\n";
+        assert!(lint_source("crates/h5lite/src/storage.rs", scalar).is_empty());
+        assert!(lint_source("crates/asyncvol/src/staging.rs", scalar).is_empty());
+    }
+
+    #[test]
+    fn planned_io_waivable_inline_for_metadata_paths() {
+        let ok = "fn flush(&self) { self.backend.write_at(0, &sb)?; // xtask: allow(planned-io) superblock\n}\n";
+        assert!(lint_source("crates/h5lite/src/container.rs", ok).is_empty());
     }
 
     #[test]

@@ -374,6 +374,168 @@ fn degradation_never_loses_acknowledged_writes() {
     }
 }
 
+/// The planned (coalescing) selection path is observationally identical
+/// to the historical per-run path: one vectored write/read of a random
+/// strided selection leaves the container byte-identical to issuing one
+/// single-run operation per run, on both layouts.
+#[test]
+fn planned_selection_path_matches_per_run_reference() {
+    let mut rng = Lcg::new(0x91A2);
+    for case in 0..32 {
+        let n = rng.in_range(16, 500);
+        let start = rng.next() % n;
+        let stride = rng.in_range(1, 5);
+        let max_count = (n - start).div_ceil(stride);
+        let count = 1 + rng.next() % max_count;
+        let layout = if rng.next().is_multiple_of(2) {
+            Layout::Contiguous
+        } else {
+            Layout::Chunked1D {
+                chunk_elems: rng.in_range(1, 48),
+            }
+        };
+        let space = Dataspace::d1(n);
+        let sel = Selection::Slab(Hyperslab::strided(&[start], &[count], &[stride]));
+        let runs = sel.runs(&space).expect("valid slab");
+        let data: Vec<u8> = (0..count * 4)
+            .map(|i| (case as u64 * 31 + i) as u8 | 1)
+            .collect();
+
+        let mk = || {
+            let c = Container::create(Arc::new(MemBackend::new()));
+            let id = c
+                .create_dataset(ROOT_ID, "d", Datatype::F32, &space, layout.clone())
+                .expect("create");
+            // Zero-fill so the later `Selection::All` read-back is fully
+            // backed (a contiguous dataset's unwritten tail is past the
+            // backend's end, which reads reject by contract).
+            c.write_selection(id, &Selection::All, &vec![0u8; (n * 4) as usize])
+                .expect("prefill");
+            (c, id)
+        };
+        let (planned, pid) = mk();
+        let (reference, rid) = mk();
+
+        planned.write_selection(pid, &sel, &data).expect("planned");
+        let mut cur = 0usize;
+        for &(off, len) in &runs {
+            let nb = (len * 4) as usize;
+            reference
+                .write_selection(
+                    rid,
+                    &Selection::Slab(Hyperslab::range1(off, len)),
+                    &data[cur..cur + nb],
+                )
+                .expect("per-run");
+            cur += nb;
+        }
+
+        // Full contents agree, zeros outside the selection included…
+        let a = planned.read_selection(pid, &Selection::All).expect("read");
+        let b = reference.read_selection(rid, &Selection::All).expect("read");
+        assert_eq!(
+            a, b,
+            "case {case}: n {n} start {start} count {count} stride {stride} {layout:?}"
+        );
+        // …and both read paths return the written bytes.
+        let planned_back = planned.read_selection(pid, &sel).expect("planned read");
+        assert_eq!(planned_back, data, "case {case}: planned read-back");
+        let mut per_run_back = Vec::new();
+        for &(off, len) in &runs {
+            per_run_back.extend(
+                reference
+                    .read_selection(rid, &Selection::Slab(Hyperslab::range1(off, len)))
+                    .expect("per-run read"),
+            );
+        }
+        assert_eq!(per_run_back, data, "case {case}: reference read-back");
+    }
+}
+
+/// Coalescing must not shift fault-plan indices: the k-th write fault
+/// hits the same logical backend operation whether the selection goes
+/// through one planned call or the per-run reference sequence, leaving
+/// both containers in identical states with identical injection counts.
+#[test]
+fn planned_path_preserves_fault_plan_indices() {
+    let mut rng = Lcg::new(0xFA171);
+    for case in 0..24 {
+        let n = rng.in_range(16, 400);
+        let start = rng.next() % n;
+        let stride = rng.in_range(1, 5);
+        let max_count = (n - start).div_ceil(stride);
+        let count = 1 + rng.next() % max_count;
+        let layout = if rng.next().is_multiple_of(2) {
+            Layout::Contiguous
+        } else {
+            Layout::Chunked1D {
+                chunk_elems: rng.in_range(1, 32),
+            }
+        };
+        let space = Dataspace::d1(n);
+        let sel = Selection::Slab(Hyperslab::strided(&[start], &[count], &[stride]));
+        let runs = sel.runs(&space).expect("valid slab");
+        // Fault the k-th data write; k sometimes past the end (no fault).
+        let k = rng.next() % (runs.len() as u64 + 3);
+        let kind = if rng.next().is_multiple_of(2) {
+            FaultKind::Transient
+        } else {
+            FaultKind::Torn { fraction: 0.5 }
+        };
+        let data: Vec<u8> = (0..count * 4).map(|i| (7 + case as u64 + i) as u8 | 1).collect();
+
+        let mk = || {
+            let plan = FaultPlan::new(7)
+                .fail_at(FaultOp::Write, k, kind.clone())
+                .times(1);
+            let inj = Arc::new(FaultInjector::new(Arc::new(MemBackend::new()), plan));
+            inj.set_armed(false);
+            let c = Container::create(inj.clone());
+            let id = c
+                .create_dataset(ROOT_ID, "d", Datatype::F32, &space, layout.clone())
+                .expect("create");
+            // Pre-allocate every chunk while disarmed so both paths run
+            // the same steady-state op sequence (first-write zero fills
+            // would interleave differently between the two schedules).
+            c.write_selection(id, &Selection::All, &vec![0u8; (n * 4) as usize])
+                .expect("prefill");
+            inj.set_armed(true);
+            (c, inj, id)
+        };
+        let (pc, pinj, pid) = mk();
+        let (rc, rinj, rid) = mk();
+
+        let planned_res = pc.write_selection(pid, &sel, &data);
+        let mut reference_res = Ok(());
+        let mut cur = 0usize;
+        for &(off, len) in &runs {
+            let nb = (len * 4) as usize;
+            let r = rc.write_selection(
+                rid,
+                &Selection::Slab(Hyperslab::range1(off, len)),
+                &data[cur..cur + nb],
+            );
+            cur += nb;
+            if r.is_err() {
+                reference_res = r;
+                break; // the planned batch also stops at the first fault
+            }
+        }
+
+        let ctx = format!(
+            "case {case}: n {n} start {start} count {count} stride {stride} k {k} {layout:?}"
+        );
+        assert_eq!(planned_res.is_ok(), reference_res.is_ok(), "{ctx}: outcome");
+        assert_eq!(pinj.injected(), rinj.injected(), "{ctx}: injected count");
+
+        pinj.set_armed(false);
+        rinj.set_armed(false);
+        let a = pc.read_selection(pid, &Selection::All).expect("read");
+        let b = rc.read_selection(rid, &Selection::All).expect("read");
+        assert_eq!(a, b, "{ctx}: post-fault contents diverged");
+    }
+}
+
 /// Engine determinism: the same schedule always fires in the same
 /// order (a regression guard for the heap tie-break).
 #[test]
