@@ -26,8 +26,13 @@ echo "== fault injection (chaos + resilience properties) =="
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test chaos
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test properties
 
+echo "== trace pipeline (span structure of the async epoch) =="
+cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test trace_pipeline
+
 echo "== bench smoke (one iteration per benchmark; no numbers persisted) =="
-cargo bench -q "${CARGO_FLAGS[@]}" -p apio-bench --bench connector -- --smoke
+cargo bench -q "${CARGO_FLAGS[@]}" -p apio-bench --bench connector -- --smoke \
+    --trace-out "$PWD/target/trace_smoke.json"
+test -s target/trace_smoke.json || { echo "trace smoke export missing"; exit 1; }
 cargo bench -q "${CARGO_FLAGS[@]}" -p apio-bench --bench micro -- --smoke
 
 echo "== clippy =="

@@ -134,6 +134,7 @@ impl CircuitBreaker {
                     inner.state = BreakerState::HalfOpen;
                     inner.degraded_since_open = 0;
                     stats.record_probe();
+                    stats.trace_breaker("open", "half-open");
                     Route::Async { probe: true }
                 } else {
                     Route::Degraded
@@ -149,6 +150,7 @@ impl CircuitBreaker {
         if probe && inner.state == BreakerState::HalfOpen {
             inner.state = BreakerState::Closed;
             stats.record_breaker_close();
+            stats.trace_breaker("half-open", "closed");
         }
     }
 
@@ -176,6 +178,7 @@ impl CircuitBreaker {
                 inner.state = BreakerState::Open;
                 inner.degraded_since_open = 0;
                 stats.record_breaker_open();
+                stats.trace_breaker("half-open", "open");
             }
             return;
         }
@@ -187,6 +190,7 @@ impl CircuitBreaker {
             inner.degraded_since_open = 0;
             inner.consecutive_failures = 0;
             stats.record_breaker_open();
+            stats.trace_breaker("closed", "open");
         }
     }
 }
@@ -227,6 +231,7 @@ impl Drop for ProbeGuard {
         if inner.state == BreakerState::HalfOpen {
             inner.state = BreakerState::Open;
             inner.degraded_since_open = 0;
+            self.stats.trace_breaker("half-open", "open");
         }
     }
 }

@@ -51,6 +51,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+use apio_trace::{Event, Tracer};
 use argolite::sync::Mutex;
 use argolite::{Runtime, TaskHandle};
 use h5lite::{
@@ -87,6 +88,7 @@ pub struct AsyncVolBuilder {
     staging: Staging,
     retry: RetryPolicy,
     breaker: BreakerConfig,
+    tracer: Tracer,
 }
 
 impl Default for AsyncVolBuilder {
@@ -105,6 +107,7 @@ impl AsyncVolBuilder {
             staging: Staging::Dram,
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -146,6 +149,16 @@ impl AsyncVolBuilder {
         self
     }
 
+    /// Attach a tracer: every pipeline stage (issue, snapshot, WAL
+    /// append, background execute, retries, breaker transitions,
+    /// degraded writes, recovery replay) records spans and events
+    /// through it. Default is [`Tracer::disabled`], which costs one
+    /// branch per call site.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Spin up the execution streams and assemble the connector.
     pub fn build(self) -> AsyncVol {
         AsyncVol {
@@ -158,7 +171,7 @@ impl AsyncVolBuilder {
                 errors: HashMap::new(),
                 prefetched: HashMap::new(),
             }),
-            stats: stats::StatsCells::new(),
+            stats: stats::StatsCells::traced(self.tracer),
             observer: Mutex::new_named("asyncvol.observer", self.observer),
             retry: self.retry,
             breaker: CircuitBreaker::new(self.breaker),
@@ -230,7 +243,10 @@ impl AsyncVol {
     pub fn recover_staging(&self, c: &Arc<Container>) -> Result<RecoveryReport> {
         match &self.staging {
             Staging::Dram => Ok(RecoveryReport::default()),
-            Staging::Device(log) => log.recover_into(c),
+            Staging::Device(log) => {
+                let _span = self.stats.tracer().span("wal.recover");
+                log.recover_into_traced(c, self.stats.tracer())
+            }
         }
     }
 
@@ -293,10 +309,17 @@ impl AsyncVol {
         let observer = self.observer.lock().clone();
         let policy = self.retry;
         let handle = self.rt.spawn_dependent(&deps, move || {
+            let mut span = stats.tracer().span("vol.prefetch");
             let t0 = Instant::now();
             let result = with_backoff(&policy, req, t0, &stats, || c.read_selection(ds, &sel_task));
             let io_secs = t0.elapsed().as_secs_f64();
             let bytes = result.as_ref().map(|d| d.len() as u64).unwrap_or(0);
+            span.set_event(Event::VolCall {
+                op: "prefetch",
+                dataset: ds,
+                bytes,
+            });
+            drop(span);
             stats.record_read(bytes, io_secs, true);
             if let Some(obs) = observer {
                 obs(&OpRecord {
@@ -342,6 +365,21 @@ impl AsyncVol {
         sel: &Selection,
         data: &[u8],
     ) -> Result<Request> {
+        let _span = self.stats.tracer().span_with(
+            "vol.degraded_write",
+            Event::VolCall {
+                op: "degraded_write",
+                dataset: ds,
+                bytes: data.len() as u64,
+            },
+        );
+        self.stats.tracer().instant(
+            "degrade",
+            Event::Degrade {
+                dataset: ds,
+                bytes: data.len() as u64,
+            },
+        );
         let (salt, dep) = {
             let mut inner = self.inner.lock();
             let salt = inner.next_req;
@@ -397,6 +435,14 @@ impl Vol for AsyncVol {
         sel: &Selection,
         data: &[u8],
     ) -> Result<Request> {
+        let _vol_span = self.stats.tracer().span_with(
+            "vol.write",
+            Event::VolCall {
+                op: "write",
+                dataset: ds,
+                bytes: data.len() as u64,
+            },
+        );
         // The circuit breaker decides the regime first: degraded issues
         // run synchronously on the caller's thread and are acknowledged
         // only once durable.
@@ -418,27 +464,43 @@ impl Vol for AsyncVol {
         // snapshot (DRAM staging) or onto the node-local staging device —
         // so the caller may immediately reuse or mutate its buffer.
         let t0 = Instant::now();
+        let staged = matches!(&self.staging, Staging::Device(_));
+        let mut snap_span = self.stats.tracer().span("vol.snapshot");
         let payload = match &self.staging {
             Staging::Dram => Payload::Dram(data.to_vec()),
-            Staging::Device(log) => match log.append(ds, sel, data) {
-                Ok(extent) => Payload::Staged(log.clone(), extent),
-                Err(e) => {
-                    // The issue failed synchronously; nothing was
-                    // dispatched. A dead staging device still counts
-                    // toward the breaker — degraded mode bypasses
-                    // staging entirely, which is exactly the remedy.
-                    match probe_guard.take() {
-                        Some(g) if e.is_device_fault() => g.device_fault(),
-                        Some(g) => drop(g), // revert HalfOpen → Open
-                        None if e.is_device_fault() => {
-                            self.breaker.on_device_failure(false, &self.stats)
-                        }
-                        None => {}
+            Staging::Device(log) => {
+                let mut wal_span = self.stats.tracer().span("wal.append");
+                match log.append(ds, sel, data) {
+                    Ok(extent) => {
+                        wal_span.set_event(Event::WalAppend {
+                            seq: extent.seq,
+                            bytes: extent.len,
+                        });
+                        Payload::Staged(log.clone(), extent)
                     }
-                    return Err(e);
+                    Err(e) => {
+                        // The issue failed synchronously; nothing was
+                        // dispatched. A dead staging device still counts
+                        // toward the breaker — degraded mode bypasses
+                        // staging entirely, which is exactly the remedy.
+                        match probe_guard.take() {
+                            Some(g) if e.is_device_fault() => g.device_fault(),
+                            Some(g) => drop(g), // revert HalfOpen → Open
+                            None if e.is_device_fault() => {
+                                self.breaker.on_device_failure(false, &self.stats)
+                            }
+                            None => {}
+                        }
+                        return Err(e);
+                    }
                 }
-            },
+            }
         };
+        snap_span.set_event(Event::Snapshot {
+            bytes: data.len() as u64,
+            staged,
+        });
+        drop(snap_span);
         let overhead_secs = t0.elapsed().as_secs_f64();
         self.stats.record_snapshot(data.len() as u64, overhead_secs);
 
@@ -458,6 +520,14 @@ impl Vol for AsyncVol {
         let policy = self.retry;
         let breaker = self.breaker.clone();
         let handle = self.rt.spawn_dependent(&deps, move || {
+            let _exec_span = stats.tracer().span_with(
+                "vol.execute",
+                Event::VolCall {
+                    op: "execute",
+                    dataset: ds,
+                    bytes,
+                },
+            );
             // One deadline covers the staged read-back and the container
             // write; transient faults in either are retried with backoff.
             let started = Instant::now();
@@ -536,6 +606,7 @@ impl Vol for AsyncVol {
         // Cold read: block on any outstanding op on this dataset (RAW
         // ordering), then read on the calling thread — the first-time-step
         // behaviour of the paper's connector.
+        let mut read_span = self.stats.tracer().span("vol.read");
         let dep = { self.inner.lock().last_op.get(&ds).cloned() };
         if let Some(dep) = dep {
             dep.wait()
@@ -547,6 +618,12 @@ impl Vol for AsyncVol {
         });
         let io_secs = t0.elapsed().as_secs_f64();
         let bytes = result.as_ref().map(|d| d.len() as u64).unwrap_or(0);
+        read_span.set_event(Event::VolCall {
+            op: "read",
+            dataset: ds,
+            bytes,
+        });
+        drop(read_span);
         self.stats.record_read(bytes, io_secs, false);
         self.notify(OpRecord {
             kind: OpKind::Read,

@@ -127,7 +127,7 @@ pub(crate) fn with_backoff<T>(
                 if delay >= remaining {
                     return Err(e);
                 }
-                stats.record_retry();
+                stats.record_retry_attempt(attempt, delay.as_nanos() as u64);
                 std::thread::sleep(delay);
                 attempt += 1;
             }

@@ -52,6 +52,7 @@
 
 use std::sync::Arc;
 
+use apio_trace::{Event, Tracer};
 use argolite::sync::Mutex;
 use h5lite::codec::{Reader, Writer};
 use h5lite::{Container, H5Error, Hyperslab, IoVec, ObjectId, Result, Selection, StorageBackend};
@@ -158,6 +159,8 @@ pub struct StagedExtent {
     pub offset: u64,
     /// Payload length in bytes.
     pub len: u64,
+    /// Log sequence number of the record holding the payload.
+    pub seq: u64,
     /// Offset of the record's `applied` flag byte.
     flag_off: u64,
 }
@@ -347,11 +350,13 @@ impl StagingLog {
 
         let offset = tail.cursor;
         self.device.write_at(offset, &rec)?;
+        let seq = tail.seq;
         tail.seq += 1;
         tail.cursor = offset + total;
         Ok(StagedExtent {
             offset: offset + REC_PREFIX + header.len() as u64,
             len: data.len() as u64,
+            seq,
             flag_off: offset + REC_PREFIX + body_len + 8,
         })
     }
@@ -384,15 +389,38 @@ impl StagingLog {
     /// replayed record are set in one vectored batch on the staging device
     /// instead of a one-byte write per record.
     pub fn recover_into(&self, c: &Container) -> Result<RecoveryReport> {
+        self.recover_into_traced(c, &Tracer::disabled())
+    }
+
+    /// [`recover_into`](Self::recover_into) with trace output: each
+    /// replayed record becomes a `wal.replay` span carrying its log seq
+    /// and payload size, and dead bytes past the last valid record (a torn
+    /// tail, or stale space from an earlier log generation) emit exactly
+    /// one `wal.torn_tail` instant with the offset where the valid prefix
+    /// ends.
+    pub fn recover_into_traced(&self, c: &Container, tracer: &Tracer) -> Result<RecoveryReport> {
         let mut report = RecoveryReport::default();
         let mut landed_flags: Vec<u64> = Vec::new();
+        let records = Self::scan(&self.device);
+        let valid_end = records
+            .last()
+            .map(|r| r.rec_off + Self::record_span(r))
+            .unwrap_or(0);
+        if self.device.len() > valid_end {
+            tracer.instant("wal.torn_tail", Event::WalTruncated { offset: valid_end });
+        }
         let result = (|| {
-            for rec in Self::scan(&self.device) {
+            for (seq, rec) in records.into_iter().enumerate() {
                 report.scanned += 1;
                 if rec.applied {
                     report.already_applied += 1;
                     continue;
                 }
+                let mut span = tracer.span("wal.replay");
+                span.set_event(Event::WalReplay {
+                    seq: seq as u64,
+                    bytes: rec.payload.len() as u64,
+                });
                 match c.write_selection(rec.ds, &rec.sel, &rec.payload) {
                     Ok(()) => {
                         report.replayed += 1;

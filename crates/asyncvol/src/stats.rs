@@ -7,6 +7,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use apio_trace::{Event, Tracer};
+
 /// Which kind of operation an [`OpRecord`] describes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum OpKind {
@@ -57,10 +59,15 @@ struct Cells {
     probes: AtomicU64,
 }
 
-/// Shared handle to the connector's counters.
+/// Shared handle to the connector's counters, plus the connector's
+/// tracer. Bundling the tracer here lets deep call sites (the retry loop,
+/// the breaker state machine) emit trace events without threading an
+/// extra parameter through every signature — both already receive the
+/// stats handle.
 #[derive(Clone, Default)]
 pub(crate) struct StatsCells {
     cells: Arc<Cells>,
+    tracer: Tracer,
 }
 
 fn to_nanos(secs: f64) -> u64 {
@@ -68,8 +75,44 @@ fn to_nanos(secs: f64) -> u64 {
 }
 
 impl StatsCells {
+    /// Counters with a disabled tracer (unit tests; the connector builds
+    /// its cells via [`traced`](Self::traced)).
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
         StatsCells::default()
+    }
+
+    /// Counters bundled with an (possibly disabled) tracer.
+    pub(crate) fn traced(tracer: Tracer) -> Self {
+        StatsCells {
+            cells: Arc::new(Cells::default()),
+            tracer,
+        }
+    }
+
+    /// The connector's tracer (disabled unless installed at build time).
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// One retry attempt: bump the counter and trace the attempt that
+    /// just failed together with the backoff chosen before the next one.
+    pub(crate) fn record_retry_attempt(&self, attempt: u32, delay_nanos: u64) {
+        self.record_retry();
+        self.tracer.instant(
+            "retry",
+            Event::RetryAttempt {
+                attempt,
+                delay_nanos,
+            },
+        );
+    }
+
+    /// Trace a circuit-breaker state change (counters are bumped by the
+    /// dedicated `record_breaker_*` methods at the same call sites).
+    pub(crate) fn trace_breaker(&self, from: &'static str, to: &'static str) {
+        self.tracer
+            .instant("breaker", Event::BreakerTransition { from, to });
     }
 
     pub(crate) fn record_snapshot(&self, bytes: u64, secs: f64) {

@@ -8,19 +8,24 @@
 //! `BENCH_connector.json` at the workspace root with every sample plus
 //! the planned-vs-per-run speedups, so the numbers quoted in DESIGN.md
 //! are regenerable from one command.
+//!
+//! `--trace-out <path>` additionally runs one traced async VPIC-style
+//! epoch and writes its Chrome `trace_event` export to `<path>` (works
+//! under `--smoke`; CI uses it to keep the exporter loadable).
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use apio_bench::harness::{
     bench, bench_bytes, bench_custom, bench_elems, section, smoke_mode, Sample,
 };
+use apio_trace::{export, Tracer};
 use asyncvol::AsyncVol;
 use h5lite::container::ROOT_ID;
 use h5lite::{
     Container, Dataspace, Datatype, File, Hyperslab, IoPlan, IoVec, Layout, MemBackend, NativeVol,
-    Selection, StorageBackend, ThrottledBackend,
+    Selection, StorageBackend, ThrottledBackend, Vol,
 };
 use kernels::vpic::interleaved_slab;
 use std::hint::black_box;
@@ -307,6 +312,67 @@ fn strided_vpic(recs: &mut Vec<Rec>) {
     }
 }
 
+/// Value of `--trace-out <path>` (or `--trace-out=<path>`), if given.
+fn trace_out_path() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--trace-out=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// One traced async VPIC-style epoch — the connector and the container
+/// share a tracer, so the export shows the submit-side spans
+/// (`vol.write` ⊇ `vol.snapshot` ⊇ `wal.append`) nested on the app
+/// thread and the background `vol.execute` ⊇ `container.plan_io` ⊇
+/// `backend.batch` chain on the stream thread. Written as Chrome
+/// `trace_event` JSON, loadable in `chrome://tracing` / Perfetto.
+fn export_trace(path: &Path) {
+    let tracer = Tracer::new();
+    let c = Arc::new(Container::create_mem());
+    let space = Dataspace::d1(4 * 1024);
+    let ids: Vec<_> = (0..3)
+        .map(|p| {
+            c.create_dataset(
+                ROOT_ID,
+                &format!("prop{p}"),
+                Datatype::F32,
+                &space,
+                Layout::Contiguous,
+            )
+            .unwrap()
+        })
+        .collect();
+    c.flush().unwrap();
+    c.set_tracer(tracer.clone());
+    let vol = AsyncVol::builder()
+        .streams(1)
+        .stage_to_device(Arc::new(MemBackend::new()))
+        .tracer(tracer.clone())
+        .build();
+    for step in 0..4u64 {
+        for &ds in &ids {
+            let vals = vec![step as f32; 1024];
+            let sel = Selection::Slab(Hyperslab::range1(step * 1024, 1024));
+            let bytes = h5lite::datatype::to_bytes(&vals);
+            // Requests are drained collectively by wait_all below.
+            let _ = vol.dataset_write(&c, ds, &sel, &bytes).unwrap();
+        }
+    }
+    vol.wait_all().unwrap();
+
+    let json = export::chrome_json(tracer.sink().records());
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {} ({} bytes)", path.display(), json.len()),
+        Err(e) => println!("\nfailed to write {}: {e}", path.display()),
+    }
+}
+
 fn lookup(recs: &[Rec], name: &str) -> Option<f64> {
     recs.iter()
         .find(|r| r.name == name)
@@ -384,5 +450,8 @@ fn main() {
     // would overwrite the committed report with noise.
     if !smoke_mode() {
         emit_json(&recs, &speedups);
+    }
+    if let Some(path) = trace_out_path() {
+        export_trace(&path);
     }
 }

@@ -39,6 +39,7 @@ pub mod estimator;
 pub mod history;
 pub mod ratemodel;
 pub mod regression;
+pub mod tracefeed;
 
 pub use adaptive::{AdaptiveRuntime, Observation};
 pub use advisor::{Advice, ModeAdvisor};
@@ -48,3 +49,4 @@ pub use estimator::CompEstimator;
 pub use history::{Direction, History, IoMode, TransferRecord};
 pub use ratemodel::RateModel;
 pub use regression::{r2_simple, Design, LinearFit};
+pub use tracefeed::{extend_history_from_trace, history_from_trace};

@@ -1,0 +1,190 @@
+//! Feed the model's [`History`] from connector trace records.
+//!
+//! The Fig. 2 feedback loop wants `(data size, ranks, mode, direction,
+//! rate)` observations; the trace layer already captures every one of
+//! them as timed spans with typed payloads. This module is the bridge:
+//! give it the records from a [`TraceSink`](apio_trace::TraceSink) and it
+//! appends one [`TransferRecord`] per qualifying span, so a run traced
+//! for debugging doubles as model training data — no second
+//! instrumentation path to keep honest.
+//!
+//! Span → record mapping (all sizes from the span's event payload, all
+//! times from the span duration):
+//!
+//! | span                 | mode  | direction | measures                    |
+//! |----------------------|-------|-----------|-----------------------------|
+//! | `vol.execute`        | Sync  | Write     | the container write itself: |
+//! |                      |       |           | what a synchronous write    |
+//! |                      |       |           | would have cost the caller  |
+//! | `vol.degraded_write` | Sync  | Write     | an actual synchronous write |
+//! | `vol.snapshot`       | Async | Write     | the caller-visible cost of  |
+//! |                      |       |           | an async write (Eq. 2b's    |
+//! |                      |       |           | transactional overhead)     |
+//! | `vol.read`           | Sync  | Read      | a blocking read             |
+//! | `vol.prefetch`       | Async | Read      | a background read           |
+//!
+//! Spans with zero duration or zero payload bytes are skipped — a rate
+//! cannot be formed from them (and under a coarse
+//! [`VirtualClock`](apio_trace::VirtualClock) zero-duration spans are
+//! routine).
+
+use apio_trace::{Event, Record, RecordKind};
+
+use crate::history::{Direction, History, IoMode, TransferRecord};
+
+/// Payload bytes of a span that maps to a transfer observation, or `None`
+/// if the span is not one of the mapped kinds.
+fn classify(r: &Record) -> Option<(IoMode, Direction, u64)> {
+    if r.kind != RecordKind::Span {
+        return None;
+    }
+    match (r.name, r.event) {
+        ("vol.execute" | "vol.degraded_write", Some(Event::VolCall { bytes, .. })) => {
+            Some((IoMode::Sync, Direction::Write, bytes))
+        }
+        ("vol.snapshot", Some(Event::Snapshot { bytes, .. })) => {
+            Some((IoMode::Async, Direction::Write, bytes))
+        }
+        ("vol.read", Some(Event::VolCall { bytes, .. })) => {
+            Some((IoMode::Sync, Direction::Read, bytes))
+        }
+        ("vol.prefetch", Some(Event::VolCall { bytes, .. })) => {
+            Some((IoMode::Async, Direction::Read, bytes))
+        }
+        _ => None,
+    }
+}
+
+/// Append one [`TransferRecord`] per qualifying span in `records` to `h`,
+/// attributing every transfer to `ranks` participating ranks. Returns the
+/// number of records appended.
+pub fn extend_history_from_trace(h: &mut History, records: &[Record], ranks: u32) -> usize {
+    let mut added = 0;
+    for r in records {
+        let Some((mode, direction, bytes)) = classify(r) else {
+            continue;
+        };
+        if bytes == 0 || r.dur_nanos == 0 {
+            continue;
+        }
+        h.push(TransferRecord::from_time(
+            bytes as f64,
+            ranks,
+            mode,
+            direction,
+            r.dur_nanos as f64 / 1e9,
+        ));
+        added += 1;
+    }
+    added
+}
+
+/// A fresh [`History`] built from `records`; see
+/// [`extend_history_from_trace`].
+pub fn history_from_trace(records: &[Record], ranks: u32) -> History {
+    let mut h = History::new();
+    extend_history_from_trace(&mut h, records, ranks);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apio_trace::{Tracer, VirtualClock};
+    use std::sync::Arc;
+
+    /// Drive a tracer through one async write and one blocking read under
+    /// a virtual clock, with known durations.
+    fn traced_run() -> Vec<Record> {
+        let clock = Arc::new(VirtualClock::new(0));
+        let t = Tracer::with_clock(clock.clone());
+        {
+            let mut snap = t.span("vol.snapshot");
+            clock.advance(1_000_000); // 1 ms caller-visible
+            snap.set_event(Event::Snapshot {
+                bytes: 1_000_000,
+                staged: false,
+            });
+        }
+        {
+            let mut exec = t.span("vol.execute");
+            clock.advance(4_000_000); // 4 ms background write
+            exec.set_event(Event::VolCall {
+                op: "execute",
+                dataset: 2,
+                bytes: 1_000_000,
+            });
+        }
+        {
+            let mut read = t.span("vol.read");
+            clock.advance(2_000_000); // 2 ms blocking read
+            read.set_event(Event::VolCall {
+                op: "read",
+                dataset: 2,
+                bytes: 500_000,
+            });
+        }
+        t.instant(
+            "retry",
+            Event::RetryAttempt {
+                attempt: 1,
+                delay_nanos: 10,
+            },
+        );
+        t.sink().records().to_vec()
+    }
+
+    #[test]
+    fn spans_become_transfer_records() {
+        let h = history_from_trace(&traced_run(), 4);
+        assert_eq!(h.len(), 3, "three qualifying spans, instants skipped");
+        let sync_w = h.slice(IoMode::Sync, Direction::Write);
+        assert_eq!(sync_w.len(), 1);
+        // 1 MB in 4 ms = 250 MB/s.
+        assert!((sync_w[0].rate - 2.5e8).abs() < 1.0);
+        assert_eq!(sync_w[0].ranks, 4);
+        let async_w = h.slice(IoMode::Async, Direction::Write);
+        // 1 MB visible in 1 ms = 1 GB/s caller-visible async rate.
+        assert!((async_w[0].rate - 1e9).abs() < 1.0);
+        let sync_r = h.slice(IoMode::Sync, Direction::Read);
+        assert!((sync_r[0].rate - 2.5e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_duration_and_zero_byte_spans_are_skipped() {
+        let clock = Arc::new(VirtualClock::new(0));
+        let t = Tracer::with_clock(clock.clone());
+        {
+            // Zero duration: the clock never advances.
+            let mut s = t.span("vol.execute");
+            s.set_event(Event::VolCall {
+                op: "execute",
+                dataset: 1,
+                bytes: 64,
+            });
+        }
+        {
+            // Zero bytes.
+            let mut s = t.span("vol.read");
+            clock.advance(1_000);
+            s.set_event(Event::VolCall {
+                op: "read",
+                dataset: 1,
+                bytes: 0,
+            });
+        }
+        let mut h = History::new();
+        let added = extend_history_from_trace(&mut h, t.sink().records(), 1);
+        assert_eq!(added, 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn unmapped_spans_are_ignored() {
+        let t = Tracer::new();
+        drop(t.span("container.plan_io"));
+        drop(t.span("wal.append"));
+        let h = history_from_trace(t.sink().records(), 8);
+        assert!(h.is_empty());
+    }
+}

@@ -31,6 +31,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use apio_trace::{Event, Tracer};
+
 use crate::sync::RwLock;
 
 use crate::codec::{Reader, Writer};
@@ -119,6 +121,11 @@ pub struct Container {
     /// [`Container::meta_lock_acquisitions`] so tests and benches can
     /// assert the planner's one-acquisition-per-operation property.
     meta_locks: AtomicU64,
+    /// Trace sink for planner spans and backend-batch events; disabled
+    /// unless installed via [`Container::set_tracer`]. Behind a lock only
+    /// so it can be installed after construction — selection I/O takes a
+    /// read guard once per operation and clones the (cheap) handle.
+    tracer: RwLock<Tracer>,
 }
 
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -152,7 +159,21 @@ impl Container {
                 dirty: true,
             }),
             meta_locks: AtomicU64::new(0),
+            tracer: RwLock::new(Tracer::disabled()),
         }
+    }
+
+    /// Install (or replace) the container's tracer. Selection I/O then
+    /// records `container.plan_io` spans (with a
+    /// [`PlanBuilt`](apio_trace::Event::PlanBuilt) payload),
+    /// `container.meta_lock` hold spans, and one `backend.batch` span per
+    /// vectored window issued to the backend.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.write() = tracer;
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.tracer.read().clone()
     }
 
     /// Acquire the metadata lock shared, counting the acquisition.
@@ -222,6 +243,7 @@ impl Container {
                 dirty: false,
             }),
             meta_locks: AtomicU64::new(0),
+            tracer: RwLock::new(Tracer::disabled()),
         })
     }
 
@@ -517,7 +539,13 @@ impl Container {
     /// segments.
     pub fn write_selection(&self, id: ObjectId, sel: &Selection, data: &[u8]) -> Result<()> {
         let plan = self.plan_io(id, sel, Some(data.len() as u64), true)?;
+        let tracer = self.tracer();
         for window in plan.segments().chunks(COALESCE_WINDOW) {
+            let mut batch_span = tracer.span("backend.batch");
+            batch_span.set_event(Event::BackendBatch {
+                segments: window.len() as u64,
+                bytes: window.iter().map(|s| s.len).sum(),
+            });
             let batch: Vec<IoVec<'_>> = window
                 .iter()
                 .map(|s| IoVec {
@@ -543,7 +571,13 @@ impl Container {
         // (planner invariant 1).
         let mut rest: &mut [u8] = &mut out;
         let mut consumed = 0u64;
+        let tracer = self.tracer();
         for window in plan.segments().chunks(COALESCE_WINDOW) {
+            let mut batch_span = tracer.span("backend.batch");
+            batch_span.set_event(Event::BackendBatch {
+                segments: window.len() as u64,
+                bytes: window.iter().map(|s| s.len).sum(),
+            });
             let mut batch: Vec<IoVecMut<'_>> = Vec::with_capacity(window.len());
             for s in window {
                 let tail = std::mem::take(&mut rest);
@@ -587,8 +621,11 @@ impl Container {
         expect_bytes: Option<u64>,
         allocate: bool,
     ) -> Result<IoPlan> {
+        let tracer = self.tracer();
+        let mut plan_span = tracer.span("container.plan_io");
         let mut missing: Vec<u64> = Vec::new();
         let (plan, chunk_info) = {
+            let _lock_span = tracer.span("container.meta_lock");
             let meta = self.meta_read();
             let obj = meta
                 .objects
@@ -631,6 +668,7 @@ impl Container {
             }
         };
         if missing.is_empty() || !allocate {
+            plan_span.set_event(plan_built_event(id, &plan));
             return Ok(plan);
         }
         let Some((chunk_elems, elem, runs)) = chunk_info else {
@@ -644,6 +682,7 @@ impl Container {
         // acquisition with a single eof bump, and rebuild the plan while
         // the chunk map is complete and stable.
         let (plan, fresh) = {
+            let _lock_span = tracer.span("container.meta_lock");
             let mut meta = self.meta_write();
             let Meta {
                 objects, eof, dirty, ..
@@ -695,7 +734,19 @@ impl Container {
                 self.backend.write_vectored_at(&batch)?;
             }
         }
+        plan_span.set_event(plan_built_event(id, &plan));
         Ok(plan)
+    }
+}
+
+/// The planner-result payload for a `container.plan_io` span: segment
+/// count plus the number of vectored windows those segments become.
+fn plan_built_event(id: ObjectId, plan: &IoPlan) -> Event {
+    let segments = plan.segments().len() as u64;
+    Event::PlanBuilt {
+        dataset: id,
+        segments,
+        batches: segments.div_ceil(COALESCE_WINDOW as u64),
     }
 }
 

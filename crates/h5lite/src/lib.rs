@@ -66,6 +66,6 @@ pub use plan::{IoPlan, IoSegment, COALESCE_WINDOW};
 pub use promise::Promise;
 pub use storage::{
     FaultInjector, FaultKind, FaultOp, FaultPlan, FileBackend, IoVec, IoVecMut, MemBackend,
-    StorageBackend, ThrottledBackend,
+    StorageBackend, ThrottledBackend, TracedBackend,
 };
 pub use vol::{ReadRequest, Request, Vol};

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use apio_trace::{Event, Tracer, VirtualClock};
 use asyncvol::AsyncVol;
 use h5lite::{Container, File, NativeVol, Vol};
 
@@ -63,6 +64,26 @@ impl RealRunReport {
     }
 }
 
+/// Replay a finished kernel run onto a tracer as one `"epoch"` span per
+/// phase, driven by a [`VirtualClock`] — the report already holds the
+/// measured wall-clock splits, so the replay is deterministic. Mirrors
+/// [`mpisim::trace_epochs`](mpisim::runner::trace_epochs) for simulated
+/// runs.
+pub fn trace_epochs(report: &RealRunReport, tracer: &Tracer, clock: &VirtualClock) {
+    for (i, p) in report.phases.iter().enumerate() {
+        let comp_nanos = (p.compute_secs.max(0.0) * 1e9) as u64;
+        let io_nanos = (p.visible_io_secs.max(0.0) * 1e9) as u64;
+        let mut span = tracer.span("epoch");
+        clock.advance(comp_nanos + io_nanos);
+        span.set_event(Event::EpochMark {
+            epoch: i as u64,
+            comp_nanos,
+            io_nanos,
+            bytes: report.bytes_per_epoch,
+        });
+    }
+}
+
 /// Assemble an in-memory file with the requested connector. Returns the
 /// file and, for async mode, a handle to the connector for stats.
 pub fn make_file(mode: KernelMode) -> (File, Option<Arc<AsyncVol>>) {
@@ -108,6 +129,38 @@ mod tests {
         let (f, some) = make_file(KernelMode::Async);
         assert_eq!(f.vol().name(), "async");
         assert!(some.is_some());
+    }
+
+    #[test]
+    fn trace_epochs_replays_report_phases() {
+        let r = RealRunReport {
+            mode: KernelMode::Async,
+            ranks: 2,
+            bytes_per_epoch: 4096,
+            phases: vec![
+                PhaseTiming {
+                    compute_secs: 0.001,
+                    visible_io_secs: 0.002,
+                },
+                PhaseTiming {
+                    compute_secs: 0.001,
+                    visible_io_secs: 0.0005,
+                },
+            ],
+            wall_secs: 0.0045,
+            async_stats: None,
+        };
+        let clock = Arc::new(VirtualClock::new(0));
+        let t = Tracer::with_clock(clock.clone());
+        trace_epochs(&r, &t, &clock);
+        let records = t.sink().records().to_vec();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].dur_nanos, 3_000_000);
+        assert_eq!(records[1].dur_nanos, 1_500_000);
+        let Some(Event::EpochMark { epoch, bytes, .. }) = records[1].event else {
+            panic!("missing EpochMark");
+        };
+        assert_eq!((epoch, bytes), (1, 4096));
     }
 
     #[test]

@@ -26,5 +26,5 @@ pub mod runner;
 pub mod workload;
 
 pub use comm::{CollectiveMode, Job};
-pub use runner::{run, run_analytic, run_des};
+pub use runner::{run, run_analytic, run_des, trace_epochs};
 pub use workload::{PhaseMeasure, RunConfig, RunResult, Workload};

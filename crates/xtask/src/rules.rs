@@ -12,6 +12,7 @@
 //! | `no-dbg-todo`   | whole workspace                         | no debugging or placeholder macros ship |
 //! | `bounded-retry` | h5lite, asyncvol `src/`                 | retry loops carry both an attempt bound and a deadline |
 //! | `planned-io`    | h5lite `container.rs`                   | data-path I/O goes through the planner's vectored batches, not scalar per-run calls |
+//! | `trace-discipline` | everywhere except `crates/trace/`    | spans are opened through the RAII guard API; the manual `begin_span`/`end_span` pair stays inside apio-trace |
 //!
 //! Escapes are explicit and auditable: an inline `// xtask: allow(rule)`
 //! on the offending line, or a path entry in the root `xtask.allow` file.
@@ -42,7 +43,7 @@ impl std::fmt::Display for Violation {
 }
 
 /// Names of all rules, for reports.
-pub const RULE_NAMES: [&str; 7] = [
+pub const RULE_NAMES: [&str; 8] = [
     "virtual-time",
     "error-path",
     "lock-discipline",
@@ -50,7 +51,12 @@ pub const RULE_NAMES: [&str; 7] = [
     "no-dbg-todo",
     "bounded-retry",
     "planned-io",
+    "trace-discipline",
 ];
+
+/// The one crate allowed to call the manual span API (`begin_span` /
+/// `end_span`): the tracer itself, whose guard type is built on it.
+const TRACE_CRATE: &str = "crates/trace/";
 
 /// Crates whose `src/` must stay in virtual time.
 const VIRTUAL_TIME_CRATES: [&str; 3] = ["crates/desim/", "crates/mpisim/", "crates/platform/"];
@@ -106,6 +112,7 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
     let must_use = in_src(rel, &MUST_USE_CRATES);
     let bounded_retry = in_src(rel, &BOUNDED_RETRY_CRATES);
     let planned_io = PLANNED_IO_FILES.contains(&rel);
+    let trace_discipline = !rel.starts_with(TRACE_CRATE);
 
     // Whole-file evidence for `bounded-retry`: a retry decision
     // (`is_retryable`) in non-test code is only legal when the same file
@@ -218,6 +225,19 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                         &l.raw,
                         "planned-io",
                         format!("scalar `{tok}..)` in the container; route data-path I/O through `plan_io` + `write_vectored_at`/`read_vectored_at` so requests coalesce (metadata paths may waive inline)"),
+                    );
+                }
+            }
+        }
+
+        if trace_discipline {
+            for tok in [".begin_span(", ".end_span("] {
+                if find_token(code, tok) {
+                    push(
+                        l.number,
+                        &l.raw,
+                        "trace-discipline",
+                        format!("manual span API `{tok}..)` outside apio-trace; use `Tracer::span`/`span_with` so the RAII guard closes the span on every exit path"),
                     );
                 }
             }
@@ -531,6 +551,29 @@ fn f(policy: &RetryPolicy, started: Instant) {
     fn planned_io_waivable_inline_for_metadata_paths() {
         let ok = "fn flush(&self) { self.backend.write_at(0, &sb)?; // xtask: allow(planned-io) superblock\n}\n";
         assert!(lint_source("crates/h5lite/src/container.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn trace_discipline_fires_on_manual_span_api_outside_the_tracer() {
+        let bad = "fn f(t: &Tracer) { let tok = t.begin_span(\"x\", None); t.end_span(tok); }\n";
+        let fired = rules_fired("crates/asyncvol/src/lib.rs", bad);
+        assert_eq!(fired, ["trace-discipline"]);
+        assert!(rules_fired("crates/h5lite/src/container.rs", "fn f() { tracer.end_span(tok); }\n")
+            .contains(&"trace-discipline"));
+        assert!(rules_fired("tests/trace_pipeline.rs", "fn f() { t.begin_span(\"x\", None); }\n")
+            .contains(&"trace-discipline"));
+    }
+
+    #[test]
+    fn trace_discipline_permits_the_tracer_crate_and_guard_api() {
+        let manual = "fn f(t: &Tracer) { let tok = t.begin_span(\"x\", None); t.end_span(tok); }\n";
+        assert!(lint_source("crates/trace/src/lib.rs", manual).is_empty());
+        let guarded = "fn f(t: &Tracer) { let _g = t.span(\"x\"); t.span_with(\"y\", ev); }\n";
+        assert!(lint_source("crates/asyncvol/src/lib.rs", guarded).is_empty());
+        // Waivable inline like every other rule.
+        let waived =
+            "fn f() { t.begin_span(\"x\", None); } // xtask: allow(trace-discipline) ffi boundary\n";
+        assert!(lint_source("crates/asyncvol/src/lib.rs", waived).is_empty());
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   Virtual Object Layer (VOL) hook point.
 //! - [`asyncvol`] — the asynchronous VOL connector: background-thread I/O
 //!   with transactional snapshot buffers and read prefetching.
+//! - [`trace`] (crate `apio-trace`) — zero-dependency structured tracing
+//!   and metrics: RAII spans, typed events, log2 histograms, and Chrome
+//!   `trace_event` / JSONL exporters (DESIGN.md §10).
 //! - [`model`] (crate `apio-core`) — the paper's contribution: the epoch
 //!   performance model (Eq. 1–5), history-driven rate regression, and the
 //!   sync-vs-async mode advisor.
@@ -27,6 +30,7 @@
 //! overlap scenarios evaluated through the model.
 
 pub use apio_core as model;
+pub use apio_trace as trace;
 pub use apps;
 pub use argolite;
 pub use asyncvol;

@@ -19,6 +19,7 @@ use apio::h5lite::{
     FaultPlan, Hyperslab, Layout, MemBackend, Selection, StorageBackend, Vol,
 };
 use apio::kernels::vpic::particle_value;
+use apio::trace::{Event, Tracer};
 
 const PROPS: usize = 3; // datasets ("particle properties")
 const STEPS: u32 = 4; // slab writes per dataset ("timesteps")
@@ -104,9 +105,11 @@ fn crash_recovery_restores_fault_free_contents() {
     c.flush().expect("metadata durable before the chaos starts");
 
     let device: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+    let tracer = Tracer::new();
     let vol = AsyncVol::builder()
         .streams(1)
         .stage_to_device(device.clone())
+        .tracer(tracer.clone())
         .retry(RetryPolicy {
             max_attempts: 6,
             ..RetryPolicy::default()
@@ -132,6 +135,19 @@ fn crash_recovery_restores_fault_free_contents() {
     let stats = vol.stats();
     assert!(stats.retries > 0, "transient faults must have been retried");
     assert!(injector.injected() > 0, "the plan must actually fire");
+
+    // Every retry in the trace respects the policy: the attempt index is
+    // recorded just before the backoff sleep, so with max_attempts = 6 no
+    // RetryAttempt may carry an index past 5.
+    let sink = tracer.sink();
+    let retries = sink.events_where(|e| matches!(e, Event::RetryAttempt { .. }));
+    assert!(!retries.is_empty(), "retries must appear in the trace");
+    for r in &retries {
+        let Some(Event::RetryAttempt { attempt, .. }) = r.event else {
+            unreachable!("filtered above");
+        };
+        assert!(attempt < 6, "retry attempt {attempt} exceeds the policy bound");
+    }
     drop(vol); // crash: connector dies, DRAM state is gone
 
     // Reboot: reopen the container from the raw (healed) device and
@@ -142,7 +158,18 @@ fn crash_recovery_restores_fault_free_contents() {
         .collect();
     assert_eq!(ids2, ids, "flushed metadata survives the crash");
 
-    let vol2 = AsyncVol::builder().stage_to_device(device).build();
+    // Tear the log tail: a crash mid-append leaves a partial frame after
+    // the last valid record. Recovery must truncate it — and say so.
+    let valid_end = device.len();
+    device
+        .write_at(valid_end, &[0xDE, 0xAD, 0xBE, 0xEF])
+        .expect("tear the tail");
+
+    let tracer2 = Tracer::new();
+    let vol2 = AsyncVol::builder()
+        .stage_to_device(device)
+        .tracer(tracer2.clone())
+        .build();
     let report = vol2.recover_staging(&c2).expect("recovery");
     assert!(
         report.replayed > 0,
@@ -150,6 +177,28 @@ fn crash_recovery_restores_fault_free_contents() {
     );
     assert!(report.bytes_replayed > 0);
     assert_eq!(report.orphaned, 0, "every record targets a live dataset");
+
+    // The recovery trace mirrors the report: one `wal.replay` span per
+    // replayed record (all inside the `wal.recover` span), and exactly
+    // one torn-tail truncation at the end of the valid prefix.
+    let rsink = tracer2.sink();
+    let replays = rsink.spans("wal.replay");
+    assert_eq!(replays.len() as u64, report.replayed);
+    let mut replay_bytes = 0u64;
+    for r in &replays {
+        assert!(rsink.within_span_named(r, "wal.recover"));
+        let Some(Event::WalReplay { bytes, .. }) = r.event else {
+            panic!("wal.replay span without WalReplay payload");
+        };
+        replay_bytes += bytes;
+    }
+    assert_eq!(replay_bytes, report.bytes_replayed);
+    let torn = rsink.events_where(|e| matches!(e, Event::WalTruncated { .. }));
+    assert_eq!(torn.len(), 1, "exactly one torn-tail truncation event");
+    let Some(Event::WalTruncated { offset }) = torn[0].event else {
+        unreachable!("filtered above");
+    };
+    assert_eq!(offset, valid_end, "truncation lands at the valid prefix end");
 
     for (p, &ds) in ids2.iter().enumerate() {
         let got = c2.read_selection(ds, &Selection::All).expect("read back");
