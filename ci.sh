@@ -29,11 +29,40 @@ cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test properties
 echo "== trace pipeline (span structure of the async epoch) =="
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test trace_pipeline
 
+echo "== telemetry loop (drift alarm -> refit -> advice flip, from report JSON) =="
+cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test telemetry
+
+echo "== flight recorder (panic-hook dump smoke) =="
+cargo test -q "${CARGO_FLAGS[@]}" -p apio-trace --test flight_panic
+
+echo "== operator report smoke (drift demo must flip the advice) =="
+report_json="$(cargo run -q "${CARGO_FLAGS[@]}" -p apio-apps --bin apio-report -- --json)"
+echo "$report_json" | grep -q '"schema":"apio-report-v1"' \
+    || { echo "apio-report: bad or missing JSON schema"; exit 1; }
+echo "$report_json" | grep -q '"label":"pre-drift (fast device)","decision":"sync"' \
+    || { echo "apio-report: pre-drift advice is not sync"; exit 1; }
+echo "$report_json" | grep -q '"label":"post-drift (refit on degraded device)","decision":"async"' \
+    || { echo "apio-report: post-drift advice did not flip to async"; exit 1; }
+
 echo "== bench smoke (one iteration per benchmark; no numbers persisted) =="
 cargo bench -q "${CARGO_FLAGS[@]}" -p apio-bench --bench connector -- --smoke \
     --trace-out "$PWD/target/trace_smoke.json"
 test -s target/trace_smoke.json || { echo "trace smoke export missing"; exit 1; }
 cargo bench -q "${CARGO_FLAGS[@]}" -p apio-bench --bench micro -- --smoke
+
+echo "== bench-regression gate =="
+# The committed baseline must pass against itself at the strict default
+# threshold, and the smoke run (single iteration, noisy) must stay within
+# an order-of-magnitude envelope and keep every baseline benchmark alive.
+cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- bench-diff BENCH_baseline.json BENCH_baseline.json
+cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- bench-diff BENCH_connector.json BENCH_baseline.json --threshold=50
+# The gate itself must demonstrably catch a regression: a synthetically
+# slowed baseline (1000x on the e-4/e-5 entries) has to fail.
+sed 's/e-4/e-1/g; s/e-5/e-2/g' BENCH_baseline.json > target/BENCH_regressed.json
+if cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- bench-diff target/BENCH_regressed.json BENCH_baseline.json >/dev/null 2>&1; then
+    echo "bench-diff gate failed to flag a synthetic 1000x regression"
+    exit 1
+fi
 
 echo "== clippy =="
 if cargo clippy --version >/dev/null 2>&1; then

@@ -235,6 +235,14 @@ impl AsyncVol {
         self.breaker.state()
     }
 
+    /// The metrics registry the connector's counters live in — the
+    /// tracer's registry when one was installed, otherwise a private one.
+    /// Reports read `vol.*` counters from here; [`stats`](Self::stats)
+    /// is the typed view over the same atomics.
+    pub fn metrics(&self) -> apio_trace::Metrics {
+        self.stats.metrics().clone()
+    }
+
     /// Replay staged-but-unflushed write-ahead records into `c` — the
     /// crash-recovery step. Call after reopening a container whose
     /// connector died mid-epoch, with the connector built via
@@ -308,6 +316,7 @@ impl AsyncVol {
         let stats = self.stats.clone();
         let observer = self.observer.lock().clone();
         let policy = self.retry;
+        stats.record_queue_submitted();
         let handle = self.rt.spawn_dependent(&deps, move || {
             let mut span = stats.tracer().span("vol.prefetch");
             let t0 = Instant::now();
@@ -330,6 +339,7 @@ impl AsyncVol {
                 });
             }
             p.fulfill(result);
+            stats.record_queue_completed();
         });
 
         inner.last_op.insert(ds, handle.clone());
@@ -519,6 +529,7 @@ impl Vol for AsyncVol {
         let bytes = data.len() as u64;
         let policy = self.retry;
         let breaker = self.breaker.clone();
+        stats.record_queue_submitted();
         let handle = self.rt.spawn_dependent(&deps, move || {
             let _exec_span = stats.tracer().span_with(
                 "vol.execute",
@@ -579,6 +590,7 @@ impl Vol for AsyncVol {
             if let Err(e) = outcome {
                 *errors_task.lock() = Some(e);
             }
+            stats.record_queue_completed();
         });
 
         inner.pending.insert(req, handle.clone());

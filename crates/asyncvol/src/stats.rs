@@ -1,13 +1,16 @@
 //! Instrumentation: the measurements the paper's model consumes.
 //!
-//! Every completed operation updates lock-free counters; [`OpRecord`]s go
-//! to the optional observer for the model's feedback loop (Fig. 2). Times
-//! are accumulated as integer nanoseconds so the counters stay atomic.
+//! The connector's counters live in the `apio_trace::Metrics` registry —
+//! one counter substrate for the whole pipeline. [`StatsCells`] is a
+//! typed view over named registry handles (`vol.writes`, `vol.retries`,
+//! …): the connector bumps its handles lock-free, and any consumer of
+//! the tracer's registry (the operator report, the series aggregator)
+//! sees the same numbers under the same names with no duplicated
+//! atomics. [`OpRecord`]s go to the optional observer for the model's
+//! feedback loop (Fig. 2). Times are accumulated as integer nanoseconds
+//! so the counters stay atomic.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use apio_trace::{Event, Tracer};
+use apio_trace::{Counter, Event, Metrics, Tracer};
 
 /// Which kind of operation an [`OpRecord`] describes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -39,35 +42,98 @@ pub struct OpRecord {
     pub overhead_secs: f64,
 }
 
-#[derive(Default)]
-struct Cells {
-    writes: AtomicU64,
-    reads_blocking: AtomicU64,
-    prefetches: AtomicU64,
-    prefetch_hits: AtomicU64,
-    snapshot_bytes: AtomicU64,
-    snapshot_nanos: AtomicU64,
-    write_bytes: AtomicU64,
-    write_io_nanos: AtomicU64,
-    read_bytes: AtomicU64,
-    read_io_nanos: AtomicU64,
-    retries: AtomicU64,
-    retry_successes: AtomicU64,
-    degraded_writes: AtomicU64,
-    breaker_opens: AtomicU64,
-    breaker_closes: AtomicU64,
-    probes: AtomicU64,
+/// Registry names for every connector counter, in snapshot order.
+/// Reports iterate the registry, so the names are the public contract.
+const COUNTER_NAMES: [&str; 18] = [
+    "vol.writes",
+    "vol.reads_blocking",
+    "vol.prefetches",
+    "vol.prefetch_hits",
+    "vol.snapshot_bytes",
+    "vol.snapshot_nanos",
+    "vol.write_bytes",
+    "vol.write_io_nanos",
+    "vol.read_bytes",
+    "vol.read_io_nanos",
+    "vol.retries",
+    "vol.retry_successes",
+    "vol.degraded_writes",
+    "vol.breaker_opens",
+    "vol.breaker_closes",
+    "vol.probes",
+    "vol.queue_submitted",
+    "vol.queue_completed",
+];
+
+/// Typed handles into the metrics registry, one per counter name.
+#[derive(Clone)]
+struct Handles {
+    writes: Counter,
+    reads_blocking: Counter,
+    prefetches: Counter,
+    prefetch_hits: Counter,
+    snapshot_bytes: Counter,
+    snapshot_nanos: Counter,
+    write_bytes: Counter,
+    write_io_nanos: Counter,
+    read_bytes: Counter,
+    read_io_nanos: Counter,
+    retries: Counter,
+    retry_successes: Counter,
+    degraded_writes: Counter,
+    breaker_opens: Counter,
+    breaker_closes: Counter,
+    probes: Counter,
+    queue_submitted: Counter,
+    queue_completed: Counter,
 }
 
-/// Shared handle to the connector's counters, plus the connector's
-/// tracer. Bundling the tracer here lets deep call sites (the retry loop,
-/// the breaker state machine) emit trace events without threading an
-/// extra parameter through every signature — both already receive the
-/// stats handle.
-#[derive(Clone, Default)]
+impl Handles {
+    fn register(metrics: &Metrics) -> Self {
+        let [writes, reads_blocking, prefetches, prefetch_hits, snapshot_bytes, snapshot_nanos, write_bytes, write_io_nanos, read_bytes, read_io_nanos, retries, retry_successes, degraded_writes, breaker_opens, breaker_closes, probes, queue_submitted, queue_completed] =
+            COUNTER_NAMES.map(|name| metrics.counter(name));
+        Handles {
+            writes,
+            reads_blocking,
+            prefetches,
+            prefetch_hits,
+            snapshot_bytes,
+            snapshot_nanos,
+            write_bytes,
+            write_io_nanos,
+            read_bytes,
+            read_io_nanos,
+            retries,
+            retry_successes,
+            degraded_writes,
+            breaker_opens,
+            breaker_closes,
+            probes,
+            queue_submitted,
+            queue_completed,
+        }
+    }
+}
+
+/// Shared view over the connector's registry counters, plus the
+/// connector's tracer. Bundling the tracer here lets deep call sites
+/// (the retry loop, the breaker state machine) emit trace events without
+/// threading an extra parameter through every signature — both already
+/// receive the stats handle. The counters themselves live in the
+/// tracer's [`Metrics`] registry (or a private registry when the tracer
+/// is disabled), so reports reading the registry and `AsyncVolStats`
+/// snapshots are two views of the same atomics.
+#[derive(Clone)]
 pub(crate) struct StatsCells {
-    cells: Arc<Cells>,
+    handles: Handles,
+    metrics: Metrics,
     tracer: Tracer,
+}
+
+impl Default for StatsCells {
+    fn default() -> Self {
+        StatsCells::traced(Tracer::disabled())
+    }
 }
 
 fn to_nanos(secs: f64) -> u64 {
@@ -82,10 +148,14 @@ impl StatsCells {
         StatsCells::default()
     }
 
-    /// Counters bundled with an (possibly disabled) tracer.
+    /// Registry-backed counters bundled with an (possibly disabled)
+    /// tracer. A disabled tracer has no registry, so the cells carry a
+    /// private one — the counters work either way.
     pub(crate) fn traced(tracer: Tracer) -> Self {
+        let metrics = tracer.metrics().unwrap_or_default();
         StatsCells {
-            cells: Arc::new(Cells::default()),
+            handles: Handles::register(&metrics),
+            metrics,
             tracer,
         }
     }
@@ -93,6 +163,11 @@ impl StatsCells {
     /// The connector's tracer (disabled unless installed at build time).
     pub(crate) fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The registry the counters live in (the tracer's, when enabled).
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// One retry attempt: bump the counter and trace the attempt that
@@ -116,91 +191,96 @@ impl StatsCells {
     }
 
     pub(crate) fn record_snapshot(&self, bytes: u64, secs: f64) {
-        self.cells.snapshot_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.cells
-            .snapshot_nanos
-            .fetch_add(to_nanos(secs), Ordering::Relaxed);
+        self.handles.snapshot_bytes.add(bytes);
+        self.handles.snapshot_nanos.add(to_nanos(secs));
     }
 
     pub(crate) fn record_write(&self, bytes: u64, io_secs: f64) {
-        self.cells.writes.fetch_add(1, Ordering::Relaxed);
-        self.cells.write_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.cells
-            .write_io_nanos
-            .fetch_add(to_nanos(io_secs), Ordering::Relaxed);
+        self.handles.writes.inc();
+        self.handles.write_bytes.add(bytes);
+        self.handles.write_io_nanos.add(to_nanos(io_secs));
     }
 
     pub(crate) fn record_read(&self, bytes: u64, io_secs: f64, prefetch: bool) {
         if prefetch {
-            self.cells.prefetches.fetch_add(1, Ordering::Relaxed);
+            self.handles.prefetches.inc();
         } else {
-            self.cells.reads_blocking.fetch_add(1, Ordering::Relaxed);
+            self.handles.reads_blocking.inc();
         }
-        self.cells.read_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.cells
-            .read_io_nanos
-            .fetch_add(to_nanos(io_secs), Ordering::Relaxed);
+        self.handles.read_bytes.add(bytes);
+        self.handles.read_io_nanos.add(to_nanos(io_secs));
     }
 
     pub(crate) fn record_prefetch_hit(&self) {
-        self.cells.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+        self.handles.prefetch_hits.inc();
     }
 
     /// One retry of a transient-failed storage operation.
     pub(crate) fn record_retry(&self) {
-        self.cells.retries.fetch_add(1, Ordering::Relaxed);
+        self.handles.retries.inc();
     }
 
     /// An operation that ultimately succeeded after at least one retry.
     pub(crate) fn record_retry_success(&self) {
-        self.cells.retry_successes.fetch_add(1, Ordering::Relaxed);
+        self.handles.retry_successes.inc();
     }
 
     /// A synchronous passthrough write completed while degraded. Bytes
     /// and time also land in the write totals so bandwidth math covers
     /// the degraded regime.
     pub(crate) fn record_degraded_write(&self, bytes: u64, io_secs: f64) {
-        self.cells.degraded_writes.fetch_add(1, Ordering::Relaxed);
-        self.cells.write_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.cells
-            .write_io_nanos
-            .fetch_add(to_nanos(io_secs), Ordering::Relaxed);
+        self.handles.degraded_writes.inc();
+        self.handles.write_bytes.add(bytes);
+        self.handles.write_io_nanos.add(to_nanos(io_secs));
     }
 
     /// The circuit breaker tripped (async → degraded transition).
     pub(crate) fn record_breaker_open(&self) {
-        self.cells.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        self.handles.breaker_opens.inc();
     }
 
     /// The circuit breaker closed (degraded → async transition).
     pub(crate) fn record_breaker_close(&self) {
-        self.cells.breaker_closes.fetch_add(1, Ordering::Relaxed);
+        self.handles.breaker_closes.inc();
     }
 
     /// A half-open probe write was dispatched asynchronously.
     pub(crate) fn record_probe(&self) {
-        self.cells.probes.fetch_add(1, Ordering::Relaxed);
+        self.handles.probes.inc();
+    }
+
+    /// A background task (write or prefetch) entered the staged queue.
+    pub(crate) fn record_queue_submitted(&self) {
+        self.handles.queue_submitted.inc();
+    }
+
+    /// A background task left the staged queue (completed its I/O).
+    pub(crate) fn record_queue_completed(&self) {
+        self.handles.queue_completed.inc();
     }
 
     pub(crate) fn snapshot(&self) -> AsyncVolStats {
-        let c = &self.cells;
+        let h = &self.handles;
+        let submitted = h.queue_submitted.get();
+        let completed = h.queue_completed.get();
         AsyncVolStats {
-            writes: c.writes.load(Ordering::Relaxed),
-            blocking_reads: c.reads_blocking.load(Ordering::Relaxed),
-            prefetches: c.prefetches.load(Ordering::Relaxed),
-            prefetch_hits: c.prefetch_hits.load(Ordering::Relaxed),
-            snapshot_bytes: c.snapshot_bytes.load(Ordering::Relaxed),
-            snapshot_secs: c.snapshot_nanos.load(Ordering::Relaxed) as f64 / 1e9,
-            write_bytes: c.write_bytes.load(Ordering::Relaxed),
-            write_io_secs: c.write_io_nanos.load(Ordering::Relaxed) as f64 / 1e9,
-            read_bytes: c.read_bytes.load(Ordering::Relaxed),
-            read_io_secs: c.read_io_nanos.load(Ordering::Relaxed) as f64 / 1e9,
-            retries: c.retries.load(Ordering::Relaxed),
-            retry_successes: c.retry_successes.load(Ordering::Relaxed),
-            degraded_writes: c.degraded_writes.load(Ordering::Relaxed),
-            breaker_opens: c.breaker_opens.load(Ordering::Relaxed),
-            breaker_closes: c.breaker_closes.load(Ordering::Relaxed),
-            probes: c.probes.load(Ordering::Relaxed),
+            writes: h.writes.get(),
+            blocking_reads: h.reads_blocking.get(),
+            prefetches: h.prefetches.get(),
+            prefetch_hits: h.prefetch_hits.get(),
+            snapshot_bytes: h.snapshot_bytes.get(),
+            snapshot_secs: h.snapshot_nanos.get() as f64 / 1e9,
+            write_bytes: h.write_bytes.get(),
+            write_io_secs: h.write_io_nanos.get() as f64 / 1e9,
+            read_bytes: h.read_bytes.get(),
+            read_io_secs: h.read_io_nanos.get() as f64 / 1e9,
+            retries: h.retries.get(),
+            retry_successes: h.retry_successes.get(),
+            degraded_writes: h.degraded_writes.get(),
+            breaker_opens: h.breaker_opens.get(),
+            breaker_closes: h.breaker_closes.get(),
+            probes: h.probes.get(),
+            queued: submitted.saturating_sub(completed),
             degraded: false,
         }
     }
@@ -241,6 +321,9 @@ pub struct AsyncVolStats {
     pub breaker_closes: u64,
     /// Half-open probe writes dispatched.
     pub probes: u64,
+    /// Background tasks submitted to the staged queue but not yet
+    /// completed (the instantaneous queue depth at snapshot time).
+    pub queued: u64,
     /// Whether the connector is currently degraded to synchronous
     /// passthrough (breaker open or half-open). Filled from the breaker
     /// by [`AsyncVol::stats`](crate::AsyncVol::stats); a raw counter
@@ -313,5 +396,35 @@ mod tests {
         let s = StatsCells::new();
         s.record_snapshot(1, -5.0);
         assert_eq!(s.snapshot().snapshot_secs, 0.0);
+    }
+
+    #[test]
+    fn counters_live_in_the_tracer_metrics_registry() {
+        let tracer = Tracer::new();
+        let s = StatsCells::traced(tracer.clone());
+        s.record_write(4096, 0.5);
+        s.record_retry();
+        s.record_retry();
+        // Same atomics: the registry sees the stats view's updates…
+        let m = tracer.metrics().expect("enabled tracer has a registry");
+        assert_eq!(m.counter_value("vol.writes"), 1);
+        assert_eq!(m.counter_value("vol.write_bytes"), 4096);
+        assert_eq!(m.counter_value("vol.retries"), 2);
+        // …and the stats view sees direct registry updates.
+        m.counter("vol.retries").inc();
+        assert_eq!(s.snapshot().retries, 3);
+    }
+
+    #[test]
+    fn queue_depth_is_submitted_minus_completed() {
+        let s = StatsCells::new();
+        s.record_queue_submitted();
+        s.record_queue_submitted();
+        s.record_queue_submitted();
+        s.record_queue_completed();
+        assert_eq!(s.snapshot().queued, 2);
+        s.record_queue_completed();
+        s.record_queue_completed();
+        assert_eq!(s.snapshot().queued, 0);
     }
 }

@@ -6,6 +6,26 @@
 //! models lazily, and before each I/O phase the library asks for advice.
 //! This is exactly the architecture the paper sketches in Fig. 2 — "a
 //! model feedback loop added to a high-level I/O library".
+//!
+//! ## Drift-triggered refitting
+//!
+//! Peak-rate fitting (§V-C) deliberately keeps the best rate ever seen
+//! per configuration — contention only slows transfers down, so the
+//! *ideal* is the stable signal. The blind spot: a persistent regime
+//! change (device degradation, a burst buffer filling) leaves the model
+//! advising from rates the system can no longer deliver, and no amount
+//! of new data fixes it because old peaks dominate forever. Enabling
+//! drift detection ([`AdaptiveRuntime::enable_drift_detection`]) closes
+//! the loop: transfer observations also feed an
+//! [`apio_trace::SeriesAggregator`], and when its Page–Hinkley detector
+//! fires on the aggregate I/O rate the runtime **forgets the stale
+//! regime** — history older than the last few epochs is discarded and
+//! the advisor cache invalidated, so the next advice is fitted purely
+//! from post-drift observations.
+
+use std::collections::VecDeque;
+
+use apio_trace::{DriftAlarm, SeriesAggregator, SeriesConfig};
 
 use crate::advisor::{Advice, ModeAdvisor};
 use crate::error_msg::ModelError;
@@ -49,12 +69,46 @@ pub enum Observation {
     },
 }
 
+/// How drift alarms translate into model invalidation.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftPolicy {
+    /// Detector and windowing parameters for the rate series.
+    pub series: SeriesConfig,
+    /// Epochs of history to keep when an alarm truncates the stale
+    /// regime, counting the alarm epoch itself (which is post-drift
+    /// evidence by definition). Default 1: an abrupt step is detected
+    /// within an epoch, so anything older straddles the old regime, and
+    /// one stale peak is enough to poison a peak-rate fit. Raise it only
+    /// if the detector is tuned for slow ramps.
+    pub keep_epochs: usize,
+}
+
+impl Default for DriftPolicy {
+    fn default() -> Self {
+        DriftPolicy {
+            series: SeriesConfig::default(),
+            keep_epochs: 1,
+        }
+    }
+}
+
+/// Drift-detection state owned by the runtime when enabled.
+struct DriftState {
+    series: SeriesAggregator,
+    keep_epochs: usize,
+    /// History length at each completed epoch boundary (bounded) — how an
+    /// alarm maps "keep the last K epochs" onto a record count.
+    epoch_marks: VecDeque<usize>,
+    refits: u64,
+}
+
 /// The feedback loop: history + estimators + lazily refitted models.
 pub struct AdaptiveRuntime {
     history: History,
     comp: CompEstimator,
     /// Fits are invalidated whenever the relevant slice grows.
     cache: Option<Cache>,
+    drift: Option<DriftState>,
 }
 
 struct Cache {
@@ -76,6 +130,7 @@ impl AdaptiveRuntime {
             history: History::new(),
             comp: CompEstimator::new(),
             cache: None,
+            drift: None,
         }
     }
 
@@ -86,7 +141,73 @@ impl AdaptiveRuntime {
             history,
             comp: CompEstimator::new(),
             cache: None,
+            drift: None,
         }
+    }
+
+    /// Turn on drift-triggered refitting (see the module docs). Transfer
+    /// observations start feeding a rate series; call
+    /// [`end_epoch`](Self::end_epoch) at each epoch boundary to run the
+    /// detector.
+    pub fn enable_drift_detection(&mut self, policy: DriftPolicy) {
+        self.drift = Some(DriftState {
+            series: SeriesAggregator::new(policy.series),
+            keep_epochs: policy.keep_epochs.max(1),
+            epoch_marks: VecDeque::new(),
+            refits: 0,
+        });
+    }
+
+    /// The live rate series, when drift detection is enabled.
+    pub fn series(&self) -> Option<&SeriesAggregator> {
+        self.drift.as_ref().map(|d| &d.series)
+    }
+
+    /// Mutable access to the live rate series (e.g. to feed retry or
+    /// breaker events alongside the runtime's own transfer feed).
+    pub fn series_mut(&mut self) -> Option<&mut SeriesAggregator> {
+        self.drift.as_mut().map(|d| &mut d.series)
+    }
+
+    /// Every drift alarm fired so far, in epoch order.
+    pub fn drift_alarms(&self) -> &[DriftAlarm] {
+        self.drift.as_ref().map(|d| d.series.alarms()).unwrap_or(&[])
+    }
+
+    /// How many times a drift alarm has forced a model refit.
+    pub fn refit_count(&self) -> u64 {
+        self.drift.as_ref().map(|d| d.refits).unwrap_or(0)
+    }
+
+    /// Close the current epoch: run the drift detector over the epoch's
+    /// aggregate I/O rate. If it fires, the stale regime is forgotten —
+    /// history older than the policy's `keep_epochs` is discarded and
+    /// the advisor cache dropped, so the next [`advise`](Self::advise)
+    /// refits from post-drift data only. Returns the alarm, if any.
+    /// A no-op returning `None` when drift detection is disabled.
+    pub fn end_epoch(&mut self) -> Option<DriftAlarm> {
+        let drift = self.drift.as_mut()?;
+        let alarm = drift.series.end_epoch();
+        if alarm.is_some() {
+            // Keep only the records observed during the last keep_epochs
+            // (the marks record history length at each epoch boundary).
+            let keep_from = if drift.epoch_marks.len() >= drift.keep_epochs {
+                drift.epoch_marks[drift.epoch_marks.len() - drift.keep_epochs]
+            } else {
+                0
+            };
+            let cut = self.history.discard_oldest(keep_from);
+            for m in drift.epoch_marks.iter_mut() {
+                *m = m.saturating_sub(cut);
+            }
+            self.cache = None;
+            drift.refits += 1;
+        }
+        drift.epoch_marks.push_back(self.history.len());
+        while drift.epoch_marks.len() > 1024 {
+            drift.epoch_marks.pop_front();
+        }
+        alarm
     }
 
     /// Stream in one observation.
@@ -108,6 +229,12 @@ impl AdaptiveRuntime {
                         direction,
                         secs,
                     ));
+                    // Storage transfers carry the rate evidence the drift
+                    // detector watches (snapshot copies are memcpy, not
+                    // storage, and would dilute the signal).
+                    if let Some(d) = self.drift.as_mut() {
+                        d.series.record_io(total_bytes as u64, (secs * 1e9) as u64);
+                    }
                 }
             }
             Observation::SnapshotOverhead {
@@ -279,6 +406,106 @@ mod tests {
         rt2.observe(Observation::Compute { secs: 30.0 });
         let advice = rt2.advise(Direction::Write, 768.0 * 32e6, 768).unwrap();
         assert_eq!(advice.mode, IoMode::Async);
+    }
+
+    /// One epoch of the drift scenario: a sync write transfer at
+    /// `io_rate` bytes/s plus the matching snapshot overhead and a
+    /// compute phase, then an epoch boundary. Cycles through three
+    /// (ranks, size) configurations so the rate models always have the
+    /// three distinct points a fit (with intercept) requires.
+    fn drift_epoch(rt: &mut AdaptiveRuntime, io_rate: f64) -> Option<apio_trace::DriftAlarm> {
+        let i = rt.series().map(|s| s.epochs()).unwrap_or(0);
+        let ranks = [64u32, 128, 256][(i % 3) as usize];
+        let bytes = ranks as f64 * 32e6;
+        rt.observe(Observation::Compute { secs: 2.0 });
+        rt.observe(Observation::Transfer {
+            mode: IoMode::Sync,
+            direction: Direction::Write,
+            total_bytes: bytes,
+            ranks,
+            secs: bytes / io_rate,
+        });
+        rt.observe(Observation::SnapshotOverhead {
+            direction: Direction::Write,
+            total_bytes: bytes,
+            ranks,
+            secs: bytes / 10e9, // 10 GB/s memcpy, fixed
+        });
+        rt.end_epoch()
+    }
+
+    #[test]
+    fn end_epoch_without_drift_detection_is_a_noop() {
+        let mut rt = AdaptiveRuntime::new();
+        assert!(rt.end_epoch().is_none());
+        assert!(rt.series().is_none());
+        assert!(rt.drift_alarms().is_empty());
+        assert_eq!(rt.refit_count(), 0);
+    }
+
+    #[test]
+    fn stationary_rate_never_fires_or_truncates() {
+        let mut rt = AdaptiveRuntime::new();
+        rt.enable_drift_detection(DriftPolicy::default());
+        for _ in 0..100 {
+            assert!(drift_epoch(&mut rt, 100e9).is_none());
+        }
+        assert_eq!(rt.refit_count(), 0);
+        assert_eq!(rt.history().len(), 200, "nothing forgotten");
+        assert_eq!(rt.series().unwrap().epochs(), 100);
+    }
+
+    #[test]
+    fn drift_alarm_truncates_history_and_flips_the_advice() {
+        let mut rt = AdaptiveRuntime::new();
+        rt.enable_drift_detection(DriftPolicy::default());
+
+        // Fast regime: storage at 100 GB/s beats the 10 GB/s snapshot
+        // copy, so paying the snapshot overhead cannot win → Sync.
+        for _ in 0..10 {
+            assert!(drift_epoch(&mut rt, 100e9).is_none());
+        }
+        let before = rt.advise(Direction::Write, 64.0 * 32e6, 64).unwrap();
+        assert_eq!(before.mode, IoMode::Sync, "fast storage: sync wins");
+
+        // The device degrades 100x. Without truncation the peak-rate fit
+        // would keep advising from the stale 100 GB/s peak forever.
+        let mut alarm = None;
+        for _ in 0..4 {
+            if let Some(a) = drift_epoch(&mut rt, 1e9) {
+                alarm = Some(a);
+                break;
+            }
+        }
+        let alarm = alarm.expect("100x step must fire within 4 epochs");
+        assert_eq!(alarm.direction, apio_trace::DriftDirection::Down);
+        assert_eq!(rt.refit_count(), 1);
+        assert!(
+            rt.history().len() <= 2 * DriftPolicy::default().keep_epochs,
+            "stale regime forgotten, {} records kept",
+            rt.history().len()
+        );
+
+        // Post-drift epochs refit from the slow regime only: now the
+        // 10 GB/s snapshot copy is cheap next to 1 GB/s storage → Async.
+        for _ in 0..3 {
+            drift_epoch(&mut rt, 1e9);
+        }
+        let after = rt.advise(Direction::Write, 64.0 * 32e6, 64).unwrap();
+        assert_eq!(after.mode, IoMode::Async, "slow storage: async wins");
+        assert_eq!(rt.drift_alarms().len(), 1);
+    }
+
+    #[test]
+    fn series_mut_allows_feeding_side_channels() {
+        let mut rt = AdaptiveRuntime::new();
+        rt.enable_drift_detection(DriftPolicy::default());
+        rt.series_mut().unwrap().record_retry();
+        rt.series_mut().unwrap().record_breaker("open");
+        drift_epoch(&mut rt, 1e9);
+        let p = rt.series().unwrap().last().unwrap().clone();
+        assert_eq!(p.retries, 1);
+        assert_eq!(p.breaker_state, "open");
     }
 
     #[test]

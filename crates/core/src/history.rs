@@ -100,7 +100,9 @@ impl TransferRecord {
     }
 }
 
-/// Append-only collection of transfer records with model-oriented queries.
+/// Collection of transfer records with model-oriented queries. Grows by
+/// appending; the only removal is [`discard_oldest`](History::discard_oldest)
+/// (drift-triggered forgetting of a stale regime).
 #[derive(Clone, Debug, Default)]
 pub struct History {
     records: Vec<TransferRecord>,
@@ -134,6 +136,18 @@ impl History {
     /// All records, in insertion order.
     pub fn records(&self) -> &[TransferRecord] {
         &self.records
+    }
+
+    /// Discard the `n` oldest records (all of them when `n >= len`),
+    /// returning how many were dropped. Peak-rate fitting keeps the best
+    /// rate ever seen per configuration, so after a persistent regime
+    /// change (a drift alarm) stale fast observations would dominate the
+    /// fit forever — truncating the prefix is how the feedback loop
+    /// forgets the old regime.
+    pub fn discard_oldest(&mut self, n: usize) -> usize {
+        let n = n.min(self.records.len());
+        self.records.drain(..n);
+        n
     }
 
     /// Records of one (mode, direction) slice — what a single rate model
@@ -314,6 +328,23 @@ mod tests {
         assert!(History::from_text("1000 4 sync sideways 500").is_err());
         assert!(History::from_text("1000 4 sync write -5").is_err());
         assert!(History::from_text("x 4 sync write 500").is_err());
+    }
+
+    #[test]
+    fn discard_oldest_drops_the_prefix() {
+        let mut h = History::new();
+        h.push(rec(1e9, 64, IoMode::Sync, 9e8)); // old fast regime
+        h.push(rec(1e9, 64, IoMode::Sync, 8e8));
+        h.push(rec(1e9, 64, IoMode::Sync, 1e7)); // new slow regime
+        assert_eq!(h.discard_oldest(2), 2);
+        assert_eq!(h.len(), 1);
+        // The peak now reflects only the surviving (new-regime) records.
+        let peaks = h.peak_rates(IoMode::Sync, Direction::Write);
+        assert_eq!(peaks[0].rate, 1e7);
+        // Over-asking clamps instead of panicking.
+        assert_eq!(h.discard_oldest(100), 1);
+        assert!(h.is_empty());
+        assert_eq!(h.discard_oldest(1), 0);
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //!   asynchronous I/O for the next epoch.
 //! - [`adaptive`] — the Fig. 2 feedback loop: observations stream in from
 //!   the I/O library's instrumentation, the history updates, and each
-//!   epoch gets a fresh recommendation.
+//!   epoch gets a fresh recommendation. With drift detection enabled, a
+//!   Page–Hinkley alarm on the observed rate forgets the stale regime
+//!   and forces a refit (the runtime half of Fig. 2).
+//! - [`report`] — the operator dashboard: counters, percentiles, advisor
+//!   decisions, drift alarms, breaker/recovery state rendered as text
+//!   and as a machine-readable JSON snapshot.
 //!
 //! The crate is deliberately independent of the connector and simulator
 //! crates: it consumes plain observations and produces plain estimates, so
@@ -39,9 +44,10 @@ pub mod estimator;
 pub mod history;
 pub mod ratemodel;
 pub mod regression;
+pub mod report;
 pub mod tracefeed;
 
-pub use adaptive::{AdaptiveRuntime, Observation};
+pub use adaptive::{AdaptiveRuntime, DriftPolicy, Observation};
 pub use advisor::{Advice, ModeAdvisor};
 pub use epoch::{async_epoch_time, sync_epoch_time, app_time, EpochParams, Scenario};
 pub use error_msg::ModelError;
@@ -49,4 +55,5 @@ pub use estimator::CompEstimator;
 pub use history::{Direction, History, IoMode, TransferRecord};
 pub use ratemodel::RateModel;
 pub use regression::{r2_simple, Design, LinearFit};
+pub use report::{RecoverySummary, ReportBuilder};
 pub use tracefeed::{extend_history_from_trace, history_from_trace};

@@ -1,0 +1,520 @@
+//! The operator report: live pipeline state as a text dashboard and a
+//! machine-readable JSON snapshot.
+//!
+//! A [`ReportBuilder`] collects whatever views of the pipeline the caller
+//! has — the metrics registry, the drift series, advisor decisions, the
+//! breaker state, a WAL [`RecoverySummary`], the flight recorder's shape
+//! — and renders them two ways: [`render_text`](ReportBuilder::render_text)
+//! for a terminal ("what is the pipeline doing right now?") and
+//! [`render_json`](ReportBuilder::render_json) (schema `apio-report-v1`)
+//! for scripts, CI gates, and the test suite. The E2E drift test asserts
+//! the advisor's sync/async flip *from the JSON alone* — the report is
+//! the public boundary, not the model internals.
+//!
+//! Sections the caller never supplied are omitted from both renderings;
+//! every number is read at build time, so a report is a consistent
+//! point-in-time snapshot.
+
+use apio_trace::{DriftAlarm, EpochPoint, Metrics, SeriesAggregator};
+
+use crate::advisor::Advice;
+use crate::epoch::Scenario;
+use crate::history::IoMode;
+
+/// WAL crash-recovery numbers, as reported by the connector's recovery
+/// pass (mirrors `asyncvol`'s `RecoveryReport` without depending on it —
+/// the model crate sits below the connector).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// WAL records scanned.
+    pub scanned: u64,
+    /// Records replayed into the container.
+    pub replayed: u64,
+    /// Bytes replayed.
+    pub bytes_replayed: u64,
+    /// Records whose payload extent was unreadable (orphaned).
+    pub orphaned: u64,
+    /// Records already marked applied (skipped).
+    pub already_applied: u64,
+}
+
+/// One advisor decision, labelled by the caller (e.g. `"write"`).
+struct AdviceRow {
+    label: String,
+    advice: Advice,
+}
+
+/// Flight-recorder shape at report time.
+struct FlightRow {
+    capacity: usize,
+    recorded: usize,
+    dropped: u64,
+}
+
+/// Collects pipeline views and renders the operator report.
+#[derive(Default)]
+pub struct ReportBuilder {
+    title: String,
+    metrics: Option<Metrics>,
+    breaker: Option<(String, bool)>,
+    advice: Vec<AdviceRow>,
+    alarms: Vec<DriftAlarm>,
+    points: Vec<EpochPoint>,
+    recovery: Option<RecoverySummary>,
+    flight: Option<FlightRow>,
+    refits: Option<u64>,
+}
+
+fn mode_tag(mode: IoMode) -> &'static str {
+    match mode {
+        IoMode::Sync => "sync",
+        IoMode::Async => "async",
+    }
+}
+
+fn scenario_tag(s: Scenario) -> &'static str {
+    match s {
+        Scenario::Ideal => "ideal",
+        Scenario::PartialOverlap => "partial_overlap",
+        Scenario::Slowdown => "slowdown",
+    }
+}
+
+/// Escape a string for a JSON literal.
+fn jesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A float as a JSON number (non-finite values become 0 — JSON has no
+/// NaN, and a report must stay parseable).
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::from("0")
+    }
+}
+
+impl ReportBuilder {
+    /// A report titled `title`.
+    pub fn new(title: &str) -> Self {
+        ReportBuilder {
+            title: title.to_string(),
+            ..ReportBuilder::default()
+        }
+    }
+
+    /// Attach a metrics registry: every counter and histogram it holds
+    /// appears in the report (counters sorted by name).
+    pub fn metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attach the circuit-breaker state (`"closed"` / `"open"` /
+    /// `"half-open"`) and whether writes are currently degraded.
+    pub fn breaker(mut self, state: &str, degraded: bool) -> Self {
+        self.breaker = Some((state.to_string(), degraded));
+        self
+    }
+
+    /// Attach one advisor decision under a caller-chosen label.
+    pub fn advice(mut self, label: &str, advice: Advice) -> Self {
+        self.advice.push(AdviceRow {
+            label: label.to_string(),
+            advice,
+        });
+        self
+    }
+
+    /// Attach the drift series: its alarms and retained epoch points.
+    pub fn series(mut self, series: &SeriesAggregator) -> Self {
+        self.alarms = series.alarms().to_vec();
+        self.points = series.points().cloned().collect();
+        self
+    }
+
+    /// Attach drift alarms directly (when no aggregator is at hand).
+    pub fn alarms(mut self, alarms: &[DriftAlarm]) -> Self {
+        self.alarms = alarms.to_vec();
+        self
+    }
+
+    /// Attach WAL recovery numbers.
+    pub fn recovery(mut self, summary: RecoverySummary) -> Self {
+        self.recovery = Some(summary);
+        self
+    }
+
+    /// Attach the flight recorder's shape: ring capacity, records
+    /// retained, records overwritten.
+    pub fn flight(mut self, capacity: usize, recorded: usize, dropped: u64) -> Self {
+        self.flight = Some(FlightRow {
+            capacity,
+            recorded,
+            dropped,
+        });
+        self
+    }
+
+    /// Attach the drift-refit count from the adaptive runtime.
+    pub fn refits(mut self, refits: u64) -> Self {
+        self.refits = Some(refits);
+        self
+    }
+
+    fn sorted_counters(&self) -> Vec<(String, u64)> {
+        let mut counters = self
+            .metrics
+            .as_ref()
+            .map(|m| m.counters())
+            .unwrap_or_default();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        counters
+    }
+
+    fn sorted_histograms(&self) -> Vec<(String, u64, u64, u64, u64)> {
+        let mut rows: Vec<(String, u64, u64, u64, u64)> = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histograms())
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(name, h)| (name, h.count(), h.p50(), h.p95(), h.p99()))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// The text dashboard.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== apio report: {} ===\n", self.title));
+        if let Some(refits) = self.refits {
+            out.push_str(&format!("model refits (drift): {refits}\n"));
+        }
+        if let Some((state, degraded)) = &self.breaker {
+            out.push_str(&format!(
+                "breaker: {state}{}\n",
+                if *degraded { " [degraded]" } else { "" }
+            ));
+        }
+        let counters = self.sorted_counters();
+        if !counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &counters {
+                out.push_str(&format!("  {name:<28} {value}\n"));
+            }
+        }
+        let histograms = self.sorted_histograms();
+        if !histograms.is_empty() {
+            out.push_str("latency histograms (nanos):\n");
+            for (name, count, p50, p95, p99) in &histograms {
+                out.push_str(&format!(
+                    "  {name:<28} count={count} p50={p50} p95={p95} p99={p99}\n"
+                ));
+            }
+        }
+        if !self.advice.is_empty() {
+            out.push_str("advisor decisions:\n");
+            for row in &self.advice {
+                let a = &row.advice;
+                out.push_str(&format!(
+                    "  {:<12} {} (t_sync={:.3}s t_async={:.3}s speedup={:.2}x {})\n",
+                    row.label,
+                    mode_tag(a.mode),
+                    a.t_sync,
+                    a.t_async,
+                    a.speedup(),
+                    scenario_tag(a.scenario),
+                ));
+            }
+        }
+        out.push_str(&format!("drift alarms: {}\n", self.alarms.len()));
+        for a in &self.alarms {
+            out.push_str(&format!(
+                "  epoch {}: rate {} (observed {:.3e} B/s, ewma {:.3e} B/s, stat {:.2}/{:.2})\n",
+                a.epoch,
+                a.direction.tag(),
+                a.observed_rate,
+                a.ewma_rate,
+                a.statistic,
+                a.threshold,
+            ));
+        }
+        if !self.points.is_empty() {
+            let tail = &self.points[self.points.len().saturating_sub(5)..];
+            out.push_str(&format!(
+                "series (last {} of {} retained epochs):\n",
+                tail.len(),
+                self.points.len()
+            ));
+            for p in tail {
+                out.push_str(&format!(
+                    "  epoch {:>4}: rate={:.3e} B/s ewma={:.3e} retries={} breaker={} queue={}\n",
+                    p.epoch, p.rate, p.ewma_rate, p.retries, p.breaker_state, p.queue_depth,
+                ));
+            }
+        }
+        if let Some(r) = &self.recovery {
+            out.push_str(&format!(
+                "wal recovery: scanned={} replayed={} bytes={} orphaned={} already_applied={}\n",
+                r.scanned, r.replayed, r.bytes_replayed, r.orphaned, r.already_applied,
+            ));
+        }
+        if let Some(f) = &self.flight {
+            out.push_str(&format!(
+                "flight recorder: capacity={} recorded={} dropped={}\n",
+                f.capacity, f.recorded, f.dropped,
+            ));
+        }
+        out
+    }
+
+    /// The JSON snapshot (schema `apio-report-v1`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"apio-report-v1\"");
+        out.push_str(&format!(",\"title\":\"{}\"", jesc(&self.title)));
+        if let Some(refits) = self.refits {
+            out.push_str(&format!(",\"refits\":{refits}"));
+        }
+        if let Some((state, degraded)) = &self.breaker {
+            out.push_str(&format!(
+                ",\"breaker\":{{\"state\":\"{}\",\"degraded\":{degraded}}}",
+                jesc(state)
+            ));
+        }
+        out.push_str(",\"counters\":[");
+        for (i, (name, value)) in self.sorted_counters().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"value\":{value}}}",
+                jesc(name)
+            ));
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, (name, count, p50, p95, p99)) in self.sorted_histograms().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"count\":{count},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}}",
+                jesc(name)
+            ));
+        }
+        out.push_str("],\"advice\":[");
+        for (i, row) in self.advice.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let a = &row.advice;
+            out.push_str(&format!(
+                "{{\"label\":\"{}\",\"decision\":\"{}\",\"t_sync\":{},\"t_async\":{},\"speedup\":{},\"scenario\":\"{}\"}}",
+                jesc(&row.label),
+                mode_tag(a.mode),
+                jnum(a.t_sync),
+                jnum(a.t_async),
+                jnum(a.speedup()),
+                scenario_tag(a.scenario),
+            ));
+        }
+        out.push_str("],\"alarms\":[");
+        for (i, a) in self.alarms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"epoch\":{},\"direction\":\"{}\",\"observed_rate\":{},\"ewma_rate\":{},\"statistic\":{},\"threshold\":{}}}",
+                a.epoch,
+                a.direction.tag(),
+                jnum(a.observed_rate),
+                jnum(a.ewma_rate),
+                jnum(a.statistic),
+                jnum(a.threshold),
+            ));
+        }
+        out.push_str("],\"series\":[");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"epoch\":{},\"io_bytes\":{},\"rate\":{},\"ewma_rate\":{},\"retries\":{},\"breaker_transitions\":{},\"breaker\":\"{}\",\"queue_depth\":{},\"lat_p50\":{},\"lat_p95\":{},\"lat_p99\":{}}}",
+                p.epoch,
+                p.io_bytes,
+                jnum(p.rate),
+                jnum(p.ewma_rate),
+                p.retries,
+                p.breaker_transitions,
+                p.breaker_state,
+                p.queue_depth,
+                p.lat_p50,
+                p.lat_p95,
+                p.lat_p99,
+            ));
+        }
+        out.push(']');
+        if let Some(r) = &self.recovery {
+            out.push_str(&format!(
+                ",\"recovery\":{{\"scanned\":{},\"replayed\":{},\"bytes_replayed\":{},\"orphaned\":{},\"already_applied\":{}}}",
+                r.scanned, r.replayed, r.bytes_replayed, r.orphaned, r.already_applied,
+            ));
+        }
+        if let Some(f) = &self.flight {
+            out.push_str(&format!(
+                ",\"flight\":{{\"capacity\":{},\"recorded\":{},\"dropped\":{}}}",
+                f.capacity, f.recorded, f.dropped,
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::{AdaptiveRuntime, DriftPolicy, Observation};
+    use crate::history::Direction;
+
+    fn runtime_with_drift() -> AdaptiveRuntime {
+        let mut rt = AdaptiveRuntime::new();
+        rt.enable_drift_detection(DriftPolicy::default());
+        for i in 0..10u32 {
+            let ranks = [64u32, 128, 256][(i % 3) as usize];
+            let bytes = ranks as f64 * 32e6;
+            rt.observe(Observation::Compute { secs: 2.0 });
+            rt.observe(Observation::Transfer {
+                mode: IoMode::Sync,
+                direction: Direction::Write,
+                total_bytes: bytes,
+                ranks,
+                secs: bytes / 100e9,
+            });
+            rt.observe(Observation::SnapshotOverhead {
+                direction: Direction::Write,
+                total_bytes: bytes,
+                ranks,
+                secs: bytes / 10e9,
+            });
+            rt.end_epoch();
+        }
+        rt
+    }
+
+    /// Structural check: braces, brackets, and quotes balance outside of
+    /// string literals — cheap insurance that the hand-built JSON stays
+    /// machine-readable without a parser dependency.
+    fn assert_balanced_json(s: &str) {
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_str {
+                match c {
+                    _ if escaped => escaped = false,
+                    '\\' => escaped = true,
+                    '"' => in_str = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced close in {s}");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {s}");
+        assert!(!in_str, "unterminated string in {s}");
+    }
+
+    #[test]
+    fn empty_report_is_valid_and_titled() {
+        let r = ReportBuilder::new("smoke");
+        let json = r.render_json();
+        assert_balanced_json(&json);
+        assert!(json.starts_with("{\"schema\":\"apio-report-v1\""));
+        assert!(json.contains("\"title\":\"smoke\""));
+        assert!(json.contains("\"counters\":[]"));
+        assert!(!json.contains("\"recovery\""));
+        assert!(r.render_text().contains("=== apio report: smoke ==="));
+    }
+
+    #[test]
+    fn full_report_carries_every_section() {
+        let mut rt = runtime_with_drift();
+        let advice = rt.advise(Direction::Write, 64.0 * 32e6, 64).unwrap();
+        let metrics = Metrics::new();
+        metrics.counter("vol.writes").add(7);
+        metrics.histogram("vol.write").record(1_000);
+
+        let series = rt.series().unwrap().clone();
+        let report = ReportBuilder::new("e2e")
+            .metrics(metrics)
+            .breaker("open", true)
+            .advice("write", advice)
+            .series(&series)
+            .recovery(RecoverySummary {
+                scanned: 5,
+                replayed: 3,
+                bytes_replayed: 4096,
+                orphaned: 1,
+                already_applied: 1,
+            })
+            .flight(4096, 128, 6)
+            .refits(rt.refit_count());
+
+        let json = report.render_json();
+        assert_balanced_json(&json);
+        assert!(json.contains("\"name\":\"vol.writes\",\"value\":7"));
+        assert!(json.contains("\"name\":\"vol.write\",\"count\":1"));
+        assert!(json.contains("\"decision\":\"sync\""));
+        assert!(json.contains("\"breaker\":{\"state\":\"open\",\"degraded\":true}"));
+        assert!(json.contains("\"replayed\":3"));
+        assert!(json.contains("\"bytes_replayed\":4096"));
+        assert!(json.contains("\"flight\":{\"capacity\":4096,\"recorded\":128,\"dropped\":6}"));
+        assert!(json.contains("\"refits\":0"));
+        assert!(json.contains("\"series\":[{\"epoch\":0"));
+
+        let text = report.render_text();
+        assert!(text.contains("breaker: open [degraded]"));
+        assert!(text.contains("vol.writes"));
+        assert!(text.contains("write"));
+        assert!(text.contains("wal recovery: scanned=5"));
+        assert!(text.contains("flight recorder: capacity=4096"));
+    }
+
+    #[test]
+    fn titles_and_states_are_escaped() {
+        let json = ReportBuilder::new("a\"b\\c\nd")
+            .breaker("we\"ird", false)
+            .render_json();
+        assert_balanced_json(&json);
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+        assert!(json.contains("we\\\"ird"));
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_zero() {
+        assert_eq!(jnum(f64::NAN), "0");
+        assert_eq!(jnum(f64::INFINITY), "0");
+        assert_eq!(jnum(1.5), "1.5");
+    }
+}

@@ -323,10 +323,16 @@ impl StorageBackend for FileBackend {
 /// fast as memory. The throttle burns wall-clock time on the *calling*
 /// thread, so a synchronous write blocks the application while the async
 /// VOL's background stream absorbs the delay.
+///
+/// The bandwidth can be stepped mid-run ([`set_bandwidth`]
+/// (ThrottledBackend::set_bandwidth)) to emulate a storage regime change
+/// — the stimulus the drift-detection tests use to exercise the model's
+/// stale-fit invalidation.
 pub struct ThrottledBackend {
     inner: Box<dyn StorageBackend>,
-    /// Sustained bandwidth, bytes/s.
-    bandwidth: f64,
+    /// Sustained bandwidth, bytes/s, stored as `f64` bits so concurrent
+    /// I/O threads see a mid-run step without locking.
+    bandwidth_bits: AtomicU64,
     /// Per-operation latency, seconds.
     latency: f64,
 }
@@ -337,7 +343,7 @@ impl ThrottledBackend {
         assert!(bandwidth > 0.0 && latency >= 0.0);
         ThrottledBackend {
             inner,
-            bandwidth,
+            bandwidth_bits: AtomicU64::new(bandwidth.to_bits()),
             latency,
         }
     }
@@ -347,8 +353,22 @@ impl ThrottledBackend {
         Self::new(Box::new(MemBackend::new()), bandwidth, latency)
     }
 
+    /// The current sustained bandwidth, bytes/s.
+    pub fn bandwidth(&self) -> f64 {
+        f64::from_bits(self.bandwidth_bits.load(Ordering::Relaxed))
+    }
+
+    /// Step the sustained bandwidth mid-run (must stay positive).
+    /// Operations already in their stall finish at the old rate; every
+    /// subsequent operation pays the new one.
+    pub fn set_bandwidth(&self, bandwidth: f64) {
+        assert!(bandwidth > 0.0);
+        self.bandwidth_bits
+            .store(bandwidth.to_bits(), Ordering::Relaxed);
+    }
+
     fn stall(&self, bytes: usize) {
-        let secs = self.latency + bytes as f64 / self.bandwidth;
+        let secs = self.latency + bytes as f64 / self.bandwidth();
         std::thread::sleep(std::time::Duration::from_secs_f64(secs));
     }
 }

@@ -23,6 +23,13 @@
 //!   `chrome://tracing` / Perfetto) and compact JSONL.
 //! - [`TraceSink`] — an in-memory snapshot with structural queries
 //!   (parent chains, event filters) for trace-assertion tests.
+//! - [`flight`] — the always-on flight recorder ([`Tracer::flight`]):
+//!   fixed-capacity ring shards retaining the last N records, dumpable on
+//!   demand and from a panic hook through the exporters (DESIGN.md §11).
+//! - [`series`] — streaming per-epoch telemetry: windowed I/O-rate /
+//!   retry / breaker / queue-depth series with EWMA smoothing and a
+//!   Page–Hinkley drift detector on the aggregate I/O rate — the runtime
+//!   half of the paper's Fig. 2 feedback loop.
 //!
 //! A **disabled** tracer ([`Tracer::disabled`], the default everywhere it
 //! is embedded) reduces every call to one branch on an `Option` — the
@@ -38,10 +45,14 @@
 
 pub mod clock;
 pub mod export;
+pub mod flight;
 pub mod metrics;
+pub mod series;
 
 pub use clock::{TraceClock, VirtualClock, WallClock};
-pub use metrics::{Counter, Histogram, Metrics};
+pub use flight::{install_panic_dump, FlightDump};
+pub use metrics::{Counter, Histogram, HistogramSnapshot, Metrics};
+pub use series::{DriftAlarm, DriftDirection, EpochPoint, SeriesAggregator, SeriesConfig};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -182,7 +193,9 @@ struct Inner {
     next_span: AtomicU64,
     next_seq: AtomicU64,
     next_tid: AtomicU64,
-    shards: Vec<Mutex<Vec<Record>>>,
+    shards: Vec<Mutex<flight::Shard>>,
+    /// Per-shard ring capacity; `None` = unbounded (full tracing).
+    flight_cap: Option<usize>,
     metrics: Metrics,
 }
 
@@ -193,11 +206,21 @@ thread_local! {
     static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
     /// Per-thread cache of assigned trace tids: (tracer_id, tid).
     static TIDS: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread cache of span-duration histogram handles, keyed by
+    /// (tracer_id, name address). Span names are `&'static str`, so the
+    /// pointer identifies the name without a byte compare, and the handle
+    /// shares the registry's atomics — this turns the per-span-close
+    /// registry lookup (RwLock + string scan) into a short linear scan,
+    /// which is what keeps always-on flight recording inside its ≤ 2%
+    /// budget. Bounded FIFO so pathological name churn can't grow it.
+    static HISTO_CACHE: RefCell<Vec<(u64, usize, metrics::Histogram)>> =
+        const { RefCell::new(Vec::new()) };
 }
 
-/// Read a possibly poisoned mutex; records are append-only so a panicking
-/// holder cannot leave them inconsistent.
-fn lock_shard(m: &Mutex<Vec<Record>>) -> std::sync::MutexGuard<'_, Vec<Record>> {
+/// Read a possibly poisoned mutex; shard pushes are single whole-record
+/// writes so a panicking holder cannot leave them inconsistent. The panic
+/// hook relies on this: a dump taken mid-panic still sees every record.
+fn lock_shard(m: &Mutex<flight::Shard>) -> std::sync::MutexGuard<'_, flight::Shard> {
     match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -292,6 +315,24 @@ impl Tracer {
 
     /// An enabled tracer reading timestamps from `clock`.
     pub fn with_clock(clock: Arc<dyn TraceClock>) -> Self {
+        Self::build(clock, None)
+    }
+
+    /// An always-on flight recorder on wall-clock time: each record shard
+    /// becomes a fixed ring retaining its last `capacity_per_shard`
+    /// records (see [`flight`]). Span, event, and metrics behaviour is
+    /// identical to [`Tracer::new`]; only retention differs.
+    pub fn flight(capacity_per_shard: usize) -> Self {
+        Self::build(Arc::new(WallClock::new()), Some(capacity_per_shard))
+    }
+
+    /// A flight recorder reading timestamps from `clock`.
+    pub fn flight_with_clock(capacity_per_shard: usize, clock: Arc<dyn TraceClock>) -> Self {
+        Self::build(clock, Some(capacity_per_shard))
+    }
+
+    fn build(clock: Arc<dyn TraceClock>, flight_cap: Option<usize>) -> Self {
+        let cap = flight_cap.map(|c| c.max(1));
         Tracer {
             inner: Some(Arc::new(Inner {
                 tracer_id: TRACER_IDS.fetch_add(1, Ordering::Relaxed),
@@ -299,7 +340,15 @@ impl Tracer {
                 next_span: AtomicU64::new(1),
                 next_seq: AtomicU64::new(0),
                 next_tid: AtomicU64::new(1),
-                shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+                shards: (0..SHARDS)
+                    .map(|_| {
+                        Mutex::new(match cap {
+                            Some(c) => flight::Shard::ring(c),
+                            None => flight::Shard::unbounded(),
+                        })
+                    })
+                    .collect(),
+                flight_cap: cap,
                 metrics: Metrics::new(),
             })),
         }
@@ -308,6 +357,22 @@ impl Tracer {
     /// Whether this tracer records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Whether this tracer is a fixed-capacity flight recorder.
+    pub fn is_flight(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.flight_cap.is_some())
+    }
+
+    /// Records overwritten by the flight rings so far (0 for full or
+    /// disabled tracers).
+    pub fn dropped_records(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.shards.iter().map(|s| lock_shard(s).dropped()).sum())
+            .unwrap_or(0)
     }
 
     /// The tracer's metrics registry (`None` when disabled). Span
@@ -383,7 +448,24 @@ impl Tracer {
         });
         let end = inner.clock.now_nanos();
         let dur = end.saturating_sub(token.start_nanos);
-        inner.metrics.histogram(token.name).record(dur);
+        let name_key = token.name.as_ptr() as usize;
+        HISTO_CACHE.with(|c| {
+            let mut c = c.borrow_mut();
+            match c
+                .iter()
+                .find(|(tr, n, _)| *tr == inner.tracer_id && *n == name_key)
+            {
+                Some((_, _, h)) => h.record(dur),
+                None => {
+                    let h = inner.metrics.histogram(token.name);
+                    h.record(dur);
+                    if c.len() >= 64 {
+                        c.remove(0);
+                    }
+                    c.push((inner.tracer_id, name_key, h));
+                }
+            }
+        });
         inner.push_record(Record {
             seq: inner.next_seq.fetch_add(1, Ordering::Relaxed),
             kind: RecordKind::Span,
@@ -417,16 +499,50 @@ impl Tracer {
         });
     }
 
-    /// Snapshot every record emitted so far, in emission (`seq`) order.
+    /// Snapshot every retained record, in emission (`seq`) order. On a
+    /// flight recorder this is the ring contents — the last N per shard.
     pub fn sink(&self) -> TraceSink {
+        TraceSink {
+            records: self.collect_records(),
+        }
+    }
+
+    /// Raw access to the retained records, in emission order.
+    ///
+    /// Outside `apio-trace` the `trace-discipline` lint rejects this:
+    /// flight-recorder dumps must go through [`Tracer::flight_dump`] and
+    /// the exporter API so every dump is a well-formed export, not an
+    /// ad-hoc record walk.
+    pub fn flight_records(&self) -> Vec<Record> {
+        self.collect_records()
+    }
+
+    /// Dump the retained records (ring contents on a flight recorder,
+    /// everything on a full tracer) for export — see [`FlightDump`].
+    pub fn flight_dump(&self) -> FlightDump {
+        let (capacity, dropped) = match self.inner.as_ref() {
+            Some(inner) => (
+                inner.flight_cap.map(|c| c * SHARDS).unwrap_or(0),
+                inner
+                    .shards
+                    .iter()
+                    .map(|s| lock_shard(s).dropped())
+                    .sum(),
+            ),
+            None => (0, 0),
+        };
+        FlightDump::new(self.sink(), capacity, dropped)
+    }
+
+    fn collect_records(&self) -> Vec<Record> {
         let mut records = Vec::new();
         if let Some(inner) = self.inner.as_ref() {
             for shard in &inner.shards {
-                records.extend(lock_shard(shard).iter().cloned());
+                records.extend(lock_shard(shard).records().iter().cloned());
             }
         }
         records.sort_by_key(|r| r.seq);
-        TraceSink { records }
+        records
     }
 }
 

@@ -1,0 +1,304 @@
+//! `bench-diff`: compare a bench-harness JSON output against a committed
+//! baseline and fail on regressions beyond a threshold.
+//!
+//! The bench harness writes `BENCH_*.json` documents with one entry per
+//! benchmark: `{"name": "...", "secs_per_iter": 1.2e-4, ...}`. CI
+//! commits a blessed copy as `BENCH_baseline.json`; this gate parses
+//! both documents with a dependency-free field scanner (the workspace is
+//! deliberately dependency-free, so no serde), pairs entries by name,
+//! and flags any benchmark whose `current/baseline` time ratio exceeds
+//! the threshold. Benchmarks present in the baseline but missing from
+//! the current run also fail — silently dropping a regressed benchmark
+//! must not turn the gate green.
+
+/// One benchmark's timing, as parsed from a results document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// Benchmark name (unique within a document).
+    pub name: String,
+    /// Wall seconds per iteration.
+    pub secs_per_iter: f64,
+}
+
+/// Scan a bench JSON document for `"name": "..."` / `"secs_per_iter": N`
+/// pairs. Tolerant of formatting and extra fields; errors when the
+/// document yields no entries or a name arrives without a timing.
+pub fn parse_results(text: &str) -> Result<Vec<BenchEntry>, String> {
+    let mut entries = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"name\"") {
+        rest = &rest[pos + "\"name\"".len()..];
+        let name = match quoted_value(rest) {
+            Some(n) => n,
+            None => return Err("\"name\" without a quoted value".into()),
+        };
+        // The matching timing sits before the next entry's "name".
+        let scope_end = rest.find("\"name\"").unwrap_or(rest.len());
+        let scope = &rest[..scope_end];
+        let secs = match scope.find("\"secs_per_iter\"") {
+            Some(p) => number_after(&scope[p + "\"secs_per_iter\"".len()..])?,
+            None => {
+                return Err(format!("entry \"{name}\" has no \"secs_per_iter\" field"));
+            }
+        };
+        if !(secs.is_finite() && secs > 0.0) {
+            return Err(format!("entry \"{name}\" has non-positive time {secs}"));
+        }
+        entries.push(BenchEntry {
+            name,
+            secs_per_iter: secs,
+        });
+    }
+    if entries.is_empty() {
+        return Err("no benchmark entries found".into());
+    }
+    Ok(entries)
+}
+
+/// The string literal following `: ` after a field key.
+fn quoted_value(s: &str) -> Option<String> {
+    let open = s.find('"')?;
+    let rest = &s[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_string())
+}
+
+/// The JSON number following a field key (after the colon).
+fn number_after(s: &str) -> Result<f64, String> {
+    let s = s.trim_start_matches([':', ' ', '\t', '\n', '\r']);
+    let end = s
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-')))
+        .unwrap_or(s.len());
+    s[..end]
+        .parse::<f64>()
+        .map_err(|_| format!("bad number '{}'", &s[..end.min(24)]))
+}
+
+/// One benchmark that moved past the threshold (or improved).
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline seconds per iteration.
+    pub baseline: f64,
+    /// Current seconds per iteration.
+    pub current: f64,
+    /// `current / baseline` (> 1 is slower).
+    pub ratio: f64,
+}
+
+/// Outcome of comparing a current bench document against a baseline.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Failure threshold on `current/baseline`.
+    pub threshold: f64,
+    /// Benchmarks present in both documents.
+    pub compared: usize,
+    /// Benchmarks slower than `threshold ×` baseline — failures.
+    pub regressions: Vec<Delta>,
+    /// Benchmarks faster than `1/threshold ×` baseline — informational.
+    pub improvements: Vec<Delta>,
+    /// In the baseline but not the current run — failures.
+    pub missing: Vec<String>,
+    /// In the current run but not the baseline — informational.
+    pub added: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+
+    /// Human-readable summary, one line per finding.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.regressions {
+            out.push_str(&format!(
+                "REGRESSION {}: {:.3e}s -> {:.3e}s ({:.2}x, threshold {:.2}x)\n",
+                d.name, d.baseline, d.current, d.ratio, self.threshold
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("MISSING {name}: in baseline, not in current run\n"));
+        }
+        for d in &self.improvements {
+            out.push_str(&format!(
+                "improvement {}: {:.3e}s -> {:.3e}s ({:.2}x)\n",
+                d.name, d.baseline, d.current, d.ratio
+            ));
+        }
+        for name in &self.added {
+            out.push_str(&format!("added {name}: not in baseline\n"));
+        }
+        out.push_str(&format!(
+            "bench-diff: {} compared, {} regression(s), {} missing, {} improvement(s), {} added -> {}\n",
+            self.compared,
+            self.regressions.len(),
+            self.missing.len(),
+            self.improvements.len(),
+            self.added.len(),
+            if self.ok() { "OK" } else { "FAIL" }
+        ));
+        out
+    }
+
+    /// Machine-readable summary.
+    pub fn render_json(&self) -> String {
+        let deltas = |v: &[Delta]| {
+            v.iter()
+                .map(|d| {
+                    format!(
+                        "{{\"name\":\"{}\",\"baseline\":{},\"current\":{},\"ratio\":{}}}",
+                        crate::json_escape(&d.name),
+                        d.baseline,
+                        d.current,
+                        d.ratio
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let names = |v: &[String]| {
+            v.iter()
+                .map(|n| format!("\"{}\"", crate::json_escape(n)))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "{{\"gate\":\"bench-diff\",\"ok\":{},\"threshold\":{},\"compared\":{},\"regressions\":[{}],\"missing\":[{}],\"improvements\":[{}],\"added\":[{}]}}",
+            self.ok(),
+            self.threshold,
+            self.compared,
+            deltas(&self.regressions),
+            names(&self.missing),
+            deltas(&self.improvements),
+            names(&self.added),
+        )
+    }
+}
+
+/// Compare `current` against `baseline`; a benchmark regresses when its
+/// time ratio exceeds `threshold` (e.g. 1.25 = 25% slower).
+pub fn diff(current: &[BenchEntry], baseline: &[BenchEntry], threshold: f64) -> DiffReport {
+    let mut report = DiffReport {
+        threshold,
+        compared: 0,
+        regressions: Vec::new(),
+        improvements: Vec::new(),
+        missing: Vec::new(),
+        added: Vec::new(),
+    };
+    for base in baseline {
+        match current.iter().find(|c| c.name == base.name) {
+            None => report.missing.push(base.name.clone()),
+            Some(cur) => {
+                report.compared += 1;
+                let ratio = cur.secs_per_iter / base.secs_per_iter;
+                let delta = Delta {
+                    name: base.name.clone(),
+                    baseline: base.secs_per_iter,
+                    current: cur.secs_per_iter,
+                    ratio,
+                };
+                if ratio > threshold {
+                    report.regressions.push(delta);
+                } else if ratio < 1.0 / threshold {
+                    report.improvements.push(delta);
+                }
+            }
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            report.added.push(cur.name.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{"bench": "connector", "results": [
+        {"name": "a/64", "secs_per_iter": 1.0e-4, "iters": 256, "bytes": 65536},
+        {"name": "b/64", "secs_per_iter": 2.0e-4, "iters": 128}
+    ]}"#;
+
+    #[test]
+    fn parses_names_and_times() {
+        let entries = parse_results(DOC).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "a/64");
+        assert!((entries[0].secs_per_iter - 1.0e-4).abs() < 1e-12);
+        assert_eq!(entries[1].name, "b/64");
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed_documents() {
+        assert!(parse_results("{}").is_err());
+        assert!(parse_results(r#"{"name": "x"}"#).is_err());
+        assert!(parse_results(r#"{"name": "x", "secs_per_iter": -1.0}"#).is_err());
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let e = parse_results(DOC).unwrap();
+        let report = diff(&e, &e, 1.25);
+        assert!(report.ok());
+        assert_eq!(report.compared, 2);
+        assert!(report.render_text().contains("-> OK"));
+        assert!(report.render_json().contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn regression_beyond_threshold_fails() {
+        let base = parse_results(DOC).unwrap();
+        let mut cur = base.clone();
+        cur[0].secs_per_iter *= 2.0; // 2x slower
+        let report = diff(&cur, &base, 1.25);
+        assert!(!report.ok());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].name, "a/64");
+        assert!((report.regressions[0].ratio - 2.0).abs() < 1e-9);
+        assert!(report.render_text().contains("REGRESSION a/64"));
+        assert!(report.render_json().contains("\"ok\":false"));
+    }
+
+    #[test]
+    fn slowdown_within_threshold_passes() {
+        let base = parse_results(DOC).unwrap();
+        let mut cur = base.clone();
+        cur[0].secs_per_iter *= 1.2; // within 1.25x
+        assert!(diff(&cur, &base, 1.25).ok());
+    }
+
+    #[test]
+    fn missing_benchmark_fails_added_is_informational() {
+        let base = parse_results(DOC).unwrap();
+        let cur = vec![
+            base[0].clone(),
+            BenchEntry {
+                name: "new/128".into(),
+                secs_per_iter: 1e-4,
+            },
+        ];
+        let report = diff(&cur, &base, 1.25);
+        assert!(!report.ok());
+        assert_eq!(report.missing, ["b/64"]);
+        assert_eq!(report.added, ["new/128"]);
+        assert!(report.render_text().contains("MISSING b/64"));
+    }
+
+    #[test]
+    fn improvements_are_reported_not_failed() {
+        let base = parse_results(DOC).unwrap();
+        let mut cur = base.clone();
+        cur[1].secs_per_iter /= 10.0;
+        let report = diff(&cur, &base, 1.25);
+        assert!(report.ok());
+        assert_eq!(report.improvements.len(), 1);
+        assert!(report.render_text().contains("improvement b/64"));
+    }
+}

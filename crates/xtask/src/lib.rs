@@ -17,6 +17,7 @@
 //! Escapes are auditable: inline `// xtask: allow(rule)` markers or
 //! path-prefix entries in the root `xtask.allow` file.
 
+pub mod benchdiff;
 pub mod deps;
 pub mod rules;
 pub mod scan;
@@ -124,7 +125,7 @@ pub fn run_check_deps(root: &Path) -> Report {
 }
 
 /// Minimal JSON string escaping.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

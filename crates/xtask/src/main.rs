@@ -1,16 +1,21 @@
-//! CLI entry point: `cargo run -p xtask -- <lint|check-deps|report>`.
+//! CLI entry point:
+//! `cargo run -p xtask -- <lint|check-deps|report|bench-diff>`.
 
 use std::process::ExitCode;
 
-use xtask::{combined_json, report_json, run_check_deps, run_lint, workspace_root};
+use xtask::{benchdiff, combined_json, report_json, run_check_deps, run_lint, workspace_root};
 
 const USAGE: &str = "\
 usage: cargo run -p xtask -- <command> [--json]
+       cargo run -p xtask -- bench-diff <current.json> <baseline.json> [--threshold=R] [--json]
 
 commands:
   lint         enforce the correctness-gate rule set over all .rs files
   check-deps   enforce workspace-internal-only dependencies
   report       run both checks, print one combined JSON document
+  bench-diff   compare bench output against a baseline; fail when any
+               benchmark is more than R times slower (default 1.25) or
+               missing from the current run
 
 flags:
   --json       print only the machine-readable JSON summary
@@ -62,6 +67,48 @@ fn main() -> ExitCode {
             let deps = run_check_deps(&root);
             println!("{}", combined_json(&lint, &deps));
             exit_for(lint.violations.is_empty() && deps.violations.is_empty())
+        }
+        Some("bench-diff") => {
+            let positional: Vec<&String> = args
+                .iter()
+                .filter(|a| !a.starts_with("--") && *a != "bench-diff")
+                .collect();
+            let [current_path, baseline_path] = positional.as_slice() else {
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            let threshold = match args
+                .iter()
+                .find_map(|a| a.strip_prefix("--threshold="))
+                .map_or(Ok(1.25), str::parse::<f64>)
+            {
+                Ok(t) if t > 1.0 => t,
+                _ => {
+                    eprintln!("bench-diff: --threshold must be a number > 1.0");
+                    return ExitCode::from(2);
+                }
+            };
+            let load = |path: &str| -> Result<Vec<benchdiff::BenchEntry>, String> {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                benchdiff::parse_results(&text).map_err(|e| format!("{path}: {e}"))
+            };
+            match (load(current_path), load(baseline_path)) {
+                (Ok(current), Ok(baseline)) => {
+                    let report = benchdiff::diff(&current, &baseline, threshold);
+                    if json_only {
+                        println!("{}", report.render_json());
+                    } else {
+                        print!("{}", report.render_text());
+                        println!("{}", report.render_json());
+                    }
+                    exit_for(report.ok())
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("bench-diff: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         _ => {
             eprint!("{USAGE}");

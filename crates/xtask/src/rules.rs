@@ -12,7 +12,7 @@
 //! | `no-dbg-todo`   | whole workspace                         | no debugging or placeholder macros ship |
 //! | `bounded-retry` | h5lite, asyncvol `src/`                 | retry loops carry both an attempt bound and a deadline |
 //! | `planned-io`    | h5lite `container.rs`                   | data-path I/O goes through the planner's vectored batches, not scalar per-run calls |
-//! | `trace-discipline` | everywhere except `crates/trace/`    | spans are opened through the RAII guard API; the manual `begin_span`/`end_span` pair stays inside apio-trace |
+//! | `trace-discipline` | everywhere except `crates/trace/`    | spans are opened through the RAII guard API and flight dumps go through the exporter API; the manual `begin_span`/`end_span` pair and raw `flight_records` access stay inside apio-trace |
 //!
 //! Escapes are explicit and auditable: an inline `// xtask: allow(rule)`
 //! on the offending line, or a path entry in the root `xtask.allow` file.
@@ -240,6 +240,14 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                         format!("manual span API `{tok}..)` outside apio-trace; use `Tracer::span`/`span_with` so the RAII guard closes the span on every exit path"),
                     );
                 }
+            }
+            if find_token(code, ".flight_records(") {
+                push(
+                    l.number,
+                    &l.raw,
+                    "trace-discipline",
+                    "raw flight-recorder access `.flight_records(..)` outside apio-trace; dump through `Tracer::flight_dump` so records leave only via the exporter API".to_owned(),
+                );
             }
         }
 
@@ -562,6 +570,18 @@ fn f(policy: &RetryPolicy, started: Instant) {
             .contains(&"trace-discipline"));
         assert!(rules_fired("tests/trace_pipeline.rs", "fn f() { t.begin_span(\"x\", None); }\n")
             .contains(&"trace-discipline"));
+    }
+
+    #[test]
+    fn trace_discipline_fires_on_raw_flight_access_outside_the_tracer() {
+        let bad = "fn f(t: &Tracer) { let recs = t.flight_records(); }\n";
+        assert_eq!(rules_fired("crates/asyncvol/src/lib.rs", bad), ["trace-discipline"]);
+        assert_eq!(rules_fired("tests/chaos.rs", bad), ["trace-discipline"]);
+        // The exporter-facing dump API is the sanctioned path.
+        let ok = "fn f(t: &Tracer) { let d = t.flight_dump(); let _ = d.jsonl(); }\n";
+        assert!(lint_source("crates/asyncvol/src/lib.rs", ok).is_empty());
+        // Inside apio-trace the raw accessor is implementation detail.
+        assert!(lint_source("crates/trace/src/flight.rs", bad).is_empty());
     }
 
     #[test]

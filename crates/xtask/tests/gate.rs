@@ -2,7 +2,7 @@
 //! lint-clean and dependency-clean, and the walker must actually be
 //! seeing the workspace (not silently scanning an empty directory).
 
-use xtask::{run_check_deps, run_lint, source_files, workspace_root};
+use xtask::{benchdiff, run_check_deps, run_lint, source_files, workspace_root};
 
 #[test]
 fn workspace_is_lint_clean() {
@@ -52,4 +52,42 @@ fn walker_sees_the_whole_workspace() {
         );
     }
     assert!(files.len() >= 60, "suspiciously few files: {}", files.len());
+}
+
+#[test]
+fn committed_bench_baseline_passes_the_diff_gate() {
+    let root = workspace_root();
+    let read = |name: &str| {
+        std::fs::read_to_string(root.join(name))
+            .unwrap_or_else(|e| panic!("{name} must be committed at the workspace root: {e}"))
+    };
+    let current = benchdiff::parse_results(&read("BENCH_connector.json")).unwrap();
+    let baseline = benchdiff::parse_results(&read("BENCH_baseline.json")).unwrap();
+    assert!(!baseline.is_empty());
+    let report = benchdiff::diff(&current, &baseline, 1.25);
+    assert!(
+        report.ok(),
+        "committed bench results regress against the baseline:\n{}",
+        report.render_text()
+    );
+    assert!(report.compared >= baseline.len().min(current.len()) - report.missing.len());
+}
+
+#[test]
+fn synthetic_regression_fails_the_diff_gate() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("BENCH_baseline.json")).unwrap();
+    let baseline = benchdiff::parse_results(&text).unwrap();
+    // A uniform 10x slowdown of the committed baseline must trip the gate
+    // on every benchmark.
+    let regressed: Vec<benchdiff::BenchEntry> = baseline
+        .iter()
+        .map(|e| benchdiff::BenchEntry {
+            name: e.name.clone(),
+            secs_per_iter: e.secs_per_iter * 10.0,
+        })
+        .collect();
+    let report = benchdiff::diff(&regressed, &baseline, 1.25);
+    assert!(!report.ok());
+    assert_eq!(report.regressions.len(), baseline.len());
 }

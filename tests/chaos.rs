@@ -165,7 +165,9 @@ fn crash_recovery_restores_fault_free_contents() {
         .write_at(valid_end, &[0xDE, 0xAD, 0xBE, 0xEF])
         .expect("tear the tail");
 
-    let tracer2 = Tracer::new();
+    // Recovery runs under the always-on flight recorder (not full
+    // tracing): the black-box ring must be enough to audit a replay.
+    let tracer2 = Tracer::flight(4096);
     let vol2 = AsyncVol::builder()
         .stage_to_device(device)
         .tracer(tracer2.clone())
@@ -208,6 +210,41 @@ fn crash_recovery_restores_fault_free_contents() {
         );
     }
 
+    // The same evidence must survive into the black-box telemetry: the
+    // flight-recorder dump carries one WalReplay per replayed record and
+    // the torn-tail truncation, and the operator report JSON carries the
+    // recovery summary — all cross-checked against the RecoveryReport.
+    let dump = tracer2.flight_dump();
+    assert_eq!(dump.dropped(), 0, "4096/shard must retain the whole recovery");
+    let jsonl = dump.jsonl();
+    let replay_lines = jsonl
+        .lines()
+        .filter(|l| l.contains("\"type\":\"WalReplay\""))
+        .count();
+    assert_eq!(replay_lines as u64, report.replayed);
+    assert_eq!(
+        jsonl.matches("\"type\":\"WalTruncated\"").count(),
+        1,
+        "the one torn-tail truncation shows up in the dump"
+    );
+
+    let json = apio::model::ReportBuilder::new("chaos: crash recovery")
+        .metrics(vol2.metrics())
+        .recovery(apio::model::RecoverySummary {
+            scanned: report.scanned,
+            replayed: report.replayed,
+            bytes_replayed: report.bytes_replayed,
+            orphaned: report.orphaned,
+            already_applied: report.already_applied,
+        })
+        .flight(dump.capacity(), dump.len(), dump.dropped())
+        .render_json();
+    assert!(json.contains("\"schema\":\"apio-report-v1\""));
+    assert!(json.contains(&format!("\"replayed\":{}", report.replayed)));
+    assert!(json.contains(&format!("\"bytes_replayed\":{}", report.bytes_replayed)));
+    assert!(json.contains("\"orphaned\":0"));
+    assert!(json.contains(&format!("\"recorded\":{}", dump.len())));
+
     // Recovery is idempotent: a second replay finds everything applied.
     let again = vol2.recover_staging(&c2).expect("second recovery");
     assert_eq!(again.replayed, 0);
@@ -239,6 +276,9 @@ fn persistent_faults_degrade_to_sync_without_losing_acknowledged_writes() {
         .expect("create");
     c.flush().expect("flush");
 
+    // The degrade/recover walk happens under the always-on flight
+    // recorder, so the transition evidence must survive into its ring.
+    let tracer = Tracer::flight(1024);
     let vol = AsyncVol::builder()
         .streams(1)
         .retry(RetryPolicy::none())
@@ -246,6 +286,7 @@ fn persistent_faults_degrade_to_sync_without_losing_acknowledged_writes() {
             failure_threshold: 2,
             probe_after: 2,
         })
+        .tracer(tracer.clone())
         .build();
     injector.set_armed(true);
 
@@ -309,4 +350,48 @@ fn persistent_faults_degrade_to_sync_without_losing_acknowledged_writes() {
         let got: Vec<f64> = apio::h5lite::datatype::from_bytes(&got).expect("decode");
         assert_eq!(&got, vals, "acknowledged slab at {start} must be intact");
     }
+
+    // The full degrade → probe → recover walk is visible in the flight
+    // dump, transition-for-transition against the stats counters, and
+    // the operator report JSON agrees with the same registry.
+    let stats = vol.stats();
+    let dump = tracer.flight_dump();
+    let jsonl = dump.jsonl();
+    assert!(
+        jsonl.contains("\"type\":\"BreakerTransition\",\"from\":\"closed\",\"to\":\"open\""),
+        "the trip must be in the ring"
+    );
+    assert!(
+        jsonl.contains("\"from\":\"half-open\",\"to\":\"closed\""),
+        "the recovery must be in the ring"
+    );
+    assert_eq!(
+        jsonl.matches("\"to\":\"open\"").count() as u64,
+        stats.breaker_opens,
+        "one BreakerTransition-to-open per counted open"
+    );
+    assert_eq!(
+        jsonl.matches("\"to\":\"closed\"").count() as u64,
+        stats.breaker_closes
+    );
+
+    let json = apio::model::ReportBuilder::new("chaos: breaker degrade/recover")
+        .metrics(vol.metrics())
+        .breaker("closed", stats.degraded)
+        .flight(dump.capacity(), dump.len(), dump.dropped())
+        .render_json();
+    assert!(json.contains("\"breaker\":{\"state\":\"closed\",\"degraded\":false}"));
+    assert!(json.contains(&format!(
+        "\"name\":\"vol.breaker_opens\",\"value\":{}",
+        stats.breaker_opens
+    )));
+    assert!(json.contains(&format!(
+        "\"name\":\"vol.breaker_closes\",\"value\":{}",
+        stats.breaker_closes
+    )));
+    assert!(json.contains(&format!(
+        "\"name\":\"vol.degraded_writes\",\"value\":{}",
+        stats.degraded_writes
+    )));
+    assert!(json.contains(&format!("\"name\":\"vol.probes\",\"value\":{}", stats.probes)));
 }

@@ -8,10 +8,11 @@ use apio::asyncvol::{AsyncVol, BreakerConfig, RetryPolicy};
 use apio::desim::{Engine, SharedResource, SimDuration};
 use apio::h5lite::{
     container::ROOT_ID, Container, Dataspace, Datatype, FaultInjector, FaultKind, FaultOp,
-    FaultPlan, File, Hyperslab, Layout, MemBackend, Selection, Vol,
+    FaultPlan, File, Hyperslab, Layout, MemBackend, Selection, ThrottledBackend, Vol,
 };
 use apio::model::epoch::EpochParams;
 use apio::model::regression::{Design, LinearFit};
+use apio::trace::{DriftDirection, SeriesAggregator, SeriesConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -533,6 +534,94 @@ fn planned_path_preserves_fault_plan_indices() {
         let a = pc.read_selection(pid, &Selection::All).expect("read");
         let b = rc.read_selection(rid, &Selection::All).expect("read");
         assert_eq!(a, b, "{ctx}: post-fault contents diverged");
+    }
+}
+
+/// A stationary I/O rate with bounded seeded noise never trips the
+/// drift detector: 10k epochs of ±5% rate jitter produce zero alarms,
+/// for every seed. (The Page–Hinkley `delta` slack is sized to absorb
+/// exactly this kind of stationary wobble.)
+#[test]
+fn stationary_rate_noise_never_false_alarms() {
+    for seed in [0x5E41u64, 0xD41F7, 0x00B5, 0xF00D] {
+        let mut rng = Lcg::new(seed);
+        let mut series = SeriesAggregator::new(SeriesConfig::default());
+        let bytes = 1u64 << 26;
+        for epoch in 0..10_000u64 {
+            let rate = 1e9 * rng.f64_in(0.95, 1.05);
+            let nanos = (bytes as f64 / rate * 1e9) as u64;
+            series.record_io(bytes, nanos);
+            assert!(
+                series.end_epoch().is_none(),
+                "seed {seed:#x} epoch {epoch}: false alarm on stationary noise"
+            );
+        }
+        assert!(series.alarms().is_empty(), "seed {seed:#x}");
+        assert_eq!(series.epochs(), 10_000);
+    }
+}
+
+/// A genuine step change in backend rate — the device bandwidth dropped
+/// mid-run via [`ThrottledBackend::set_bandwidth`] — fires a `Down`
+/// alarm within K epochs of the step, for every seeded degradation
+/// factor, while the pre-step epochs stay silent.
+#[test]
+fn backend_rate_step_fires_drift_alarm_within_k_epochs() {
+    const K: usize = 4;
+    let mut rng = Lcg::new(0xD21F7);
+    for case in 0..4 {
+        let factor = rng.f64_in(8.0, 64.0);
+        let fast = 2e8; // 200 MB/s: stalls long enough to dominate noise
+        let backend = Arc::new(ThrottledBackend::new(
+            Box::new(MemBackend::new()),
+            fast,
+            0.0,
+        ));
+        let c = Container::create(backend.clone());
+        let n = 1u64 << 18; // 1 MiB of f32 per epoch write
+        let ds = c
+            .create_dataset(ROOT_ID, "d", Datatype::F32, &Dataspace::d1(n), Layout::Contiguous)
+            .expect("create");
+        let data = vec![1u8; (n * 4) as usize];
+        let sel = Selection::All;
+        // Warm the path (chunk allocation) outside the measured epochs.
+        c.write_selection(ds, &sel, &data).expect("warm write");
+
+        // Real wall-clock rates carry scheduler noise; 1.5 still fires
+        // within an epoch on the >= ln(8) ≈ 2.1 log-rate step below.
+        let cfg = SeriesConfig {
+            ph_lambda: 1.5,
+            ..SeriesConfig::default()
+        };
+        let mut series = SeriesAggregator::new(cfg);
+        let epoch_write = |series: &mut SeriesAggregator| {
+            let t0 = std::time::Instant::now();
+            c.write_selection(ds, &sel, &data).expect("epoch write");
+            series.record_io(data.len() as u64, t0.elapsed().as_nanos() as u64);
+            series.end_epoch()
+        };
+
+        for epoch in 0..10 {
+            assert!(
+                epoch_write(&mut series).is_none(),
+                "case {case} (factor {factor:.1}): false alarm at fast epoch {epoch}"
+            );
+        }
+
+        backend.set_bandwidth(fast / factor);
+        let fired = (0..K).find_map(|k| epoch_write(&mut series).map(|a| (k, a)));
+        let (k, alarm) = fired.unwrap_or_else(|| {
+            panic!("case {case}: a {factor:.1}x step must fire within {K} epochs")
+        });
+        assert_eq!(
+            alarm.direction,
+            DriftDirection::Down,
+            "case {case}: degradation is a downward drift"
+        );
+        assert!(
+            alarm.observed_rate < alarm.ewma_rate,
+            "case {case} (alarm {k} epochs after the step): observed below the smoothed rate"
+        );
     }
 }
 
