@@ -15,7 +15,15 @@ cargo test -q "${CARGO_FLAGS[@]}" --workspace
 
 echo "== static analysis gate =="
 cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- lint
+# The machine-readable report must round-trip through the in-tree JSON
+# parser — downstream tooling consumes it verbatim.
+cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- lint --json \
+    | cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- json-check
 cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- check-deps
+
+echo "== schedule exploration (seeded writer/reader/flush interleavings) =="
+APIO_EXPLORE_SEEDS=64 cargo test -q "${CARGO_FLAGS[@]}" -p argolite \
+    --features debug-invariants --test explore
 
 echo "== runtime invariants (lock-order + task-DAG detectors) =="
 cargo test -q "${CARGO_FLAGS[@]}" -p argolite --features debug-invariants

@@ -56,6 +56,10 @@ struct Node {
     external: Vec<TaskHandle>,
 }
 
+/// One node as the schedule explorer sees it: `(label, deps, body)`.
+#[cfg(feature = "debug-invariants")]
+pub(crate) type ModelNode = (String, Vec<usize>, Box<dyn FnOnce() + Send + 'static>);
+
 /// A batch of tasks with explicit dependency edges, spawned atomically
 /// after cycle validation.
 #[derive(Default)]
@@ -183,6 +187,18 @@ impl TaskGraph {
     /// Validate the graph without consuming or spawning it.
     pub fn validate(&self) -> Result<(), CyclicGraph> {
         self.topo_order().map(|_| ())
+    }
+
+    /// Decompose into `(label, deps, body)` triples for the schedule
+    /// explorer. External dependencies are dropped: the explorer models
+    /// only the edges *inside* the graph (an external handle is a task
+    /// that already ran by definition).
+    #[cfg(feature = "debug-invariants")]
+    pub(crate) fn into_model(self) -> Vec<ModelNode> {
+        self.nodes
+            .into_iter()
+            .map(|n| (n.label, n.deps, n.body))
+            .collect()
     }
 
     /// Validate, then spawn every node on `rt` in dependency order.

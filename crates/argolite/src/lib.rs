@@ -32,6 +32,8 @@ use std::time::Duration;
 
 use crate::sync::{Condvar, Mutex};
 
+#[cfg(feature = "debug-invariants")]
+pub mod explore;
 pub mod graph;
 pub mod sync;
 pub use graph::{CyclicGraph, NodeId, TaskGraph};

@@ -160,6 +160,23 @@ pub mod lock_order {
     pub fn held_depth() -> usize {
         HELD.with(|held| held.borrow().len())
     }
+
+    /// Names of the classes this thread currently holds, in acquisition
+    /// order — the schedule explorer's per-step diagnostic.
+    pub fn classes_held() -> Vec<&'static str> {
+        HELD.with(|held| {
+            let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+            held.borrow().iter().map(|&h| reg.names[h]).collect()
+        })
+    }
+
+    /// Forget every class this thread thinks it holds. Only for the
+    /// schedule explorer, which runs task bodies under `catch_unwind`: a
+    /// body that leaks a guard (e.g. `mem::forget`) would otherwise
+    /// poison the held-stack for every later seed on this thread.
+    pub fn clear_held() {
+        HELD.with(|held| held.borrow_mut().clear());
+    }
 }
 
 /// Class tag carried by named locks; zero-sized when invariants are off.

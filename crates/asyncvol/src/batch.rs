@@ -174,7 +174,12 @@ impl WriteBatch<'_> {
                 };
                 if outcome.is_ok() {
                     if let Payload::Staged(log, extent) = &payload {
-                        let _ = log.mark_applied(*extent);
+                        // Replay is idempotent, so a failed flag write is
+                        // not a correctness problem — but it is a signal
+                        // the staging device is degrading, so count it.
+                        if log.mark_applied(*extent).is_err() {
+                            stats.record_wal_mark_failure();
+                        }
                     }
                 }
                 let io_secs = started.elapsed().as_secs_f64();
@@ -219,8 +224,12 @@ impl WriteBatch<'_> {
             prev_on_ds.insert(ds, i);
         }
 
+        // The connector lock deliberately spans dep-read -> submit ->
+        // handle registration: per-dataset ordering must be atomic, and
+        // the spawned closures never take this lock, so the hold bounds
+        // submission latency but cannot deadlock.
         let handles = graph
-            .submit(&vol.rt)
+            .submit(&vol.rt) // xtask: allow(guard-across-boundary) ordering atomicity; see comment above
             .map_err(|cycle| H5Error::Async(cycle.to_string()))?;
 
         let mut requests = Vec::with_capacity(handles.len());

@@ -559,8 +559,12 @@ impl Vol for AsyncVol {
             };
             if outcome.is_ok() {
                 if let Payload::Staged(log, extent) = &payload {
-                    // Benign if this fails: WAL replay is idempotent.
-                    let _ = log.mark_applied(*extent);
+                    // Replay is idempotent, so a failed flag write is not
+                    // a correctness problem — but it is a signal the
+                    // staging device is degrading, so count it.
+                    if log.mark_applied(*extent).is_err() {
+                        stats.record_wal_mark_failure();
+                    }
                 }
             }
             let io_secs = started.elapsed().as_secs_f64();

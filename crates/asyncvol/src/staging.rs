@@ -190,6 +190,12 @@ pub struct RecoveryReport {
     pub orphaned: u64,
     /// Payload bytes written during replay.
     pub bytes_replayed: u64,
+    /// Replayed records whose applied-flag write-back failed. Their data
+    /// landed (replay is idempotent, so a second recovery redoes them
+    /// harmlessly), but a non-zero count means the staging device
+    /// rejected writes *during* recovery — operators should not clear
+    /// the log until this is zero.
+    pub flag_update_failed: u64,
 }
 
 impl StagingLog {
@@ -435,7 +441,9 @@ impl StagingLog {
         })();
         // Flag whatever landed — also on the error path, so a retried
         // recovery does not re-replay records that already made it.
-        // Benign if this fails: replay is idempotent.
+        // Replay is idempotent, so a failed flag write-back is not a
+        // correctness problem, but the report must say it happened: the
+        // unflagged records will replay again next recovery.
         if !landed_flags.is_empty() {
             let one = [1u8];
             let batch: Vec<IoVec<'_>> = landed_flags
@@ -445,7 +453,9 @@ impl StagingLog {
                     data: &one,
                 })
                 .collect();
-            let _ = self.device.write_vectored_at(&batch);
+            if self.device.write_vectored_at(&batch).is_err() {
+                report.flag_update_failed = landed_flags.len() as u64;
+            }
         }
         result.map(|()| report)
     }
@@ -588,6 +598,43 @@ mod tests {
         let again = recovered.recover_into(&c).unwrap();
         assert_eq!(again.replayed, 0);
         assert_eq!(again.already_applied, 2);
+    }
+
+    #[test]
+    fn recovery_reports_failed_flag_writeback() {
+        // The record replays into the container fine, but the staging
+        // device rejects the applied-flag write-back. Recovery must
+        // still report success (the data landed) while flagging the
+        // miss: the unmarked record will replay again next time, and
+        // operators must not recycle the log until the count is zero.
+        let dev = Arc::new(MemBackend::new());
+        let log = StagingLog::new(dev.clone());
+        let (c, ds) = container_with_ds(4);
+        log.append(ds, &Selection::All, &[5u8; 4]).unwrap();
+
+        // Reopen through an injector that kills every write: scans
+        // (reads) pass, the flag write-back cannot.
+        let faulty: Arc<dyn StorageBackend> = Arc::new(h5lite::FaultInjector::new(
+            dev.clone(),
+            h5lite::FaultPlan::new(0).fail_after(
+                h5lite::FaultOp::Write,
+                0,
+                h5lite::FaultKind::Persistent,
+            ),
+        ));
+        let report = StagingLog::open(faulty).recover_into(&c).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.flag_update_failed, 1);
+        assert_eq!(c.read_selection(ds, &Selection::All).unwrap(), [5u8; 4]);
+
+        // A retried recovery on a healed device replays the same record
+        // again (idempotent) and gets the flag down this time.
+        let again = StagingLog::open(dev.clone()).recover_into(&c).unwrap();
+        assert_eq!(again.replayed, 1);
+        assert_eq!(again.flag_update_failed, 0);
+        let third = StagingLog::open(dev).recover_into(&c).unwrap();
+        assert_eq!(third.replayed, 0);
+        assert_eq!(third.already_applied, 1);
     }
 
     #[test]

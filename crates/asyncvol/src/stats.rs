@@ -225,6 +225,15 @@ impl StatsCells {
         self.handles.retry_successes.inc();
     }
 
+    /// A WAL `mark_applied` flag write failed after the data itself
+    /// landed. Replay is idempotent, so correctness holds — but the
+    /// record will replay again on recovery, and a recurring failure
+    /// means the staging device is degrading; operators watch this via
+    /// the dynamically-registered `vol.wal_mark_failures` counter.
+    pub(crate) fn record_wal_mark_failure(&self) {
+        self.metrics.counter("vol.wal_mark_failures").inc();
+    }
+
     /// A synchronous passthrough write completed while degraded. Bytes
     /// and time also land in the write totals so bandwidth math covers
     /// the degraded regime.

@@ -823,3 +823,45 @@ fn staging_device_failure_fails_the_issue_not_the_background() {
     assert!(matches!(err, H5Error::Storage(_)), "got {err:?}");
     vol.wait_all().unwrap();
 }
+
+#[test]
+fn failed_wal_mark_is_counted_not_swallowed() {
+    // The staging append (device write 0) succeeds; the applied-flag
+    // mark after the background write lands (device write 1) hits a
+    // dead device. The write itself must still succeed — the data is in
+    // the container, the unmarked record merely replays idempotently on
+    // the next recovery — but the miss has to show up in the metrics.
+    let staging = Arc::new(h5lite::FaultInjector::new(
+        Arc::new(h5lite::MemBackend::new()),
+        h5lite::FaultPlan::new(0).fail_after(
+            h5lite::FaultOp::Write,
+            1,
+            h5lite::FaultKind::Persistent,
+        ),
+    ));
+    let tracer = apio_trace::Tracer::new();
+    let metrics = tracer.metrics().unwrap();
+    let vol = AsyncVol::builder()
+        .stage_to_device(staging)
+        .tracer(tracer)
+        .build();
+    let c = mem_container();
+    let ds = vol
+        .dataset_create(
+            &c,
+            h5lite::container::ROOT_ID,
+            "x",
+            h5lite::Datatype::U8,
+            &Dataspace::d1(8),
+            h5lite::Layout::Contiguous,
+        )
+        .unwrap();
+    let req = vol.dataset_write(&c, ds, &Selection::All, &[7u8; 8]).unwrap();
+    vol.wait(req).unwrap();
+    assert_eq!(
+        metrics.counter_value("vol.wal_mark_failures"),
+        1,
+        "the swallowed flag write must be visible in the metrics"
+    );
+    assert_eq!(c.read_selection(ds, &Selection::All).unwrap(), vec![7u8; 8]);
+}

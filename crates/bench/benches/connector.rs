@@ -191,15 +191,15 @@ fn ioplan_micro(recs: &mut Vec<Rec>) {
     let runs = sel.runs(&space).unwrap();
     let name = "ioplan/build_contiguous_2048_runs";
     let s = bench_elems(name, runs.len() as u64, || {
-        black_box(IoPlan::for_contiguous(black_box(64), 4, &runs));
+        black_box(IoPlan::for_contiguous(black_box(64), 4, &runs).unwrap());
     });
     rec(recs, name, s, 0);
 
     let name = "ioplan/build_chunked_2048_runs";
     let s = bench_elems(name, runs.len() as u64, || {
-        black_box(IoPlan::for_chunked(256, 4, &runs, |idx| {
-            Some(black_box(idx) * 1024)
-        }));
+        black_box(
+            IoPlan::for_chunked(256, 4, &runs, |idx| Some(black_box(idx) * 1024)).unwrap(),
+        );
     });
     rec(recs, name, s, 0);
 

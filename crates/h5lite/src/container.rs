@@ -260,7 +260,9 @@ impl Container {
         }
         let bytes = encode_meta(&meta.objects, meta.next_id);
         let addr = meta.eof;
-        meta.eof += bytes.len() as u64;
+        meta.eof = addr.checked_add(bytes.len() as u64).ok_or_else(|| {
+            H5Error::Storage("metadata append overflows the device address space".into())
+        })?;
         self.backend.write_at(addr, &bytes)?; // xtask: allow(planned-io) metadata extent
 
         let mut sb = Vec::with_capacity(SUPERBLOCK_LEN as usize);
@@ -392,7 +394,11 @@ impl Container {
         let data_addr = match layout {
             Layout::Contiguous if nbytes > 0 => {
                 let addr = meta.eof;
-                meta.eof += nbytes;
+                meta.eof = addr.checked_add(nbytes).ok_or_else(|| {
+                    H5Error::Storage(format!(
+                        "contiguous dataset of {nbytes} bytes overflows the device address space"
+                    ))
+                })?;
                 addr
             }
             _ => 0,
@@ -652,7 +658,7 @@ impl Container {
             }
             let runs = sel.runs(space)?;
             match layout {
-                Layout::Contiguous => (IoPlan::for_contiguous(*data_addr, elem, &runs), None),
+                Layout::Contiguous => (IoPlan::for_contiguous(*data_addr, elem, &runs)?, None),
                 Layout::Chunked1D { chunk_elems } => {
                     let ce = *chunk_elems;
                     let mut seen_missing = std::collections::BTreeSet::new();
@@ -662,7 +668,7 @@ impl Container {
                             missing.push(idx);
                         }
                         addr
-                    });
+                    })?;
                     (plan, Some((ce, elem, runs)))
                 }
             }
@@ -676,7 +682,9 @@ impl Container {
                 "object {id} reported missing chunks without a chunked layout"
             )));
         };
-        let chunk_bytes = chunk_elems * elem;
+        let chunk_bytes = chunk_elems.checked_mul(elem).ok_or_else(|| {
+            H5Error::Storage("chunk byte size overflows the device address space".into())
+        })?;
 
         // Slow path: claim every still-missing chunk under one exclusive
         // acquisition with a single eof bump, and rebuild the plan while
@@ -703,18 +711,27 @@ impl Container {
                 .collect();
             let mut addr = *eof;
             if !still.is_empty() {
-                *eof += chunk_bytes * still.len() as u64;
+                *eof = chunk_bytes
+                    .checked_mul(still.len() as u64)
+                    .and_then(|grow| eof.checked_add(grow))
+                    .ok_or_else(|| {
+                        H5Error::Storage(
+                            "chunk allocation overflows the device address space".into(),
+                        )
+                    })?;
                 *dirty = true;
             }
             let mut fresh = Vec::with_capacity(still.len());
             for idx in still {
                 chunks.insert(idx, addr);
                 fresh.push(addr);
-                addr += chunk_bytes;
+                // Bounded by the checked `*eof` above; saturating keeps
+                // the watermark arithmetic wrap-free.
+                addr = addr.saturating_add(chunk_bytes);
             }
             let plan = IoPlan::for_chunked(chunk_elems, elem, &runs, |idx| {
                 chunks.get(&idx).copied()
-            });
+            })?;
             (plan, fresh)
         };
 
@@ -763,8 +780,9 @@ impl std::fmt::Debug for Container {
 
 impl Drop for Container {
     fn drop(&mut self) {
-        // Best-effort durability, mirroring H5Fclose semantics.
-        let _ = self.flush();
+        // Best-effort durability, mirroring H5Fclose semantics: Drop
+        // cannot propagate; callers needing certainty call flush() first.
+        let _ = self.flush(); // xtask: allow(swallowed-result) Drop cannot propagate the error
     }
 }
 
@@ -1065,6 +1083,27 @@ mod tests {
             let expect = if (10..40).contains(&i) { i as i32 } else { 0 };
             assert_eq!(got, expect, "element {i}");
         }
+    }
+
+    #[test]
+    fn chunk_allocation_overflow_is_an_error_not_a_wrap() {
+        // A chunk so large its byte size overflows u64: allocation must
+        // fail with a Storage error instead of wrapping the eof and
+        // handing out addresses that alias live data.
+        let c = Container::create_mem();
+        let ds = c
+            .create_dataset(
+                ROOT_ID,
+                "x",
+                Datatype::U64,
+                &Dataspace::d1(16),
+                Layout::Chunked1D { chunk_elems: 1 << 61 },
+            )
+            .unwrap();
+        let err = c
+            .write_selection(ds, &Selection::All, &to_bytes(&[1u64; 16]))
+            .unwrap_err();
+        assert!(matches!(err, H5Error::Storage(_)), "got {err:?}");
     }
 
     #[test]

@@ -33,10 +33,18 @@
 //!    plan's `total_bytes`/`mapped_bytes` gap makes the omission
 //!    observable.
 
+use crate::error::{H5Error, Result};
+
 /// Maximum number of segments issued per vectored backend call. Bounds
 /// the transient `IoVec` array (and the latency amortisation window of
 /// throttled backends) without bounding selection size.
 pub const COALESCE_WINDOW: usize = 1024;
+
+/// Address arithmetic that wrapped; a plan built from wrapped addresses
+/// would silently alias unrelated file regions.
+fn overflow(what: &str) -> H5Error {
+    H5Error::Storage(format!("{what} overflows the device address space"))
+}
 
 /// One contiguous backend transfer of a planned selection operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,14 +71,21 @@ impl IoPlan {
     /// Plan a selection over a contiguous layout rooted at backend
     /// address `base`. `runs` are `(element offset, element count)`
     /// pairs, sorted and disjoint; `elem` is the element size in bytes.
-    pub fn for_contiguous(base: u64, elem: u64, runs: &[(u64, u64)]) -> IoPlan {
+    /// Fails with [`H5Error::Storage`] when a run's address or length
+    /// arithmetic would wrap the u64 address space.
+    pub fn for_contiguous(base: u64, elem: u64, runs: &[(u64, u64)]) -> Result<IoPlan> {
         let mut plan = IoPlan::default();
         for &(off, count) in runs {
-            let addr = base + off * elem;
-            let nbytes = count * elem;
+            let addr = off
+                .checked_mul(elem)
+                .and_then(|rel| base.checked_add(rel))
+                .ok_or_else(|| overflow("contiguous selection run"))?;
+            let nbytes = count
+                .checked_mul(elem)
+                .ok_or_else(|| overflow("contiguous selection run"))?;
             plan.push(addr, nbytes);
         }
-        plan
+        Ok(plan)
     }
 
     /// Plan a selection over a 1-D chunked layout. Runs are split at
@@ -85,7 +100,7 @@ impl IoPlan {
         elem: u64,
         runs: &[(u64, u64)],
         mut resolve: impl FnMut(u64) -> Option<u64>,
-    ) -> IoPlan {
+    ) -> Result<IoPlan> {
         let mut plan = IoPlan::default();
         let mut last_chunk = None;
         for &(off, count) in runs {
@@ -95,10 +110,15 @@ impl IoPlan {
                 let chunk_idx = elem_off / chunk_elems;
                 let within = elem_off % chunk_elems;
                 let take = remaining.min(chunk_elems - within);
-                let nbytes = take * elem;
+                let nbytes = take
+                    .checked_mul(elem)
+                    .ok_or_else(|| overflow("chunk run piece"))?;
                 match resolve(chunk_idx) {
                     Some(chunk_base) => {
-                        let addr = chunk_base + within * elem;
+                        let addr = within
+                            .checked_mul(elem)
+                            .and_then(|rel| chunk_base.checked_add(rel))
+                            .ok_or_else(|| overflow("chunk run piece"))?;
                         if last_chunk == Some(chunk_idx) {
                             plan.push(addr, nbytes);
                         } else {
@@ -114,7 +134,7 @@ impl IoPlan {
                 remaining -= take;
             }
         }
-        plan
+        Ok(plan)
     }
 
     /// Append a segment, merging into the previous one when contiguous
@@ -125,7 +145,10 @@ impl IoPlan {
         }
         let cursor = self.total_bytes;
         match self.segments.last_mut() {
-            Some(prev) if prev.addr + prev.len == addr && prev.cursor + prev.len == cursor => {
+            Some(prev)
+                if prev.addr.checked_add(prev.len) == Some(addr)
+                    && prev.cursor.checked_add(prev.len) == Some(cursor) =>
+            {
                 prev.len += nbytes;
             }
             _ => self.segments.push(IoSegment {
@@ -192,7 +215,7 @@ mod tests {
     #[test]
     fn contiguous_maps_runs_to_addresses() {
         // Elements of 4 bytes at base 1000; runs at 0..2 and 10..13.
-        let plan = IoPlan::for_contiguous(1000, 4, &[(0, 2), (10, 3)]);
+        let plan = IoPlan::for_contiguous(1000, 4, &[(0, 2), (10, 3)]).unwrap();
         assert_eq!(
             plan.segments(),
             &[
@@ -208,7 +231,7 @@ mod tests {
     fn contiguous_merges_adjacent_runs() {
         // Hand-built adjacent runs (Selection::runs would pre-coalesce
         // these); the planner merges them defensively.
-        let plan = IoPlan::for_contiguous(0, 1, &[(0, 5), (5, 5)]);
+        let plan = IoPlan::for_contiguous(0, 1, &[(0, 5), (5, 5)]).unwrap();
         assert_eq!(plan.segment_count(), 1);
         assert_eq!(plan.segments()[0], IoSegment { addr: 0, cursor: 0, len: 10 });
     }
@@ -219,7 +242,7 @@ mod tests {
         // ADJACENT addresses 100 and 104: a run spanning both must still
         // produce two segments (invariant 2).
         let addr_of = |idx: u64| Some(100 + idx * 4);
-        let plan = IoPlan::for_chunked(4, 1, &[(2, 4)], addr_of);
+        let plan = IoPlan::for_chunked(4, 1, &[(2, 4)], addr_of).unwrap();
         assert_eq!(
             plan.segments(),
             &[
@@ -233,7 +256,7 @@ mod tests {
     fn chunked_omits_unallocated_chunks_but_keeps_cursor_space() {
         // chunk_elems = 4, elem = 2; chunk 1 unallocated.
         let addr_of = |idx: u64| if idx == 1 { None } else { Some(1000 + idx * 8) };
-        let plan = IoPlan::for_chunked(4, 2, &[(0, 12)], addr_of);
+        let plan = IoPlan::for_chunked(4, 2, &[(0, 12)], addr_of).unwrap();
         assert_eq!(
             plan.segments(),
             &[
@@ -251,7 +274,7 @@ mod tests {
         // of per-run chunk pieces the old path would have issued.
         let chunk_elems = 8u64;
         let runs: Vec<(u64, u64)> = (0..100).map(|i| (i * 3, 2)).collect();
-        let plan = IoPlan::for_chunked(chunk_elems, 4, &runs, |idx| Some(idx * 1_000));
+        let plan = IoPlan::for_chunked(chunk_elems, 4, &runs, |idx| Some(idx * 1_000)).unwrap();
         let mut reference_pieces = 0usize;
         for &(off, count) in &runs {
             let mut elem_off = off;
@@ -273,8 +296,39 @@ mod tests {
 
     #[test]
     fn empty_selection_plans_to_nothing() {
-        let plan = IoPlan::for_contiguous(0, 8, &[]);
+        let plan = IoPlan::for_contiguous(0, 8, &[]).unwrap();
         assert!(plan.is_empty());
         assert_eq!(plan.total_bytes(), 0);
+    }
+
+    #[test]
+    fn contiguous_address_overflow_is_an_error() {
+        // base + off*elem wraps u64: must be a Storage error, not a
+        // wrapped address aliasing the start of the file.
+        let err = IoPlan::for_contiguous(u64::MAX - 4, 8, &[(1, 1)]).unwrap_err();
+        assert!(matches!(err, H5Error::Storage(_)), "got {err:?}");
+        // Length arithmetic wrapping is equally fatal.
+        let err = IoPlan::for_contiguous(0, u64::MAX, &[(0, 2)]).unwrap_err();
+        assert!(matches!(err, H5Error::Storage(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn chunked_address_overflow_is_an_error() {
+        // A resolver handing back a chunk base near u64::MAX makes the
+        // within-chunk address computation wrap.
+        let err = IoPlan::for_chunked(4, 8, &[(2, 1)], |_| Some(u64::MAX - 4)).unwrap_err();
+        assert!(matches!(err, H5Error::Storage(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn merge_comparison_does_not_wrap_at_address_space_end() {
+        // A previous segment ending exactly at u64::MAX: the merge
+        // probe prev.addr + prev.len would wrap to 0 with raw add and
+        // spuriously merge a segment at address 0. Checked compare
+        // keeps them separate.
+        let mut plan = IoPlan::default();
+        plan.push(u64::MAX, 1);
+        plan.push(0, 1);
+        assert_eq!(plan.segment_count(), 2);
     }
 }

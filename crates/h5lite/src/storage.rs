@@ -275,7 +275,9 @@ impl StorageBackend for FileBackend {
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
         use std::os::unix::fs::FileExt;
         self.file.write_all_at(data, offset)?;
-        let end = offset + data.len() as u64;
+        // Watermark only; saturating keeps the length monotone even on
+        // an adversarial offset (the write itself would have failed).
+        let end = offset.saturating_add(data.len() as u64);
         self.len.fetch_max(end, Ordering::AcqRel);
         Ok(())
     }

@@ -1,29 +1,39 @@
 //! CLI entry point:
-//! `cargo run -p xtask -- <lint|check-deps|report|bench-diff>`.
+//! `cargo run -p xtask -- <lint|check-deps|report|bench-diff|json-check>`.
 
+use std::io::Read as _;
 use std::process::ExitCode;
 
-use xtask::{benchdiff, combined_json, report_json, run_check_deps, run_lint, workspace_root};
+use xtask::{benchdiff, combined_json, json, report_json, run_check_deps, run_lint, workspace_root};
 
 const USAGE: &str = "\
 usage: cargo run -p xtask -- <command> [--json]
+       cargo run -p xtask -- lint [--allow-stale] [--json]
        cargo run -p xtask -- bench-diff <current.json> <baseline.json> [--threshold=R] [--json]
+       cargo run -p xtask -- json-check [file]
 
 commands:
-  lint         enforce the correctness-gate rule set over all .rs files
+  lint         enforce the correctness-gate rule set over all .rs files;
+               also fails on stale waivers (escapes that suppress
+               nothing) unless --allow-stale
   check-deps   enforce workspace-internal-only dependencies
-  report       run both checks, print one combined JSON document
+  report       run both checks, print one combined JSON document with
+               per-rule fired/suppressed counts
   bench-diff   compare bench output against a baseline; fail when any
                benchmark is more than R times slower (default 1.25) or
                missing from the current run
+  json-check   parse stdin (or a file) as JSON with the in-tree parser;
+               exit non-zero on malformed input
 
 flags:
-  --json       print only the machine-readable JSON summary
+  --json        print only the machine-readable JSON summary
+  --allow-stale tolerate stale waivers (lint only)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json_only = args.iter().any(|a| a == "--json");
+    let allow_stale = args.iter().any(|a| a == "--allow-stale");
     let command = args.iter().find(|a| !a.starts_with("--"));
     let root = workspace_root();
 
@@ -36,14 +46,18 @@ fn main() -> ExitCode {
                 for v in &report.violations {
                     println!("{v}");
                 }
+                for s in &report.stale_waivers {
+                    println!("{s}");
+                }
                 println!(
-                    "lint: {} violation(s) across {} file(s) scanned",
+                    "lint: {} violation(s), {} stale waiver(s) across {} file(s) scanned",
                     report.violations.len(),
+                    report.stale_waivers.len(),
                     report.files_scanned
                 );
                 println!("{}", report_json("lint", &report));
             }
-            exit_for(report.violations.is_empty())
+            exit_for(report.clean(allow_stale))
         }
         Some("check-deps") => {
             let report = run_check_deps(&root);
@@ -66,7 +80,7 @@ fn main() -> ExitCode {
             let lint = run_lint(&root);
             let deps = run_check_deps(&root);
             println!("{}", combined_json(&lint, &deps));
-            exit_for(lint.violations.is_empty() && deps.violations.is_empty())
+            exit_for(lint.clean(allow_stale) && deps.violations.is_empty())
         }
         Some("bench-diff") => {
             let positional: Vec<&String> = args
@@ -106,6 +120,43 @@ fn main() -> ExitCode {
                 }
                 (Err(e), _) | (_, Err(e)) => {
                     eprintln!("bench-diff: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("json-check") => {
+            let positional: Vec<&String> = args
+                .iter()
+                .filter(|a| !a.starts_with("--") && *a != "json-check")
+                .collect();
+            let text = match positional.as_slice() {
+                [] => {
+                    let mut buf = String::new();
+                    if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                        eprintln!("json-check: cannot read stdin: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    buf
+                }
+                [path] => match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("json-check: cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                _ => {
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            };
+            match json::parse(&text) {
+                Ok(_) => {
+                    println!("json-check: OK ({} bytes)", text.len());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("json-check: {e}");
                     ExitCode::FAILURE
                 }
             }

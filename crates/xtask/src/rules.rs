@@ -1,4 +1,4 @@
-//! The correctness-gate rule set.
+//! The correctness-gate rule set, hosted on the token engine.
 //!
 //! Every rule is deny-by-default and scoped to the layer whose invariant
 //! it protects:
@@ -12,12 +12,25 @@
 //! | `no-dbg-todo`   | whole workspace                         | no debugging or placeholder macros ship |
 //! | `bounded-retry` | h5lite, asyncvol `src/`                 | retry loops carry both an attempt bound and a deadline |
 //! | `planned-io`    | h5lite `container.rs`                   | data-path I/O goes through the planner's vectored batches, not scalar per-run calls |
-//! | `trace-discipline` | everywhere except `crates/trace/`    | spans are opened through the RAII guard API and flight dumps go through the exporter API; the manual `begin_span`/`end_span` pair and raw `flight_records` access stay inside apio-trace |
+//! | `trace-discipline` | everywhere except `crates/trace/`    | spans are opened through the RAII guard API and flight dumps go through the exporter API |
+//! | `guard-across-boundary` | argolite, asyncvol, h5lite `src/` | no lock guard is live across `submit`/`wait`/`block_on`/channel-recv (dataflow pass) |
+//! | `blocking-in-task` | argolite, asyncvol, h5lite `src/`    | no `std::fs`/`std::net`/`thread::sleep` inside closures handed to the task scheduler |
+//! | `checked-offset-arith` | h5lite `storage.rs`, `container.rs`, `plan.rs` | device offsets/addresses use `checked_*`/`saturating_*`, never raw `+`/`*` |
+//! | `swallowed-result` | asyncvol, h5lite `src/`              | no `let _ =` / statement `.ok();` discarding a `Result` on an I/O path |
+//!
+//! The first eight rules are line-local token patterns; the last four
+//! ride the intra-procedural dataflow passes in [`crate::dataflow`].
+//! Lexing (see [`crate::lexer`]) makes every rule comment-, string-,
+//! and lifetime-aware for free.
 //!
 //! Escapes are explicit and auditable: an inline `// xtask: allow(rule)`
-//! on the offending line, or a path entry in the root `xtask.allow` file.
+//! on the offending line, or a path entry in the root `xtask.allow`
+//! file. Both are themselves audited — a waiver that suppresses nothing
+//! is *stale* and fails the gate (see [`crate::run_lint`]).
 
-use crate::scan::{find_token, scan};
+use crate::dataflow;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::scan::scan;
 
 /// One rule violation at a specific source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,8 +55,8 @@ impl std::fmt::Display for Violation {
     }
 }
 
-/// Names of all rules, for reports.
-pub const RULE_NAMES: [&str; 8] = [
+/// Names of all rules, for reports and the fixture corpus.
+pub const RULE_NAMES: [&str; 12] = [
     "virtual-time",
     "error-path",
     "lock-discipline",
@@ -52,6 +65,10 @@ pub const RULE_NAMES: [&str; 8] = [
     "bounded-retry",
     "planned-io",
     "trace-discipline",
+    "guard-across-boundary",
+    "blocking-in-task",
+    "checked-offset-arith",
+    "swallowed-result",
 ];
 
 /// The one crate allowed to call the manual span API (`begin_span` /
@@ -73,8 +90,7 @@ const MUST_USE_CRATES: [&str; 3] = ["crates/argolite/", "crates/h5lite/", "crate
 const BOUNDED_RETRY_CRATES: [&str; 2] = ["crates/h5lite/", "crates/asyncvol/"];
 /// Files whose data paths must issue I/O through the planner's vectored
 /// batches. Scalar `write_at`/`read_at` here is a regression back to
-/// per-run request storms; metadata paths (superblock, metadata extents)
-/// carry inline waivers.
+/// per-run request storms; metadata paths carry inline waivers.
 const PLANNED_IO_FILES: [&str; 1] = ["crates/h5lite/src/container.rs"];
 /// Type names (beyond the `*Guard` convention) that must be `#[must_use]`.
 const MUST_USE_TYPES: [&str; 6] = [
@@ -85,6 +101,17 @@ const MUST_USE_TYPES: [&str; 6] = [
     "Request",
     "ReadRequest",
 ];
+/// Crates whose `src/` runs under the task scheduler: guard liveness
+/// and blocking-call discipline apply.
+const SCHEDULED_CRATES: [&str; 3] = ["crates/argolite/", "crates/asyncvol/", "crates/h5lite/"];
+/// Files carrying device-address arithmetic.
+const OFFSET_ARITH_FILES: [&str; 3] = [
+    "crates/h5lite/src/storage.rs",
+    "crates/h5lite/src/container.rs",
+    "crates/h5lite/src/plan.rs",
+];
+/// Crates whose `src/` must not discard `Result`s.
+const SWALLOWED_RESULT_CRATES: [&str; 2] = ["crates/asyncvol/", "crates/h5lite/"];
 
 fn in_src(rel: &str, crates: &[&str]) -> bool {
     crates
@@ -92,87 +119,139 @@ fn in_src(rel: &str, crates: &[&str]) -> bool {
         .any(|c| rel.starts_with(c) && rel[c.len()..].starts_with("src/"))
 }
 
-fn inline_allowed(raw: &str, rule: &str) -> bool {
-    raw.find("xtask: allow(")
-        .map(|p| raw[p + "xtask: allow(".len()..].starts_with(rule))
-        .unwrap_or(false)
+/// The rule named by an `// xtask: allow(rule)` marker on this line, if
+/// the marker sits in a *plain* line comment (`//`, not `///` or `//!`
+/// doc text, not a string literal) and names a known rule. `code` is
+/// the stripped text from [`scan`] (same length as `raw`, comment and
+/// literal contents blanked), which is what distinguishes a real
+/// comment from a string literal that merely mentions the syntax.
+pub fn marker_rule<'a>(code: &str, raw: &'a str) -> Option<&'a str> {
+    let p = raw.find("xtask: allow(")?;
+    let after = &raw[p + "xtask: allow(".len()..];
+    let rule = &after[..after.find(')')?];
+    if !RULE_NAMES.contains(&rule) {
+        return None;
+    }
+    // The marker must sit inside a plain `//` comment. `strip` keeps
+    // exactly the comment-opening `//` in the stripped text (string
+    // contents, including any `//` they contain, are fully blanked), so
+    // the first `//` in `code` is where the line's comment begins.
+    let q = code.find("//")?;
+    if p < q {
+        return None;
+    }
+    // Doc text (`///`, `//!`) is prose, not a waiver.
+    if raw[q..].starts_with("///") || raw[q..].starts_with("//!") {
+        return None;
+    }
+    Some(rule)
 }
 
-/// Lint one source file (workspace-relative `rel` path, full contents).
-pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let lines = scan(src);
+fn inline_allowed(code: &str, raw: &str, rule: &str) -> bool {
+    marker_rule(code, raw) == Some(rule)
+}
+
+/// An inline `// xtask: allow(rule)` marker found in a file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InlineWaiver {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line the marker sits on.
+    pub line: usize,
+    /// The waived rule.
+    pub rule: String,
+    /// Whether the marker suppressed at least one violation.
+    pub used: bool,
+}
+
+/// Full lint outcome for one file.
+#[derive(Debug, Default)]
+pub struct FileLint {
+    /// Violations that survived inline waivers (allowlist not applied).
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by an inline waiver.
+    pub suppressed: Vec<Violation>,
+    /// Every inline waiver in the file, with usage.
+    pub waivers: Vec<InlineWaiver>,
+}
+
+/// Lint one source file (workspace-relative `rel` path, full contents),
+/// keeping the audit trail: suppressed violations and waiver usage.
+pub fn lint_source_full(rel: &str, src: &str) -> FileLint {
     let rel_slash = rel.replace('\\', "/");
     let rel = rel_slash.as_str();
+    let lines = scan(src);
+    let tokens = lex(src);
+    let in_test =
+        |line: usize| lines.get(line.wrapping_sub(1)).is_some_and(|l| l.in_test);
+
+    let mut cands: Vec<Violation> = Vec::new();
+    let mut push = |line: usize, rule: &'static str, message: String| {
+        cands.push(Violation {
+            file: rel.to_owned(),
+            line,
+            rule,
+            message,
+        });
+    };
 
     let virtual_time = in_src(rel, &VIRTUAL_TIME_CRATES);
     let error_path = in_src(rel, &ERROR_PATH_CRATES);
-    let lock_discipline =
-        in_src(rel, &LOCK_CRATES) && !SANCTIONED_LOCK_MODULES.contains(&rel);
+    let lock_discipline = in_src(rel, &LOCK_CRATES) && !SANCTIONED_LOCK_MODULES.contains(&rel);
     let must_use = in_src(rel, &MUST_USE_CRATES);
     let bounded_retry = in_src(rel, &BOUNDED_RETRY_CRATES);
     let planned_io = PLANNED_IO_FILES.contains(&rel);
     let trace_discipline = !rel.starts_with(TRACE_CRATE);
+    let scheduled = in_src(rel, &SCHEDULED_CRATES);
+    let offset_arith = OFFSET_ARITH_FILES.contains(&rel);
+    let swallowed = in_src(rel, &SWALLOWED_RESULT_CRATES);
 
     // Whole-file evidence for `bounded-retry`: a retry decision
     // (`is_retryable`) in non-test code is only legal when the same file
-    // visibly carries an attempt bound and a deadline. The policy lives
-    // next to the loop, so a reviewer can audit termination locally.
+    // visibly carries an attempt bound and a deadline.
     let has_attempt_bound = bounded_retry
-        && lines.iter().any(|l| {
-            !l.in_test
-                && (find_token(&l.code, "attempt") || find_token(&l.code, "max_attempts"))
+        && tokens.iter().any(|t| {
+            t.kind == TokenKind::Ident && t.text.starts_with("attempt") && !in_test(t.line)
+                || t.is_ident("max_attempts") && !in_test(t.line)
         });
     let has_deadline = bounded_retry
-        && lines
-            .iter()
-            .any(|l| !l.in_test && find_token(&l.code, "deadline"));
+        && tokens.iter().any(|t| {
+            t.kind == TokenKind::Ident && t.text.starts_with("deadline") && !in_test(t.line)
+        });
 
-    let mut push = |line: usize, raw: &str, rule: &'static str, message: String| {
-        if !inline_allowed(raw, rule) {
-            out.push(Violation {
-                file: rel.to_owned(),
-                line,
-                rule,
-                message,
-            });
-        }
-    };
-
-    for l in &lines {
-        if l.in_test {
-            continue;
-        }
-        let code = l.code.as_str();
+    // --- Line-local token patterns (the eight re-hosted rules). ---
+    for (k, t) in tokens.iter().enumerate() {
+        let line = t.line;
+        let at =
+            |j: usize, text: &str| tokens.get(k + j).is_some_and(|t| t.text == text);
+        let seq = |pat: &[&str]| pat.iter().enumerate().all(|(j, p)| at(j, p));
 
         if virtual_time {
-            for tok in [
-                "thread::sleep",
-                "Instant::now",
-                "std::time::Instant",
-                "SystemTime",
+            for (pat, name) in [
+                (&["thread", "::", "sleep"][..], "thread::sleep"),
+                (&["Instant", "::", "now"][..], "Instant::now"),
+                (&["std", "::", "time", "::", "Instant"][..], "std::time::Instant"),
+                (&["SystemTime"][..], "SystemTime"),
             ] {
-                if find_token(code, tok) {
+                if seq(pat) {
                     push(
-                        l.number,
-                        &l.raw,
+                        line,
                         "virtual-time",
-                        format!("`{tok}` reads the wall clock inside a virtual-time simulation path; use the engine's simulated clock"),
+                        format!("`{name}` reads the wall clock inside a virtual-time simulation path; use the engine's simulated clock"),
                     );
                 }
             }
         }
 
         if error_path {
-            for (tok, what) in [
-                (".unwrap()", "unwrap"),
-                (".expect(", "expect"),
-                ("panic!(", "panic!"),
+            for (pat, what) in [
+                (&[".", "unwrap", "(", ")"][..], "unwrap"),
+                (&[".", "expect", "("][..], "expect"),
+                (&["panic", "!", "("][..], "panic!"),
             ] {
-                if find_token(code, tok) {
+                if seq(pat) {
                     push(
-                        l.number,
-                        &l.raw,
+                        line,
                         "error-path",
                         format!("`{what}` in non-test library code; return an error (`H5Error`/`Result`) instead of panicking"),
                     );
@@ -181,15 +260,22 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
         }
 
         if lock_discipline {
-            let std_sync = find_token(code, "std::sync");
-            let lock_ident = ["Mutex", "RwLock", "Condvar"]
+            if let Some(ident) = ["Mutex", "RwLock", "Condvar"]
                 .into_iter()
-                .find(|t| find_token(code, t));
-            if let Some(ident) = lock_ident {
-                if std_sync || find_token(code, "parking_lot") {
+                .find(|n| t.is_ident(n))
+            {
+                // Same-line evidence that this is the std/parking_lot
+                // type, not the sanctioned shim.
+                let run: Vec<&Token> = tokens.iter().filter(|o| o.line == line).collect();
+                let std_sync = (0..run.len().saturating_sub(2)).any(|w| {
+                    run[w].is_ident("std")
+                        && run[w + 1].is_punct("::")
+                        && run[w + 2].is_ident("sync")
+                });
+                let raw_source = std_sync || run.iter().any(|o| o.is_ident("parking_lot"));
+                if raw_source {
                     push(
-                        l.number,
-                        &l.raw,
+                        line,
                         "lock-discipline",
                         format!("raw `{ident}` acquisition outside the sanctioned lock-ordering module; use `argolite::sync` so lock-order cycles are detectable"),
                     );
@@ -198,8 +284,8 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
         }
 
         if bounded_retry
-            && find_token(code, "is_retryable")
-            && !find_token(code, "fn is_retryable")
+            && t.is_ident("is_retryable")
+            && !(k > 0 && tokens[k - 1].is_ident("fn"))
             && !(has_attempt_bound && has_deadline)
         {
             let missing = if has_attempt_bound {
@@ -210,107 +296,205 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                 "an attempt bound and a deadline"
             };
             push(
-                l.number,
-                &l.raw,
+                line,
                 "bounded-retry",
                 format!("retry decision (`is_retryable`) without {missing} in scope; bound the loop with `max_attempts` and a `deadline` (see `asyncvol::retry`)"),
             );
         }
 
         if planned_io {
-            for tok in [".write_at(", ".read_at("] {
-                if find_token(code, tok) {
+            for name in ["write_at", "read_at"] {
+                if seq(&[".", name, "("]) {
                     push(
-                        l.number,
-                        &l.raw,
+                        line,
                         "planned-io",
-                        format!("scalar `{tok}..)` in the container; route data-path I/O through `plan_io` + `write_vectored_at`/`read_vectored_at` so requests coalesce (metadata paths may waive inline)"),
+                        format!("scalar `.{name}(..)` in the container; route data-path I/O through `plan_io` + `write_vectored_at`/`read_vectored_at` so requests coalesce (metadata paths may waive inline)"),
                     );
                 }
             }
         }
 
         if trace_discipline {
-            for tok in [".begin_span(", ".end_span("] {
-                if find_token(code, tok) {
+            for name in ["begin_span", "end_span"] {
+                if seq(&[".", name, "("]) {
                     push(
-                        l.number,
-                        &l.raw,
+                        line,
                         "trace-discipline",
-                        format!("manual span API `{tok}..)` outside apio-trace; use `Tracer::span`/`span_with` so the RAII guard closes the span on every exit path"),
+                        format!("manual span API `.{name}(..)` outside apio-trace; use `Tracer::span`/`span_with` so the RAII guard closes the span on every exit path"),
                     );
                 }
             }
-            if find_token(code, ".flight_records(") {
+            if seq(&[".", "flight_records", "("]) {
                 push(
-                    l.number,
-                    &l.raw,
+                    line,
                     "trace-discipline",
                     "raw flight-recorder access `.flight_records(..)` outside apio-trace; dump through `Tracer::flight_dump` so records leave only via the exporter API".to_owned(),
                 );
             }
         }
 
-        if find_token(code, "dbg!(") {
+        if seq(&["dbg", "!", "("]) {
             push(
-                l.number,
-                &l.raw,
+                line,
                 "no-dbg-todo",
                 "`dbg!` must not ship; remove the debugging macro".to_owned(),
             );
         }
-        for tok in ["todo!(", "unimplemented!("] {
-            if find_token(code, tok) {
+        for name in ["todo", "unimplemented"] {
+            if seq(&[name, "!", "("]) {
                 push(
-                    l.number,
-                    &l.raw,
+                    line,
                     "no-dbg-todo",
-                    format!("`{}` placeholder must not ship", &tok[..tok.len() - 1]),
+                    format!("`{name}!` placeholder must not ship"),
                 );
             }
         }
     }
 
     if must_use {
-        out.extend(lint_must_use(rel, &lines));
+        lint_must_use(rel, &tokens, &mut cands);
     }
-    out
-}
 
-/// `#[must_use]` check: a `pub struct` whose name is in
-/// [`MUST_USE_TYPES`] or ends in `Guard` must carry the attribute within
-/// the attribute block directly above it.
-fn lint_must_use(rel: &str, lines: &[crate::scan::Line]) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for (i, l) in lines.iter().enumerate() {
+    // --- Dataflow rules. ---
+    if scheduled {
+        for f in dataflow::guard_across_boundary(&tokens) {
+            cands.push(Violation {
+                file: rel.to_owned(),
+                line: f.line,
+                rule: "guard-across-boundary",
+                message: f.message,
+            });
+        }
+        for f in dataflow::blocking_in_task(&tokens) {
+            cands.push(Violation {
+                file: rel.to_owned(),
+                line: f.line,
+                rule: "blocking-in-task",
+                message: f.message,
+            });
+        }
+    }
+    if offset_arith {
+        for f in dataflow::unchecked_offset_arith(&tokens) {
+            cands.push(Violation {
+                file: rel.to_owned(),
+                line: f.line,
+                rule: "checked-offset-arith",
+                message: f.message,
+            });
+        }
+    }
+    if swallowed {
+        for f in dataflow::swallowed_result(&tokens) {
+            cands.push(Violation {
+                file: rel.to_owned(),
+                line: f.line,
+                rule: "swallowed-result",
+                message: f.message,
+            });
+        }
+    }
+
+    // --- Test filtering, inline waivers, waiver audit. ---
+    let mut out = FileLint::default();
+    for v in cands {
+        if lines.get(v.line.wrapping_sub(1)).is_some_and(|l| l.in_test) {
+            continue;
+        }
+        let (code, raw) = lines
+            .get(v.line.wrapping_sub(1))
+            .map(|l| (l.code.as_str(), l.raw.as_str()))
+            .unwrap_or(("", ""));
+        if inline_allowed(code, raw, v.rule) {
+            out.suppressed.push(v);
+        } else {
+            out.violations.push(v);
+        }
+    }
+    for l in &lines {
         if l.in_test {
             continue;
         }
-        let Some(name) = pub_struct_name(&l.code) else {
-            continue;
-        };
-        let required = MUST_USE_TYPES.contains(&name) || name.ends_with("Guard");
-        if !required {
+        if let Some(rule) = marker_rule(&l.code, &l.raw) {
+            let used = out
+                .suppressed
+                .iter()
+                .any(|s| s.line == l.number && s.rule == rule);
+            out.waivers.push(InlineWaiver {
+                file: rel.to_owned(),
+                line: l.number,
+                rule: rule.to_owned(),
+                used,
+            });
+        }
+    }
+    out.violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Lint one source file; violations after inline waivers.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
+    lint_source_full(rel, src).violations
+}
+
+/// `#[must_use]` check on the token stream: a `pub struct` whose name is
+/// in [`MUST_USE_TYPES`] or ends in `Guard` must carry the attribute in
+/// the attribute block directly above it. Doc comments never interrupt
+/// the block — the lexer dropped them.
+fn lint_must_use(rel: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for k in 0..tokens.len() {
+        if !tokens[k].is_ident("pub")
+            || !tokens.get(k + 1).is_some_and(|t| t.is_ident("struct"))
+        {
             continue;
         }
-        // Walk the contiguous attribute/doc block above the struct.
+        let Some(name_tok) = tokens.get(k + 2).filter(|t| t.kind == TokenKind::Ident) else {
+            continue;
+        };
+        let name = name_tok.text.as_str();
+        if !(MUST_USE_TYPES.contains(&name) || name.ends_with("Guard")) {
+            continue;
+        }
+        // Walk the contiguous `#[...]` attribute blocks above `pub`.
+        let mut j = k;
         let mut marked = false;
-        for prev in lines[..i].iter().rev() {
-            let t = prev.code.trim();
-            if t.contains("#[must_use") {
+        while j >= 1 {
+            let prev = &tokens[j - 1];
+            if prev.kind != TokenKind::Close(crate::lexer::Delim::Bracket) {
+                break;
+            }
+            // Find the matching `[` backwards.
+            let mut depth = 0i64;
+            let mut open = j - 1;
+            loop {
+                match tokens[open].kind {
+                    TokenKind::Close(crate::lexer::Delim::Bracket) => depth += 1,
+                    TokenKind::Open(crate::lexer::Delim::Bracket) => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if open == 0 {
+                    break;
+                }
+                open -= 1;
+            }
+            if open == 0 || !tokens[open - 1].is_punct("#") {
+                break;
+            }
+            if tokens[open..j].iter().any(|t| t.is_ident("must_use")) {
                 marked = true;
                 break;
             }
-            // Doc comments arrive blanked; attributes and blank lines
-            // continue the block, anything else ends it.
-            if !(t.is_empty() || t.starts_with("#[") || t.starts_with(']')) {
-                break;
-            }
+            j = open - 1;
         }
-        if !marked && !inline_allowed(&l.raw, "must-use") {
+        if !marked {
             out.push(Violation {
                 file: rel.to_owned(),
-                line: l.number,
+                line: name_tok.line,
                 rule: "must-use",
                 message: format!(
                     "`pub struct {name}` is a handle/guard type and must be `#[must_use]` so dropped results are a compile error"
@@ -318,16 +502,6 @@ fn lint_must_use(rel: &str, lines: &[crate::scan::Line]) -> Vec<Violation> {
             });
         }
     }
-    out
-}
-
-fn pub_struct_name(code: &str) -> Option<&str> {
-    let t = code.trim_start();
-    let rest = t.strip_prefix("pub struct ")?;
-    let end = rest
-        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
-        .unwrap_or(rest.len());
-    (end > 0).then(|| &rest[..end])
 }
 
 /// Allowlist entry: `rule path-prefix` (or `* path-prefix`), `#` comments.
@@ -355,14 +529,31 @@ pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
 
 /// Drop violations waived by the allowlist.
 pub fn apply_allowlist(violations: Vec<Violation>, allow: &[AllowEntry]) -> Vec<Violation> {
-    violations
+    apply_allowlist_tracked(violations, allow).0
+}
+
+/// Drop violations waived by the allowlist, also reporting how many
+/// violations each entry suppressed (index-aligned with `allow`) — the
+/// stale-waiver audit's input.
+pub fn apply_allowlist_tracked(
+    violations: Vec<Violation>,
+    allow: &[AllowEntry],
+) -> (Vec<Violation>, Vec<usize>) {
+    let mut hits = vec![0usize; allow.len()];
+    let kept = violations
         .into_iter()
         .filter(|v| {
-            !allow.iter().any(|a| {
-                (a.rule == "*" || a.rule == v.rule) && v.file.starts_with(&a.path_prefix)
-            })
+            let mut waived = false;
+            for (i, a) in allow.iter().enumerate() {
+                if (a.rule == "*" || a.rule == v.rule) && v.file.starts_with(&a.path_prefix) {
+                    hits[i] += 1;
+                    waived = true;
+                }
+            }
+            !waived
         })
-        .collect()
+        .collect();
+    (kept, hits)
 }
 
 #[cfg(test)]
@@ -469,6 +660,9 @@ mod tests {
         assert!(lint_source("crates/argolite/src/lib.rs", ok).is_empty());
         let ok2 = "#[derive(Debug)]\n#[must_use]\npub struct IoGuard;\n";
         assert!(lint_source("crates/asyncvol/src/lib.rs", ok2).is_empty());
+        // Attribute blocks stack in either order.
+        let ok3 = "#[must_use]\n#[derive(Debug)]\npub struct IoGuard;\n";
+        assert!(lint_source("crates/asyncvol/src/lib.rs", ok3).is_empty());
     }
 
     #[test]
@@ -507,7 +701,7 @@ mod tests {
     #[test]
     fn bounded_retry_satisfied_by_attempt_bound_and_deadline() {
         let ok = "\
-fn f(policy: &RetryPolicy, started: Instant) {
+fn f(policy: &RetryPolicy, started: SimInstant) {
     let mut attempt = 1;
     while e.is_retryable()
         && attempt < policy.max_attempts
@@ -532,15 +726,11 @@ fn f(policy: &RetryPolicy, started: Instant) {
     #[test]
     fn planned_io_fires_on_scalar_data_path_calls() {
         let bad = "fn f(&self) { self.backend.write_at(addr, &bytes)?; }\n";
-        assert_eq!(
-            rules_fired("crates/h5lite/src/container.rs", bad),
-            ["planned-io"]
-        );
+        assert!(rules_fired("crates/h5lite/src/container.rs", bad)
+            .contains(&"planned-io"));
         let bad_read = "fn g(&self) { backend.read_at(0, &mut sb)?; }\n";
-        assert_eq!(
-            rules_fired("crates/h5lite/src/container.rs", bad_read),
-            ["planned-io"]
-        );
+        assert!(rules_fired("crates/h5lite/src/container.rs", bad_read)
+            .contains(&"planned-io"));
     }
 
     #[test]
@@ -548,10 +738,11 @@ fn f(policy: &RetryPolicy, started: Instant) {
         let vectored =
             "fn f(&self) { self.backend.write_vectored_at(&batch)?; self.backend.read_vectored_at(&mut b)?; }\n";
         assert!(lint_source("crates/h5lite/src/container.rs", vectored).is_empty());
-        // Other files — including the storage backends themselves — are
-        // free to use the scalar ops.
+        // Other files are free to use the scalar ops (planned-io-wise).
         let scalar = "fn f(&self) { self.inner.write_at(o, d) }\n";
-        assert!(lint_source("crates/h5lite/src/storage.rs", scalar).is_empty());
+        assert!(!lint_source("crates/h5lite/src/storage.rs", scalar)
+            .iter()
+            .any(|v| v.rule == "planned-io"));
         assert!(lint_source("crates/asyncvol/src/staging.rs", scalar).is_empty());
     }
 
@@ -578,7 +769,7 @@ fn f(policy: &RetryPolicy, started: Instant) {
         assert_eq!(rules_fired("crates/asyncvol/src/lib.rs", bad), ["trace-discipline"]);
         assert_eq!(rules_fired("tests/chaos.rs", bad), ["trace-discipline"]);
         // The exporter-facing dump API is the sanctioned path.
-        let ok = "fn f(t: &Tracer) { let d = t.flight_dump(); let _ = d.jsonl(); }\n";
+        let ok = "fn f(t: &Tracer) { let d = t.flight_dump(); let _lines = d.jsonl(); }\n";
         assert!(lint_source("crates/asyncvol/src/lib.rs", ok).is_empty());
         // Inside apio-trace the raw accessor is implementation detail.
         assert!(lint_source("crates/trace/src/flight.rs", bad).is_empty());
@@ -597,12 +788,130 @@ fn f(policy: &RetryPolicy, started: Instant) {
     }
 
     #[test]
+    fn guard_across_boundary_scoped_and_fires() {
+        let bad = "\
+fn f(&self) {
+    let st = self.state.lock();
+    self.handle.wait();
+}
+";
+        assert_eq!(
+            rules_fired("crates/argolite/src/lib.rs", bad),
+            ["guard-across-boundary"]
+        );
+        assert!(rules_fired("crates/asyncvol/src/lib.rs", bad)
+            .contains(&"guard-across-boundary"));
+        assert!(rules_fired("crates/h5lite/src/container.rs", bad)
+            .contains(&"guard-across-boundary"));
+        // Out of scope: tests, other crates.
+        assert!(lint_source("crates/argolite/tests/x.rs", bad).is_empty());
+        assert!(lint_source("crates/trace/src/lib.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn guard_across_boundary_exempts_condvar_handoff() {
+        let ok = "\
+fn f(&self) {
+    let mut st = self.core.state.lock();
+    while !st.done {
+        self.core.done_cv.wait(&mut st);
+    }
+}
+";
+        assert!(lint_source("crates/argolite/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn blocking_in_task_scoped_and_fires() {
+        let bad = "\
+fn f(rt: &Runtime) {
+    rt.spawn_dependent(deps, move || {
+        std::fs::remove_file(p)
+    });
+}
+";
+        assert_eq!(
+            rules_fired("crates/asyncvol/src/lib.rs", bad),
+            ["blocking-in-task"]
+        );
+        assert!(lint_source("crates/bench/src/lib.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn checked_offset_arith_scoped_to_data_path_files() {
+        let bad = "fn f(m: &mut Meta) { m.eof += nbytes; }\n";
+        assert_eq!(
+            rules_fired("crates/h5lite/src/container.rs", bad),
+            ["checked-offset-arith"]
+        );
+        assert_eq!(
+            rules_fired("crates/h5lite/src/plan.rs", bad),
+            ["checked-offset-arith"]
+        );
+        assert_eq!(
+            rules_fired("crates/h5lite/src/storage.rs", bad),
+            ["checked-offset-arith"]
+        );
+        // Not the whole crate: chunk-count math elsewhere is fine.
+        assert!(lint_source("crates/h5lite/src/dataspace.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn swallowed_result_scoped_and_waivable() {
+        let bad = "fn f(&self) { let _ = self.log.mark_applied(e); }\n";
+        assert_eq!(
+            rules_fired("crates/asyncvol/src/batch.rs", bad),
+            ["swallowed-result"]
+        );
+        assert_eq!(
+            rules_fired("crates/h5lite/src/container.rs", bad),
+            ["swallowed-result"]
+        );
+        assert!(lint_source("crates/argolite/src/lib.rs", bad).is_empty());
+        let waived =
+            "fn f(&self) { let _ = self.flush(); // xtask: allow(swallowed-result) Drop cannot propagate\n}\n";
+        assert!(lint_source("crates/h5lite/src/container.rs", waived).is_empty());
+    }
+
+    #[test]
     fn inline_allow_waives_exactly_that_rule() {
         let src = "fn f() { x.unwrap(); } // xtask: allow(error-path) checked by caller\n";
         assert!(lint_source("crates/h5lite/src/lib.rs", src).is_empty());
         // Wrong rule name does not waive.
         let src2 = "fn f() { x.unwrap(); } // xtask: allow(virtual-time)\n";
         assert_eq!(lint_source("crates/h5lite/src/lib.rs", src2).len(), 1);
+    }
+
+    #[test]
+    fn waiver_audit_tracks_usage() {
+        let used = "fn f() { x.unwrap(); } // xtask: allow(error-path) caller checked\n";
+        let lint = lint_source_full("crates/h5lite/src/lib.rs", used);
+        assert!(lint.violations.is_empty());
+        assert_eq!(lint.suppressed.len(), 1);
+        assert_eq!(lint.waivers.len(), 1);
+        assert!(lint.waivers[0].used);
+
+        let stale = "fn f() { x? } // xtask: allow(error-path) nothing here fires\n";
+        let lint = lint_source_full("crates/h5lite/src/lib.rs", stale);
+        assert!(lint.violations.is_empty());
+        assert_eq!(lint.waivers.len(), 1);
+        assert!(!lint.waivers[0].used);
+    }
+
+    #[test]
+    fn marker_detection_ignores_strings_doc_text_and_unknown_rules() {
+        // A string literal mentioning the syntax is not a waiver.
+        let in_string = "let m = \"xtask: allow(error-path)\";\n";
+        let lint = lint_source_full("crates/h5lite/src/lib.rs", in_string);
+        assert!(lint.waivers.is_empty());
+        // Doc text mentioning the syntax is not a waiver.
+        let in_doc = "/// Write `// xtask: allow(error-path)` to waive.\nfn f() {}\n";
+        let lint = lint_source_full("crates/h5lite/src/lib.rs", in_doc);
+        assert!(lint.waivers.is_empty());
+        // Unknown rule names are not waivers (and cannot go stale).
+        let unknown = "fn f() {} // xtask: allow(not-a-rule) whatever\n";
+        let lint = lint_source_full("crates/h5lite/src/lib.rs", unknown);
+        assert!(lint.waivers.is_empty());
     }
 
     #[test]
@@ -624,8 +933,9 @@ fn f(policy: &RetryPolicy, started: Instant) {
         let allow = parse_allowlist(
             "# comment\nerror-path crates/h5lite/ # legacy code\n",
         );
-        let left = apply_allowlist(v, &allow);
+        let (left, hits) = apply_allowlist_tracked(v, &allow);
         assert_eq!(left.len(), 1);
         assert_eq!(left[0].rule, "virtual-time");
+        assert_eq!(hits, [1]);
     }
 }

@@ -1,0 +1,154 @@
+//! The fixture corpus: one firing and one clean snippet per rule, with
+//! expected violations annotated in-line.
+//!
+//! Fixture format (`crates/xtask/tests/fixtures/<rule>.{fire,clean}.rs`):
+//!
+//! - line 1 is a `//@ lint-as: <workspace-relative path>` directive — the
+//!   virtual path the snippet is linted under, which is what puts it in
+//!   (or out of) each rule's scope;
+//! - every line expected to fire carries a trailing `//~ <rule> [<rule>…]`
+//!   annotation naming the rule(s) that must report that exact line.
+//!
+//! The corpus test asserts the *exact* set of `(line, rule)` pairs — a
+//! rule firing on an unannotated line fails the same way as an annotated
+//! line that stays silent, so both false positives and false negatives
+//! regress loudly. The inventory test keeps the corpus, `RULE_NAMES`,
+//! and the JSON report's `rule_stats` from drifting apart.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+use xtask::rules::{lint_source_full, RULE_NAMES};
+use xtask::{json, report_json, run_lint, workspace_root};
+
+fn fixtures_dir() -> PathBuf {
+    workspace_root().join("crates/xtask/tests/fixtures")
+}
+
+/// Parse a fixture: its lint-as path and the expected `(line, rule)` set.
+fn parse_fixture(name: &str) -> (String, String, BTreeSet<(usize, String)>) {
+    let path = fixtures_dir().join(name);
+    let src = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    let first = src.lines().next().unwrap_or("");
+    let lint_as = first
+        .strip_prefix("//@ lint-as: ")
+        .unwrap_or_else(|| panic!("{name}: line 1 must be `//@ lint-as: <path>`, got {first:?}"))
+        .trim()
+        .to_owned();
+    let mut expected = BTreeSet::new();
+    for (i, line) in src.lines().enumerate() {
+        let Some(p) = line.find("//~") else { continue };
+        for rule in line[p + 3..].split_whitespace() {
+            assert!(
+                RULE_NAMES.contains(&rule),
+                "{name}:{}: annotation names unknown rule {rule:?}",
+                i + 1
+            );
+            expected.insert((i + 1, rule.to_owned()));
+        }
+    }
+    (lint_as, src, expected)
+}
+
+/// Lint a fixture under its virtual path; deduped `(line, rule)` set.
+fn lint_fixture(lint_as: &str, src: &str) -> BTreeSet<(usize, String)> {
+    lint_source_full(lint_as, src)
+        .violations
+        .into_iter()
+        .map(|v| (v.line, v.rule.to_owned()))
+        .collect()
+}
+
+#[test]
+fn every_fire_fixture_fires_exactly_where_annotated() {
+    for rule in RULE_NAMES {
+        let name = format!("{rule}.fire.rs");
+        let (lint_as, src, expected) = parse_fixture(&name);
+        assert!(
+            !expected.is_empty(),
+            "{name}: a fire fixture must annotate at least one line"
+        );
+        assert!(
+            expected.iter().any(|(_, r)| r == rule),
+            "{name}: must exercise its own rule `{rule}`"
+        );
+        let actual = lint_fixture(&lint_as, &src);
+        assert_eq!(
+            actual, expected,
+            "{name} (as {lint_as}): fired set differs from annotations"
+        );
+    }
+}
+
+#[test]
+fn every_clean_fixture_is_silent() {
+    for rule in RULE_NAMES {
+        let name = format!("{rule}.clean.rs");
+        let (lint_as, src, expected) = parse_fixture(&name);
+        assert!(
+            expected.is_empty(),
+            "{name}: clean fixtures must carry no `//~` annotations"
+        );
+        let lint = lint_source_full(&lint_as, &src);
+        let rendered: Vec<String> =
+            lint.violations.iter().map(ToString::to_string).collect();
+        assert!(
+            lint.violations.is_empty(),
+            "{name} (as {lint_as}) must be clean, fired:\n{}",
+            rendered.join("\n")
+        );
+        assert!(
+            lint.waivers.is_empty(),
+            "{name}: fixtures must not rely on inline waivers"
+        );
+    }
+}
+
+#[test]
+fn corpus_rule_names_and_report_stats_do_not_drift() {
+    // Corpus ↔ RULE_NAMES: exactly one fire and one clean fixture per
+    // rule, and no stray fixture for a rule that no longer exists.
+    let mut on_disk = BTreeSet::new();
+    for entry in fs::read_dir(fixtures_dir()).expect("fixtures dir") {
+        let file = entry.unwrap().file_name().into_string().unwrap();
+        let base = file
+            .strip_suffix(".fire.rs")
+            .or_else(|| file.strip_suffix(".clean.rs"))
+            .unwrap_or_else(|| panic!("unexpected fixture file {file:?}"));
+        on_disk.insert(base.to_owned());
+        assert!(
+            RULE_NAMES.contains(&base),
+            "fixture {file:?} names no known rule — delete it or add the rule"
+        );
+    }
+    let declared: BTreeSet<String> = RULE_NAMES.iter().map(|r| r.to_string()).collect();
+    assert_eq!(
+        on_disk, declared,
+        "every rule needs a fire and a clean fixture"
+    );
+    for rule in RULE_NAMES {
+        for kind in ["fire", "clean"] {
+            let p = fixtures_dir().join(format!("{rule}.{kind}.rs"));
+            assert!(p.is_file(), "missing fixture {}", p.display());
+        }
+    }
+
+    // RULE_NAMES ↔ report JSON: rule_stats carries every rule, always.
+    let report = run_lint(&workspace_root());
+    let parsed = json::parse(&report_json("lint", &report)).expect("report JSON parses");
+    let stats = parsed
+        .get("rule_stats")
+        .expect("report has rule_stats");
+    let mut in_json = BTreeSet::new();
+    for rule in RULE_NAMES {
+        let entry = stats
+            .get(rule)
+            .unwrap_or_else(|| panic!("rule_stats missing {rule}"));
+        assert!(entry.get("fired").and_then(json::Value::as_num).is_some());
+        assert!(entry.get("suppressed").and_then(json::Value::as_num).is_some());
+        in_json.insert(rule.to_owned());
+    }
+    assert_eq!(in_json, declared);
+}

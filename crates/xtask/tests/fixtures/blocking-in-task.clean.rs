@@ -1,0 +1,8 @@
+//@ lint-as: crates/argolite/src/fixture.rs
+fn spawn_compute(rt: &Runtime, data: Vec<u8>) {
+    rt.spawn(move || checksum(&data));
+}
+
+fn cleanup_outside_task(path: &Path) -> std::io::Result<()> {
+    std::fs::remove_file(path)
+}

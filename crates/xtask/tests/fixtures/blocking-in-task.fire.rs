@@ -1,0 +1,12 @@
+//@ lint-as: crates/argolite/src/fixture.rs
+fn spawn_cleanup(rt: &Runtime, path: PathBuf) {
+    rt.spawn(move || {
+        std::fs::remove_file(&path) //~ blocking-in-task
+    });
+}
+
+fn spawn_backoff(rt: &Runtime, d: Duration) {
+    rt.spawn_dependent(deps, move || {
+        thread::sleep(d); //~ blocking-in-task
+    });
+}

@@ -1,0 +1,11 @@
+//@ lint-as: crates/asyncvol/src/fixture.rs
+fn drain(policy: &RetryPolicy, started: SimInstant, mut e: H5Error) {
+    let mut attempt = 1;
+    while e.is_retryable()
+        && attempt < policy.max_attempts
+        && started.elapsed() < policy.deadline
+    {
+        attempt += 1;
+        e = retry_op();
+    }
+}

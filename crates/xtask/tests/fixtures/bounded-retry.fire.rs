@@ -1,0 +1,6 @@
+//@ lint-as: crates/asyncvol/src/fixture.rs
+fn drain(mut e: H5Error) {
+    while e.is_retryable() { //~ bounded-retry
+        e = retry_op();
+    }
+}

@@ -1,0 +1,17 @@
+//@ lint-as: crates/h5lite/src/storage.rs
+impl MemShard {
+    fn write(&mut self, offset: u64, data: &[u8]) {
+        let end = offset.saturating_add(data.len() as u64);
+        self.watermark = self.watermark.max(end);
+    }
+
+    fn grow(&mut self, nbytes: u64) -> Option<u64> {
+        self.eof = self.eof.checked_add(nbytes)?;
+        Some(self.eof)
+    }
+
+    fn locate(&self, base: u64, idx: u64, elem: u64) -> Option<u64> {
+        let addr = idx.checked_mul(elem).and_then(|rel| base.checked_add(rel))?;
+        Some(addr)
+    }
+}

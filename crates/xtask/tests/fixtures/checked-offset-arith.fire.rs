@@ -1,0 +1,16 @@
+//@ lint-as: crates/h5lite/src/storage.rs
+impl MemShard {
+    fn write(&mut self, offset: u64, data: &[u8]) {
+        let end = offset + data.len() as u64; //~ checked-offset-arith
+        self.watermark = self.watermark.max(end);
+    }
+
+    fn grow(&mut self, nbytes: u64) {
+        self.eof += nbytes; //~ checked-offset-arith
+    }
+
+    fn locate(&self, base: u64, idx: u64, elem: u64) -> u64 {
+        let addr = base + idx * elem; //~ checked-offset-arith
+        addr
+    }
+}

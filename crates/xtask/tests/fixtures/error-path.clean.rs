@@ -1,0 +1,13 @@
+//@ lint-as: crates/h5lite/src/fixture.rs
+fn read_header(file: &FileBackend) -> Result<Header> {
+    let mut buf = [0u8; 8];
+    file.read_exact(&mut buf)?;
+    parse(&buf).map_err(|_| H5Error::Corrupt("truncated header".into()))
+}
+
+fn check_state(ok: bool) -> Result<()> {
+    if !ok {
+        return Err(H5Error::Corrupt("bad state".into()));
+    }
+    Ok(())
+}

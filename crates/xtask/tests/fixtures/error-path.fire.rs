@@ -1,0 +1,12 @@
+//@ lint-as: crates/h5lite/src/fixture.rs
+fn read_header(file: &FileBackend) -> Header {
+    let mut buf = [0u8; 8];
+    file.read_exact(&mut buf).unwrap(); //~ error-path
+    parse(&buf).expect("valid header") //~ error-path
+}
+
+fn check_state(ok: bool) {
+    if !ok {
+        panic!("bad state"); //~ error-path
+    }
+}

@@ -1,0 +1,15 @@
+//@ lint-as: crates/argolite/src/fixture.rs
+impl Connector {
+    fn submit_locked(&self, rt: &Runtime) {
+        let st = self.state.lock();
+        let id = rt.submit(self.job.clone()); //~ guard-across-boundary
+        drop(st);
+        record(id);
+    }
+
+    fn wait_locked(&self) {
+        let g = self.meta.read();
+        self.handle.wait(); //~ guard-across-boundary
+        drop(g);
+    }
+}

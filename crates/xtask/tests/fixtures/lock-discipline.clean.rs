@@ -1,0 +1,10 @@
+//@ lint-as: crates/argolite/src/fixture.rs
+use crate::sync::Mutex;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+pub struct Queue {
+    jobs: Mutex<Vec<u64>>,
+    depth: AtomicU64,
+    shared: Arc<Vec<u64>>,
+}

@@ -1,0 +1,6 @@
+//@ lint-as: crates/argolite/src/fixture.rs
+use std::sync::Mutex; //~ lock-discipline
+
+pub struct Queue {
+    jobs: std::sync::RwLock<Vec<u64>>, //~ lock-discipline
+}

@@ -1,0 +1,15 @@
+//@ lint-as: crates/argolite/src/fixture.rs
+#[must_use = "dropping the handle detaches the task"]
+pub struct TaskHandle {
+    id: u64,
+}
+
+#[derive(Debug)]
+#[must_use]
+pub struct DrainGuard<'a> {
+    owner: &'a Runtime,
+}
+
+pub struct Runtime {
+    next: u64,
+}

@@ -1,0 +1,9 @@
+//@ lint-as: crates/argolite/src/fixture.rs
+pub struct TaskHandle { //~ must-use
+    id: u64,
+}
+
+#[derive(Debug)]
+pub struct DrainGuard<'a> { //~ must-use
+    owner: &'a Runtime,
+}

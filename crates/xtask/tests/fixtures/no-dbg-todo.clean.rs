@@ -1,0 +1,9 @@
+//@ lint-as: crates/bench/src/fixture.rs
+fn tune(x: u64) -> u64 {
+    // A comment may mention dbg!(x) without shipping it.
+    x.next_power_of_two()
+}
+
+fn later() -> &'static str {
+    "the string \"todo!()\" is data, not a placeholder"
+}

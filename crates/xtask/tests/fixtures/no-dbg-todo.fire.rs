@@ -1,0 +1,9 @@
+//@ lint-as: crates/bench/src/fixture.rs
+fn tune(x: u64) -> u64 {
+    dbg!(x); //~ no-dbg-todo
+    todo!() //~ no-dbg-todo
+}
+
+fn later() {
+    unimplemented!() //~ no-dbg-todo
+}

@@ -1,0 +1,10 @@
+//@ lint-as: crates/h5lite/src/container.rs
+impl Container {
+    fn write_planned(&self, plan: &IoPlan, bytes: &[u8]) -> Result<()> {
+        for window in plan.segments().chunks(COALESCE_WINDOW) {
+            let batch = build_batch(window, bytes);
+            self.backend.write_vectored_at(&batch)?;
+        }
+        Ok(())
+    }
+}

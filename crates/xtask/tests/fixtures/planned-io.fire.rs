@@ -1,0 +1,10 @@
+//@ lint-as: crates/h5lite/src/container.rs
+impl Container {
+    fn write_run(&self, run_start: u64, bytes: &[u8]) -> Result<()> {
+        self.backend.write_at(run_start, bytes) //~ planned-io
+    }
+
+    fn read_run(&self, run_start: u64, buf: &mut [u8]) -> Result<()> {
+        self.backend.read_at(run_start, buf) //~ planned-io
+    }
+}

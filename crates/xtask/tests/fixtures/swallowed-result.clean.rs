@@ -1,0 +1,13 @@
+//@ lint-as: crates/asyncvol/src/fixture.rs
+impl Connector {
+    fn settle(&self, extent: StagedExtent) -> Result<()> {
+        if self.log.mark_applied(extent).is_err() {
+            self.stats.record_wal_mark_failure();
+        }
+        let synced = self.device.sync().ok();
+        if synced.is_none() {
+            return Err(H5Error::Transient("sync failed".into()));
+        }
+        Ok(())
+    }
+}

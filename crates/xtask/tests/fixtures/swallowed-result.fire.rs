@@ -1,0 +1,7 @@
+//@ lint-as: crates/asyncvol/src/fixture.rs
+impl Connector {
+    fn settle(&self, extent: StagedExtent) {
+        let _ = self.log.mark_applied(extent); //~ swallowed-result
+        self.device.sync().ok(); //~ swallowed-result
+    }
+}

@@ -1,0 +1,9 @@
+//@ lint-as: crates/apps/src/fixture.rs
+fn trace_phase(t: &Tracer) {
+    let _span = t.span("phase");
+    run_phase();
+}
+
+fn dump(t: &Tracer) -> String {
+    t.flight_dump().jsonl()
+}

@@ -1,0 +1,10 @@
+//@ lint-as: crates/apps/src/fixture.rs
+fn trace_phase(t: &Tracer) {
+    let tok = t.begin_span("phase", None); //~ trace-discipline
+    run_phase();
+    t.end_span(tok); //~ trace-discipline
+}
+
+fn dump(t: &Tracer) -> Vec<Record> {
+    t.flight_records() //~ trace-discipline
+}

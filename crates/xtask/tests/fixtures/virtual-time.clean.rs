@@ -1,0 +1,6 @@
+//@ lint-as: crates/desim/src/fixture.rs
+pub fn step(clock: &SimClock, d: SimDuration) {
+    let t = clock.now();
+    clock.advance(d);
+    record(t);
+}

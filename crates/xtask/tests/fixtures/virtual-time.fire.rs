@@ -1,0 +1,6 @@
+//@ lint-as: crates/desim/src/fixture.rs
+pub fn step(d: Duration) {
+    let t = std::time::Instant::now(); //~ virtual-time
+    std::thread::sleep(d); //~ virtual-time
+    record(t);
+}

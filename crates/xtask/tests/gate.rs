@@ -14,6 +14,12 @@ fn workspace_is_lint_clean() {
         "lint violations in the tree:\n{}",
         rendered.join("\n")
     );
+    let stale: Vec<String> = report.stale_waivers.iter().map(ToString::to_string).collect();
+    assert!(
+        report.stale_waivers.is_empty(),
+        "stale waivers in the tree (delete them or fix the code they excused):\n{}",
+        stale.join("\n")
+    );
 }
 
 #[test]
