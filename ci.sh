@@ -34,6 +34,12 @@ echo "== fault injection (chaos + resilience properties) =="
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test chaos
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test properties
 
+echo "== crash-point enumeration + integrity (scrub with injected corruption) =="
+# Exhaustively cuts persistence after every backend mutation of a chaos
+# workload, reopens, recovers, and asserts no acked write is lost; also
+# the seeded bit-flip detection and WAL read-repair point-blank tests.
+cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test crashpoint
+
 echo "== trace pipeline (span structure of the async epoch) =="
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test trace_pipeline
 

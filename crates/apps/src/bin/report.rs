@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use apio_core::history::Direction;
-use apio_core::{AdaptiveRuntime, DriftPolicy, Observation, ReportBuilder};
+use apio_core::{AdaptiveRuntime, DriftPolicy, IntegritySummary, Observation, ReportBuilder};
 use apio_trace::Tracer;
 use asyncvol::{AsyncVol, BreakerState};
 use h5lite::container::ROOT_ID;
@@ -195,6 +195,16 @@ fn main() {
     let after = rt.advise(Direction::Write, probe_bytes, RANK_CYCLE[2]);
     vol.wait_all().expect("drain");
 
+    // End-to-end integrity pass: flush checksums the written extents, a
+    // verified read exercises the read path, and the scrub re-hashes
+    // every extent at rest — all of it lands in the report's integrity
+    // section.
+    c.flush().expect("flush");
+    let verify_sel = Selection::Slab(Hyperslab::range1(0, 16));
+    c.read_selection(ds, &verify_sel).expect("verified read");
+    let scrub = c.scrub().expect("scrub");
+    let istats = c.integrity_stats();
+
     let dump = tracer.flight_dump();
     if let Some(path) = &dump_path {
         dump.write_jsonl(path).expect("write flight dump");
@@ -204,6 +214,15 @@ fn main() {
         .metrics(vol.metrics())
         .breaker(breaker_tag(vol.breaker_state()), vol.stats().degraded)
         .refits(rt.refit_count())
+        .integrity(IntegritySummary {
+            verified_extents: istats.verified_extents,
+            checksum_failures: istats.checksum_failures,
+            scrub_corrupt: scrub.corrupt,
+            scrub_repaired: scrub.repaired,
+            superblock_fallbacks: istats.superblock_fallbacks,
+            crash_points: 0,
+            crash_failures: 0,
+        })
         .flight(dump.capacity(), dump.len(), dump.dropped());
     if let Ok(a) = before {
         report = report.advice("pre-drift (fast device)", a);

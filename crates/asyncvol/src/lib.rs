@@ -258,6 +258,32 @@ impl AsyncVol {
         }
     }
 
+    /// [`recover_staging`](Self::recover_staging) followed by an
+    /// integrity scrub with WAL read-repair: every checksummed extent of
+    /// `c` is re-hashed, and a corrupt extent whose dataset has records
+    /// in the staging log is rebuilt by replaying them
+    /// ([`StagingLog::replay_dataset`]). The report carries the recovery
+    /// counters plus the scrub outcome and any superblock slot fallback
+    /// the reopen survived. Under DRAM staging the scrub still runs
+    /// (detection only — DRAM snapshots hold no durable copy to repair
+    /// from).
+    pub fn recover_and_scrub(&self, c: &Arc<Container>) -> Result<RecoveryReport> {
+        let mut report = self.recover_staging(c)?;
+        let scrub = match &self.staging {
+            Staging::Dram => c.scrub()?,
+            Staging::Device(log) => {
+                c.scrub_with(|ds| log.replay_dataset(c, ds).map(|n| n > 0))?
+            }
+        };
+        report.scrub_checked = scrub.checked;
+        report.scrub_corrupt = scrub.corrupt;
+        report.scrub_repaired = scrub.repaired;
+        report.superblock_fallback = c.integrity_stats().superblock_fallbacks;
+        self.stats
+            .record_scrub(scrub.corrupt, scrub.repaired, report.superblock_fallback);
+        Ok(report)
+    }
+
     /// Install (or replace) the per-operation observer.
     pub fn set_observer(&self, obs: Observer) {
         *self.observer.lock() = Some(obs);

@@ -196,6 +196,17 @@ pub struct RecoveryReport {
     /// rejected writes *during* recovery — operators should not clear
     /// the log until this is zero.
     pub flag_update_failed: u64,
+    /// Extents checked by the post-recovery scrub (0 when recovery ran
+    /// without a scrub pass).
+    pub scrub_checked: u64,
+    /// Extents the scrub found failing their checksum.
+    pub scrub_corrupt: u64,
+    /// Corrupt extents rebuilt by WAL replay during the scrub.
+    pub scrub_repaired: u64,
+    /// Invalid superblock slots the container open skipped past — a
+    /// non-zero count means the container survived a torn or corrupted
+    /// superblock commit by falling back to the other slot.
+    pub superblock_fallback: u64,
 }
 
 impl StagingLog {
@@ -460,6 +471,26 @@ impl StagingLog {
         result.map(|()| report)
     }
 
+    /// Replay every record destined for `ds` — applied or not — into
+    /// `c`, in log order. This is the read-repair source for
+    /// `Container::scrub_with`: a corrupt extent of `ds` is rebuilt by
+    /// re-applying the dataset's full staged write history, which is
+    /// exactly the sequence of payloads the connector acknowledged.
+    /// Returns how many records were replayed; 0 means the log holds no
+    /// durable copy for this dataset and the extent cannot be repaired
+    /// from here.
+    pub fn replay_dataset(&self, c: &Container, ds: ObjectId) -> Result<u64> {
+        let mut replayed = 0u64;
+        for rec in Self::scan(&self.device) {
+            if rec.ds != ds {
+                continue;
+            }
+            c.write_selection(rec.ds, &rec.sel, &rec.payload)?;
+            replayed += 1;
+        }
+        Ok(replayed)
+    }
+
     /// Bytes appended (records *and* framing) since creation, open, or the
     /// last [`reset`](Self::reset).
     pub fn bytes_used(&self) -> u64 {
@@ -598,6 +629,52 @@ mod tests {
         let again = recovered.recover_into(&c).unwrap();
         assert_eq!(again.replayed, 0);
         assert_eq!(again.already_applied, 2);
+    }
+
+    #[test]
+    fn replay_dataset_rebuilds_a_corrupt_extent() {
+        let (_, log) = wal();
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let c = Container::create(backend.clone());
+        let ds = c
+            .create_dataset(
+                h5lite::container::ROOT_ID,
+                "x",
+                Datatype::U8,
+                &Dataspace::d1(8),
+                Layout::Contiguous,
+            )
+            .unwrap();
+        // Two overlapping staged writes, both applied — the dataset's
+        // acked history. Applied records still count for read-repair.
+        for (sel, data) in [
+            (Selection::All, vec![7u8; 8]),
+            (Selection::Slab(Hyperslab::range1(2, 3)), vec![9u8; 3]),
+        ] {
+            let e = log.append(ds, &sel, &data).unwrap();
+            c.write_selection(ds, &sel, &data).unwrap();
+            log.mark_applied(e).unwrap();
+        }
+        c.flush().unwrap();
+        assert!(c.scrub().unwrap().clean());
+
+        // Corrupt the extent behind the container's back, then repair it
+        // by replaying the dataset's staged history in log order.
+        backend
+            .write_at(h5lite::superblock::SUPERBLOCK_AREA, &[0xFF])
+            .unwrap();
+        let report = c
+            .scrub_with(|id| log.replay_dataset(&c, id).map(|n| n > 0))
+            .unwrap();
+        assert_eq!(report.corrupt, 1);
+        assert_eq!(report.repaired, 1);
+        assert_eq!(
+            c.read_selection(ds, &Selection::All).unwrap(),
+            [7, 7, 9, 9, 9, 7, 7, 7]
+        );
+        // An empty log holds no durable copy to repair from.
+        let (_, empty_log) = wal();
+        assert_eq!(empty_log.replay_dataset(&c, ds).unwrap(), 0);
     }
 
     #[test]

@@ -130,8 +130,60 @@ fn trace_overhead() {
     );
 }
 
+/// A rank's strided write with per-extent checksums on or off. The
+/// integrity layer's cost on the hot write path is the dirty-extent
+/// bookkeeping only — hashing happens at flush, off the epoch's
+/// critical path.
+fn checksummed_strided_write(name: &str, checksums: bool) -> Sample {
+    let space = Dataspace::d1(4 * 2048);
+    let sel = Selection::Slab(interleaved_slab(1, 4, 2048));
+    let data = h5lite::datatype::to_bytes(&vec![1.0f32; 2048]);
+    bench_custom(name, |iters| {
+        let c = Container::create_mem();
+        let id = c
+            .create_dataset(ROOT_ID, "x", Datatype::F32, &space, Layout::Contiguous)
+            .unwrap();
+        c.set_checksums(checksums);
+        c.write_selection(id, &sel, &data).unwrap(); // warm: allocation
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            c.write_selection(id, black_box(&sel), black_box(&data))
+                .unwrap();
+        }
+        t0.elapsed()
+    })
+}
+
+/// Integrity overhead (DESIGN.md §13): what per-extent checksums cost on
+/// the strided-VPIC write path, with a ≤ 3% budget, plus the at-rest
+/// scrub rate for capacity planning.
+fn integrity_overhead() {
+    section("integrity");
+    let write_off = checksummed_strided_write("integrity/strided_write_nochecksum", false);
+    let write_on = checksummed_strided_write("integrity/strided_write_checksum", true);
+    let base = write_off.secs_per_iter().max(1e-12);
+    let pct = (write_on.secs_per_iter() / base - 1.0) * 100.0;
+    println!(
+        "integrity: per-extent checksums add {pct:+.2}% on the strided write \
+         (budget 3%); hashing runs at flush, off the epoch's critical path"
+    );
+
+    let bytes = 1u64 << 20;
+    let c = Container::create_mem();
+    let id = c
+        .create_dataset(ROOT_ID, "s", Datatype::U8, &Dataspace::d1(bytes), Layout::Contiguous)
+        .unwrap();
+    c.write_selection(id, &Selection::All, &vec![0x5Au8; bytes as usize])
+        .unwrap();
+    c.flush().unwrap();
+    bench_bytes("integrity/scrub_1MiB", bytes, || {
+        black_box(c.scrub().unwrap().checked);
+    });
+}
+
 fn main() {
     memcpy_by_size();
     model_copy_time();
     trace_overhead();
+    integrity_overhead();
 }

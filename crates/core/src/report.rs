@@ -38,6 +38,31 @@ pub struct RecoverySummary {
     pub already_applied: u64,
 }
 
+/// End-to-end integrity numbers: read-path checksum verification, scrub
+/// outcome, superblock slot fallbacks, and — when a crash-point sweep
+/// ran — its coverage. Mirrors `h5lite`'s `IntegrityStats` plus the
+/// sweep shape without depending on either crate (the model crate sits
+/// below both).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntegritySummary {
+    /// Whole extents verified against their checksum on the read path.
+    pub verified_extents: u64,
+    /// Read-path checksum mismatches (each one surfaced as an error).
+    pub checksum_failures: u64,
+    /// Extents a scrub found failing their checksum.
+    pub scrub_corrupt: u64,
+    /// Corrupt extents rebuilt from a durable WAL/staging copy.
+    pub scrub_repaired: u64,
+    /// Invalid superblock slots skipped at open — non-zero means a torn
+    /// or corrupted commit was survived via the other slot.
+    pub superblock_fallbacks: u64,
+    /// Crash-point sweep: mutation boundaries enumerated (0 = not run).
+    pub crash_points: u64,
+    /// Crash-point sweep: boundaries that violated a durability
+    /// invariant (acked data lost, metadata unreadable, scrub dirty).
+    pub crash_failures: u64,
+}
+
 /// One advisor decision, labelled by the caller (e.g. `"write"`).
 struct AdviceRow {
     label: String,
@@ -61,6 +86,7 @@ pub struct ReportBuilder {
     alarms: Vec<DriftAlarm>,
     points: Vec<EpochPoint>,
     recovery: Option<RecoverySummary>,
+    integrity: Option<IntegritySummary>,
     flight: Option<FlightRow>,
     refits: Option<u64>,
 }
@@ -155,6 +181,13 @@ impl ReportBuilder {
     /// Attach WAL recovery numbers.
     pub fn recovery(mut self, summary: RecoverySummary) -> Self {
         self.recovery = Some(summary);
+        self
+    }
+
+    /// Attach end-to-end integrity numbers (checksums, scrub, superblock
+    /// fallbacks, crash-sweep coverage).
+    pub fn integrity(mut self, summary: IntegritySummary) -> Self {
+        self.integrity = Some(summary);
         self
     }
 
@@ -274,6 +307,22 @@ impl ReportBuilder {
                 r.scanned, r.replayed, r.bytes_replayed, r.orphaned, r.already_applied,
             ));
         }
+        if let Some(i) = &self.integrity {
+            out.push_str(&format!(
+                "integrity: verified={} checksum_failures={} scrub_corrupt={} scrub_repaired={} superblock_fallbacks={}\n",
+                i.verified_extents,
+                i.checksum_failures,
+                i.scrub_corrupt,
+                i.scrub_repaired,
+                i.superblock_fallbacks,
+            ));
+            if i.crash_points > 0 {
+                out.push_str(&format!(
+                    "crash sweep: points={} failures={}\n",
+                    i.crash_points, i.crash_failures,
+                ));
+            }
+        }
         if let Some(f) = &self.flight {
             out.push_str(&format!(
                 "flight recorder: capacity={} recorded={} dropped={}\n",
@@ -372,6 +421,18 @@ impl ReportBuilder {
             out.push_str(&format!(
                 ",\"recovery\":{{\"scanned\":{},\"replayed\":{},\"bytes_replayed\":{},\"orphaned\":{},\"already_applied\":{}}}",
                 r.scanned, r.replayed, r.bytes_replayed, r.orphaned, r.already_applied,
+            ));
+        }
+        if let Some(i) = &self.integrity {
+            out.push_str(&format!(
+                ",\"integrity\":{{\"verified_extents\":{},\"checksum_failures\":{},\"scrub_corrupt\":{},\"scrub_repaired\":{},\"superblock_fallbacks\":{},\"crash_points\":{},\"crash_failures\":{}}}",
+                i.verified_extents,
+                i.checksum_failures,
+                i.scrub_corrupt,
+                i.scrub_repaired,
+                i.superblock_fallbacks,
+                i.crash_points,
+                i.crash_failures,
             ));
         }
         if let Some(f) = &self.flight {
@@ -478,6 +539,15 @@ mod tests {
                 orphaned: 1,
                 already_applied: 1,
             })
+            .integrity(IntegritySummary {
+                verified_extents: 40,
+                checksum_failures: 2,
+                scrub_corrupt: 2,
+                scrub_repaired: 2,
+                superblock_fallbacks: 1,
+                crash_points: 57,
+                crash_failures: 0,
+            })
             .flight(4096, 128, 6)
             .refits(rt.refit_count());
 
@@ -489,6 +559,9 @@ mod tests {
         assert!(json.contains("\"breaker\":{\"state\":\"open\",\"degraded\":true}"));
         assert!(json.contains("\"replayed\":3"));
         assert!(json.contains("\"bytes_replayed\":4096"));
+        assert!(json.contains(
+            "\"integrity\":{\"verified_extents\":40,\"checksum_failures\":2,\"scrub_corrupt\":2,\"scrub_repaired\":2,\"superblock_fallbacks\":1,\"crash_points\":57,\"crash_failures\":0}"
+        ));
         assert!(json.contains("\"flight\":{\"capacity\":4096,\"recorded\":128,\"dropped\":6}"));
         assert!(json.contains("\"refits\":0"));
         assert!(json.contains("\"series\":[{\"epoch\":0"));
@@ -498,6 +571,8 @@ mod tests {
         assert!(text.contains("vol.writes"));
         assert!(text.contains("write"));
         assert!(text.contains("wal recovery: scanned=5"));
+        assert!(text.contains("integrity: verified=40"));
+        assert!(text.contains("crash sweep: points=57 failures=0"));
         assert!(text.contains("flight recorder: capacity=4096"));
     }
 

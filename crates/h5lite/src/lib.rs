@@ -52,11 +52,12 @@ pub mod native;
 pub mod plan;
 pub mod promise;
 pub mod storage;
+pub mod superblock;
 pub mod sync;
 pub mod vol;
 
 pub use api::{Dataset, File, Group};
-pub use container::{Container, ObjectId};
+pub use container::{Container, IntegrityStats, ObjectId, ScrubReport};
 pub use dataspace::{Dataspace, Hyperslab, Selection};
 pub use datatype::{Datatype, H5Type};
 pub use error::{ErrorClass, H5Error, Result};
@@ -65,7 +66,7 @@ pub use native::NativeVol;
 pub use plan::{IoPlan, IoSegment, COALESCE_WINDOW};
 pub use promise::Promise;
 pub use storage::{
-    FaultInjector, FaultKind, FaultOp, FaultPlan, FileBackend, IoVec, IoVecMut, MemBackend,
-    StorageBackend, ThrottledBackend, TracedBackend,
+    CrashBackend, CrashClock, FaultInjector, FaultKind, FaultOp, FaultPlan, FileBackend, IoVec,
+    IoVecMut, MemBackend, StorageBackend, ThrottledBackend, TracedBackend,
 };
 pub use vol::{ReadRequest, Request, Vol};

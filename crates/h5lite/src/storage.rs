@@ -447,6 +447,11 @@ pub enum FaultKind {
         /// Stall duration in seconds.
         secs: f64,
     },
+    /// Silent corruption: the read succeeds, but one seeded bit of the
+    /// returned payload is flipped — the backend itself is untouched, so
+    /// only checksum verification can notice. Applies to reads only; on
+    /// other ops it degrades to `Transient`.
+    Corrupt,
 }
 
 #[derive(Clone, Debug)]
@@ -555,6 +560,11 @@ impl Lcg {
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
         (self.0 >> 33) as f64 / (1u64 << 31) as f64
+    }
+
+    /// Seeded integer in `0..n` (`n` must be non-zero).
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.unit() * n as f64) as u64).min(n.saturating_sub(1))
     }
 }
 
@@ -695,6 +705,18 @@ impl StorageBackend for FaultInjector {
                 std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.0)));
                 self.inner.read_at(offset, buf)
             }
+            Some(FaultKind::Corrupt) => {
+                self.inner.read_at(offset, buf)?;
+                if !buf.is_empty() {
+                    self.injected.fetch_add(1, Ordering::SeqCst);
+                    let (byte, bit) = {
+                        let mut st = self.state.lock();
+                        (st.rng.below(buf.len() as u64), st.rng.below(8))
+                    };
+                    buf[byte as usize] ^= 1u8 << bit;
+                }
+                Ok(())
+            }
             Some(kind) => Err(self.fault_error(&kind, "read")),
         }
     }
@@ -732,6 +754,122 @@ impl StorageBackend for FaultInjector {
             }
             Some(kind) => Err(self.fault_error(&kind, "flush")),
         }
+    }
+}
+
+/// A shared mutation budget with a cut point: the clock of the
+/// crash-point exploration harness. Every mutating backend operation —
+/// each scalar write, each segment of a vectored write, each sync —
+/// asks the clock for admission; once `cut_after` mutations have been
+/// admitted, every later mutation is refused forever, modelling the
+/// device vanishing at one deterministic instant. Share one clock
+/// across several [`CrashBackend`] wrappers (container backend plus
+/// staging device) and the cut lands at a single global boundary in
+/// the whole stack's mutation order.
+pub struct CrashClock {
+    /// Mutations attempted so far (admitted or refused).
+    mutations: AtomicU64,
+    /// Admissions granted before the cut.
+    cut_after: u64,
+}
+
+impl CrashClock {
+    /// A clock that never cuts — the recording pass that learns how
+    /// many mutation boundaries a workload has (read it back with
+    /// [`CrashClock::mutations`]).
+    pub fn unlimited() -> Arc<Self> {
+        Self::cut_after(u64::MAX)
+    }
+
+    /// Cut persistence after the first `k` mutations: mutation indices
+    /// `0..k` are admitted, everything after fails with a storage
+    /// error. `k = 0` refuses the very first mutation.
+    pub fn cut_after(k: u64) -> Arc<Self> {
+        Arc::new(CrashClock {
+            mutations: AtomicU64::new(0),
+            cut_after: k,
+        })
+    }
+
+    /// Mutations attempted so far, admitted or refused.
+    pub fn mutations(&self) -> u64 {
+        self.mutations.load(Ordering::SeqCst)
+    }
+
+    /// Whether any mutation has been refused yet (the cut has fired).
+    pub fn cut(&self) -> bool {
+        self.mutations.load(Ordering::SeqCst) > self.cut_after
+    }
+
+    fn admit(&self) -> bool {
+        self.mutations.fetch_add(1, Ordering::SeqCst) < self.cut_after
+    }
+}
+
+/// A [`StorageBackend`] wrapper that deterministically kills persistence
+/// after the k-th mutation of its [`CrashClock`]. Refused mutations
+/// return [`H5Error::Storage`] without touching the inner backend, so
+/// the application never gets an ack for data past the cut. Reads pass
+/// through untouched (the process's view survives until it exits; what
+/// matters for durability is what the *inner* backend holds when the
+/// harness reopens it). A vectored write admits each segment separately
+/// — every segment boundary is its own crash point, exactly like the
+/// equivalent scalar sequence.
+pub struct CrashBackend {
+    inner: Arc<dyn StorageBackend>,
+    clock: Arc<CrashClock>,
+}
+
+impl CrashBackend {
+    /// Wrap `inner` under `clock`.
+    pub fn new(inner: Arc<dyn StorageBackend>, clock: Arc<CrashClock>) -> Self {
+        CrashBackend { inner, clock }
+    }
+
+    /// The wrapped backend — what the harness reopens after the
+    /// simulated crash: it holds exactly the admitted mutations.
+    pub fn inner(&self) -> Arc<dyn StorageBackend> {
+        self.inner.clone()
+    }
+
+    fn refuse(&self, what: &str) -> H5Error {
+        H5Error::Storage(format!("crash point: {what} dropped after the persistence cut"))
+    }
+}
+
+impl StorageBackend for CrashBackend {
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        if !self.clock.admit() {
+            return Err(self.refuse("write"));
+        }
+        self.inner.write_at(offset, data)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_vectored_at(&self, batch: &[IoVec<'_>]) -> Result<()> {
+        // Scalar loop on purpose: each segment is one mutation boundary.
+        for seg in batch {
+            self.write_at(seg.offset, seg.data)?;
+        }
+        Ok(())
+    }
+
+    fn read_vectored_at(&self, batch: &mut [IoVecMut<'_>]) -> Result<()> {
+        self.inner.read_vectored_at(batch)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> Result<()> {
+        if !self.clock.admit() {
+            return Err(self.refuse("sync"));
+        }
+        self.inner.sync()
     }
 }
 
@@ -1183,5 +1321,128 @@ mod tests {
         let mut buf = [0u8; 4];
         b.read_at(0, &mut buf).unwrap();
         assert_eq!(&buf, b"slow");
+    }
+
+    #[test]
+    fn corrupt_fault_flips_one_bit_of_the_payload_only() {
+        let inner: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        inner.write_at(0, &[0u8; 64]).unwrap();
+        let b = FaultInjector::new(
+            inner.clone(),
+            FaultPlan::new(0xC0FFEE).fail_at(FaultOp::Read, 1, FaultKind::Corrupt),
+        );
+
+        let mut clean = [0u8; 64];
+        b.read_at(0, &mut clean).unwrap(); // read #0: untouched
+        assert_eq!(clean, [0u8; 64]);
+
+        let mut hit = [0u8; 64];
+        b.read_at(0, &mut hit).unwrap(); // read #1: silently corrupted
+        let flipped: u32 = hit.iter().map(|x| x.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one seeded bit flip");
+        assert_eq!(b.injected(), 1);
+
+        // The device itself is untouched — only the returned payload lies.
+        let mut again = [0u8; 64];
+        inner.read_at(0, &mut again).unwrap();
+        assert_eq!(again, [0u8; 64]);
+    }
+
+    #[test]
+    fn corrupt_faults_are_deterministic_per_seed() {
+        let payload_for = |seed: u64| {
+            let inner: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+            inner.write_at(0, &[0u8; 32]).unwrap();
+            let b = FaultInjector::new(
+                inner,
+                FaultPlan::new(seed).fail_after(FaultOp::Read, 0, FaultKind::Corrupt),
+            );
+            let mut buf = [0u8; 32];
+            b.read_at(0, &mut buf).unwrap();
+            buf
+        };
+        assert_eq!(payload_for(11), payload_for(11));
+        assert_ne!(payload_for(11), payload_for(12));
+    }
+
+    #[test]
+    fn corrupt_on_non_read_degrades_to_transient() {
+        let plan = FaultPlan::new(1)
+            .fail_at(FaultOp::Write, 0, FaultKind::Corrupt)
+            .fail_at(FaultOp::Flush, 0, FaultKind::Corrupt);
+        let b = FaultInjector::new(Arc::new(MemBackend::new()), plan);
+        assert!(matches!(
+            b.write_at(0, b"x").unwrap_err(),
+            H5Error::Transient(_)
+        ));
+        assert!(matches!(b.sync().unwrap_err(), H5Error::Transient(_)));
+    }
+
+    #[test]
+    fn crash_backend_cuts_after_k_mutations() {
+        let inner: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let clock = CrashClock::cut_after(2);
+        let b = CrashBackend::new(inner.clone(), clock.clone());
+        b.write_at(0, b"aa").unwrap();
+        b.sync().unwrap();
+        assert!(!clock.cut());
+        assert!(matches!(
+            b.write_at(2, b"bb").unwrap_err(),
+            H5Error::Storage(_)
+        ));
+        assert!(b.sync().is_err());
+        assert!(clock.cut());
+        // Reads survive the cut; the inner device holds only what was
+        // admitted before it.
+        let mut buf = [0u8; 2];
+        b.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"aa");
+        assert_eq!(inner.len(), 2);
+    }
+
+    #[test]
+    fn crash_backend_counts_each_vectored_segment_as_a_boundary() {
+        let inner: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let b = CrashBackend::new(inner.clone(), CrashClock::cut_after(1));
+        let err = b
+            .write_vectored_at(&[
+                IoVec { offset: 0, data: b"aa" },
+                IoVec { offset: 2, data: b"bb" },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, H5Error::Storage(_)));
+        assert_eq!(inner.len(), 2, "only the admitted first segment landed");
+    }
+
+    #[test]
+    fn crash_clock_record_pass_counts_every_mutation() {
+        let clock = CrashClock::unlimited();
+        let b = CrashBackend::new(Arc::new(MemBackend::new()), clock.clone());
+        b.write_at(0, b"a").unwrap();
+        b.write_vectored_at(&[
+            IoVec { offset: 1, data: b"b" },
+            IoVec { offset: 2, data: b"c" },
+        ])
+        .unwrap();
+        b.sync().unwrap();
+        assert_eq!(clock.mutations(), 4, "scalar + 2 segments + sync");
+        assert!(!clock.cut());
+    }
+
+    #[test]
+    fn one_clock_orders_mutations_across_two_backends() {
+        // Container backend and staging device share the clock: the cut
+        // lands at one global boundary across both.
+        let c_inner: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let s_inner: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let clock = CrashClock::cut_after(3);
+        let c = CrashBackend::new(c_inner.clone(), clock.clone());
+        let s = CrashBackend::new(s_inner.clone(), clock);
+        c.write_at(0, b"c0").unwrap(); // mutation 0
+        s.write_at(0, b"s0").unwrap(); // mutation 1
+        c.write_at(2, b"c1").unwrap(); // mutation 2
+        assert!(s.write_at(2, b"s1").is_err()); // mutation 3: refused
+        assert_eq!(c_inner.len(), 4);
+        assert_eq!(s_inner.len(), 2);
     }
 }

@@ -5,10 +5,11 @@
 //! `cargo run -p xtask -- <command>`:
 //!
 //! - **`lint`** — walk every workspace `.rs` file and enforce the
-//!   deny-by-default rule set in [`rules`]: eight line-local token
+//!   deny-by-default rule set in [`rules`]: nine line-local token
 //!   rules (virtual-time purity, error-path discipline, lock
 //!   discipline, `#[must_use]` coverage, no debug/placeholder macros,
-//!   bounded retries, planned I/O, trace discipline) plus four
+//!   bounded retries, planned I/O, trace discipline, superblock
+//!   discipline) plus four
 //!   dataflow rules ([`dataflow`]) for guard liveness across
 //!   scheduling boundaries, blocking calls in task closures, checked
 //!   offset arithmetic, and swallowed `Result`s. Prints

@@ -17,8 +17,9 @@
 //! | `blocking-in-task` | argolite, asyncvol, h5lite `src/`    | no `std::fs`/`std::net`/`thread::sleep` inside closures handed to the task scheduler |
 //! | `checked-offset-arith` | h5lite `storage.rs`, `container.rs`, `plan.rs` | device offsets/addresses use `checked_*`/`saturating_*`, never raw `+`/`*` |
 //! | `swallowed-result` | asyncvol, h5lite `src/`              | no `let _ =` / statement `.ok();` discarding a `Result` on an I/O path |
+//! | `superblock-discipline` | h5lite `src/` except `superblock.rs` | the superblock area (offset 0) is written only through the dual-slot commit protocol |
 //!
-//! The first eight rules are line-local token patterns; the last four
+//! Nine of the rules are line-local token patterns; the other four
 //! ride the intra-procedural dataflow passes in [`crate::dataflow`].
 //! Lexing (see [`crate::lexer`]) makes every rule comment-, string-,
 //! and lifetime-aware for free.
@@ -56,7 +57,7 @@ impl std::fmt::Display for Violation {
 }
 
 /// Names of all rules, for reports and the fixture corpus.
-pub const RULE_NAMES: [&str; 12] = [
+pub const RULE_NAMES: [&str; 13] = [
     "virtual-time",
     "error-path",
     "lock-discipline",
@@ -69,6 +70,7 @@ pub const RULE_NAMES: [&str; 12] = [
     "blocking-in-task",
     "checked-offset-arith",
     "swallowed-result",
+    "superblock-discipline",
 ];
 
 /// The one crate allowed to call the manual span API (`begin_span` /
@@ -112,6 +114,10 @@ const OFFSET_ARITH_FILES: [&str; 3] = [
 ];
 /// Crates whose `src/` must not discard `Result`s.
 const SWALLOWED_RESULT_CRATES: [&str; 2] = ["crates/asyncvol/", "crates/h5lite/"];
+/// The one module allowed to write the superblock area (offset 0): the
+/// dual-slot commit protocol. A raw offset-0 write anywhere else in the
+/// container crate can tear the anchor every reopen depends on.
+const SUPERBLOCK_MODULE: &str = "crates/h5lite/src/superblock.rs";
 
 fn in_src(rel: &str, crates: &[&str]) -> bool {
     crates
@@ -205,6 +211,7 @@ pub fn lint_source_full(rel: &str, src: &str) -> FileLint {
     let scheduled = in_src(rel, &SCHEDULED_CRATES);
     let offset_arith = OFFSET_ARITH_FILES.contains(&rel);
     let swallowed = in_src(rel, &SWALLOWED_RESULT_CRATES);
+    let superblock = in_src(rel, &["crates/h5lite/"]) && rel != SUPERBLOCK_MODULE;
 
     // Whole-file evidence for `bounded-retry`: a retry decision
     // (`is_retryable`) in non-test code is only legal when the same file
@@ -331,6 +338,14 @@ pub fn lint_source_full(rel: &str, src: &str) -> FileLint {
                     "raw flight-recorder access `.flight_records(..)` outside apio-trace; dump through `Tracer::flight_dump` so records leave only via the exporter API".to_owned(),
                 );
             }
+        }
+
+        if superblock && seq(&[".", "write_at", "(", "0", ","]) {
+            push(
+                line,
+                "superblock-discipline",
+                "raw write to the superblock area (offset 0); commit through `superblock::commit` so the dual-slot protocol keeps one valid anchor at all times".to_owned(),
+            );
         }
 
         if seq(&["dbg", "!", "("]) {
@@ -748,7 +763,7 @@ fn f(policy: &RetryPolicy, started: SimInstant) {
 
     #[test]
     fn planned_io_waivable_inline_for_metadata_paths() {
-        let ok = "fn flush(&self) { self.backend.write_at(0, &sb)?; // xtask: allow(planned-io) superblock\n}\n";
+        let ok = "fn flush(&self) { self.backend.write_at(meta_addr, &meta)?; // xtask: allow(planned-io) metadata extent\n}\n";
         assert!(lint_source("crates/h5lite/src/container.rs", ok).is_empty());
     }
 
@@ -871,6 +886,31 @@ fn f(rt: &Runtime) {
         let waived =
             "fn f(&self) { let _ = self.flush(); // xtask: allow(swallowed-result) Drop cannot propagate\n}\n";
         assert!(lint_source("crates/h5lite/src/container.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn superblock_discipline_fires_on_raw_offset_zero_writes() {
+        let bad = "fn f(&self) { self.backend.write_at(0, &sb)?; }\n";
+        assert!(rules_fired("crates/h5lite/src/container.rs", bad)
+            .contains(&"superblock-discipline"));
+        assert!(rules_fired("crates/h5lite/src/storage.rs", bad)
+            .contains(&"superblock-discipline"));
+        // The commit module itself is the sanctioned writer.
+        assert!(!lint_source("crates/h5lite/src/superblock.rs", bad)
+            .iter()
+            .any(|v| v.rule == "superblock-discipline"));
+    }
+
+    #[test]
+    fn superblock_discipline_permits_nonzero_offsets_and_other_crates() {
+        let ok = "fn f(&self) { self.inner.write_at(addr, bytes) }\n";
+        assert!(!lint_source("crates/h5lite/src/storage.rs", ok)
+            .iter()
+            .any(|v| v.rule == "superblock-discipline"));
+        // A WAL legitimately starts its first frame at device offset 0.
+        let zero = "fn f(&self) { self.device.write_at(0, &rec) }\n";
+        assert!(lint_source("crates/asyncvol/src/staging.rs", zero).is_empty());
+        assert!(lint_source("crates/h5lite/tests/x.rs", zero).is_empty());
     }
 
     #[test]

@@ -1,0 +1,7 @@
+//@ lint-as: crates/h5lite/src/superblock.rs
+impl Superblock {
+    fn commit_slot(&self, backend: &dyn StorageBackend, slot: &[u8]) -> Result<()> {
+        backend.write_at(0, slot)?;
+        backend.sync()
+    }
+}

@@ -1,0 +1,6 @@
+//@ lint-as: crates/h5lite/src/storage.rs
+impl Recovery {
+    fn stamp_anchor(&self, sb: &[u8]) -> Result<()> {
+        self.inner.write_at(0, sb) //~ superblock-discipline
+    }
+}

@@ -29,6 +29,8 @@
 //! the real engine, and `examples/scenarios.rs` for the paper's Fig. 1
 //! overlap scenarios evaluated through the model.
 
+pub mod crashpoint;
+
 pub use apio_core as model;
 pub use apio_trace as trace;
 pub use apps;

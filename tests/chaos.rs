@@ -1,10 +1,13 @@
-//! Chaos acceptance tests for the resilience layer (ISSUE 2).
+//! Chaos acceptance tests for the resilience layer (ISSUE 2, ISSUE 7).
 //!
-//! Scenario 1 drives VPIC-IO-style writes through a seeded [`FaultPlan`]
-//! with transient faults and a mid-run "crash" (the storage device dying
-//! persistently under the connector), reopens the container, replays the
-//! staging write-ahead log, and demands the recovered container be
-//! byte-identical to a fault-free run of the same schedule.
+//! Scenario 1 enumerates *every* crash point of the device-staged write
+//! path: [`apio::crashpoint::sweep`] cuts persistence of the staging
+//! device after the k-th mutation, for each WAL frame boundary k (frame
+//! appends and applied-flag updates), then reopens the container,
+//! recovers, and demands every acknowledged write read back
+//! byte-identical to the model while a post-recovery scrub comes back
+//! clean. A companion scenario pins the torn-tail truncation and audits
+//! it through the flight recorder and the operator report.
 //!
 //! Scenario 2 runs the connector into a bounded window of persistent
 //! faults and demands the circuit breaker degrade to synchronous
@@ -13,7 +16,7 @@
 
 use std::sync::Arc;
 
-use apio::asyncvol::{AsyncVol, BreakerConfig, BreakerState, RetryPolicy};
+use apio::asyncvol::{AsyncVol, BreakerConfig, BreakerState, RetryPolicy, StagingLog};
 use apio::h5lite::{
     container::ROOT_ID, Container, Dataspace, Datatype, FaultInjector, FaultKind, FaultOp,
     FaultPlan, Hyperslab, Layout, MemBackend, Selection, StorageBackend, Vol,
@@ -85,81 +88,149 @@ fn fault_free_contents() -> Vec<Vec<u8>> {
 }
 
 #[test]
-fn crash_recovery_restores_fault_free_contents() {
+fn crash_at_every_wal_frame_boundary_recovers_every_acked_write() {
+    let report = apio::crashpoint::sweep(|clock| {
+        // The container lives on a plain backend with its metadata plane
+        // flushed before the chaos window opens; only the staging device
+        // sits behind the persistence cut, so every WAL frame append and
+        // applied-flag update is one enumerated crash boundary.
+        let c_backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let c = Arc::new(Container::create(c_backend.clone()));
+        let ids = create_datasets(&c);
+        c.flush().map_err(|e| format!("setup flush: {e}"))?;
+
+        let wal_inner: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let device: Arc<dyn StorageBackend> = Arc::new(apio::crashpoint::CrashBackend::new(
+            wal_inner.clone(),
+            clock.clone(),
+        ));
+        let vol = AsyncVol::builder()
+            .streams(1)
+            .stage_to_device(device)
+            .retry(RetryPolicy::none())
+            // The sweep studies WAL durability, not degradation: a dead
+            // staging device must keep refusing issues, not reroute them
+            // around the log.
+            .breaker(BreakerConfig {
+                failure_threshold: u32::MAX,
+                probe_after: 4,
+            })
+            .build();
+
+        // An issue is acknowledged once its frame is durable in the WAL.
+        // The cut is monotone, so the acked set is a prefix of the
+        // deterministic schedule.
+        let acked: Vec<bool> = issue_schedule(&vol, &c, &ids)
+            .into_iter()
+            .map(|r| r.is_ok())
+            .collect();
+        let _ = vol.wait_all(); // post-cut flag updates may fail: benign
+        drop(vol); // crash
+        drop(c);
+
+        // The power cut also leaves a partial in-flight frame: garbage
+        // lands past the last durable byte.
+        let end = wal_inner.len();
+        wal_inner
+            .write_at(end, &[0xDE, 0xAD, 0xBE, 0xEF])
+            .map_err(|e| format!("tear the tail: {e}"))?;
+
+        // Reboot: the metadata plane must reopen, and recovery + scrub
+        // must rebuild the container from the surviving WAL prefix.
+        let c2 =
+            Arc::new(Container::open(c_backend).map_err(|e| format!("reopen after crash: {e}"))?);
+        let vol2 = AsyncVol::builder().stage_to_device(wal_inner).build();
+        let rec = vol2
+            .recover_and_scrub(&c2)
+            .map_err(|e| format!("recovery: {e}"))?;
+        if rec.scrub_repaired < rec.scrub_corrupt {
+            return Err(format!("recovery scrub left corruption behind: {rec:?}"));
+        }
+
+        // Byte-identical recovery: acked slabs hold exactly their
+        // payload, unacked slabs hold zeros — never garbage.
+        let mut expect = vec![vec![0.0f32; N as usize]; PROPS];
+        for step in 0..STEPS {
+            for p in 0..PROPS {
+                if acked[step as usize * PROPS + p] {
+                    let at = (step as u64 * SLAB) as usize;
+                    expect[p][at..at + SLAB as usize].copy_from_slice(&slab_values(step, p));
+                }
+            }
+        }
+        for (p, want) in expect.iter().enumerate() {
+            let ds = c2
+                .lookup(ROOT_ID, &format!("prop{p}"))
+                .map_err(|e| format!("metadata plane lost prop{p}: {e}"))?;
+            let got = c2
+                .read_selection(ds, &Selection::All)
+                .map_err(|e| format!("read back prop{p}: {e}"))?;
+            if got != apio::h5lite::datatype::to_bytes(want) {
+                return Err(format!("prop{p} is not byte-identical to the acked model"));
+            }
+        }
+
+        // The recovered container must also checksum clean at rest.
+        c2.flush().map_err(|e| format!("post-recovery flush: {e}"))?;
+        let scrub = c2.scrub().map_err(|e| format!("post-recovery scrub: {e}"))?;
+        if scrub.corrupt > 0 {
+            return Err(format!("post-recovery scrub found corruption: {scrub:?}"));
+        }
+        Ok(())
+    });
+
+    assert!(report.ok(), "{}", report.failure.expect("failure"));
+    // Every frame append is at least one boundary, and the sweep ran the
+    // recording pass plus one run per cut in 0..=boundaries.
+    let frames = STEPS as u64 * PROPS as u64;
+    assert!(
+        report.boundaries >= frames,
+        "{} boundaries cannot cover {frames} WAL frames",
+        report.boundaries
+    );
+    assert_eq!(report.runs, report.boundaries + 2);
+
+    // The sweep outcome is operator-visible through the report schema.
+    let json = apio::model::ReportBuilder::new("chaos: crash-point sweep")
+        .integrity(apio::model::IntegritySummary {
+            crash_points: report.boundaries + 1,
+            crash_failures: 0,
+            ..Default::default()
+        })
+        .render_json();
+    assert!(json.contains(&format!("\"crash_points\":{}", report.boundaries + 1)));
+    assert!(json.contains("\"crash_failures\":0"));
+}
+
+/// The single-point companion to the sweep: a torn in-flight frame is
+/// truncated by recovery, and the evidence survives the black-box
+/// telemetry — one `wal.replay` per staged record, one `WalTruncated`
+/// at the end of the valid prefix, and the operator report's recovery
+/// section, all cross-checked against the [`RecoveryReport`].
+#[test]
+fn torn_wal_tail_is_truncated_and_audited_in_the_flight_recorder() {
     let reference = fault_free_contents();
-
-    // Transient noise early, then the device dies for good at the 8th
-    // data write — the "crash". The fail_at rule guarantees at least one
-    // retryable fault regardless of what the random rule rolls.
-    let plan = FaultPlan::new(0xC4A05)
-        .fail_after(FaultOp::Write, 8, FaultKind::Persistent)
-        .fail_at(FaultOp::Write, 2, FaultKind::Transient)
-        .random(FaultOp::Write, 0.10, FaultKind::Transient);
-
-    let inner: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
-    let injector = Arc::new(FaultInjector::new(inner.clone(), plan));
-    injector.set_armed(false); // metadata setup is not under test
-
-    let c = Arc::new(Container::create(injector.clone()));
+    let c = Arc::new(Container::create_mem());
     let ids = create_datasets(&c);
-    c.flush().expect("metadata durable before the chaos starts");
+    c.flush().expect("metadata durable before the crash");
 
+    // Stage the schedule straight into the log (no connector): every
+    // record durable, none applied — the worst honest crash.
     let device: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
-    let tracer = Tracer::new();
-    let vol = AsyncVol::builder()
-        .streams(1)
-        .stage_to_device(device.clone())
-        .tracer(tracer.clone())
-        .retry(RetryPolicy {
-            max_attempts: 6,
-            ..RetryPolicy::default()
-        })
-        // Scenario 1 studies WAL recovery, not degradation: keep the
-        // breaker out of the way so every write is acknowledged into
-        // the staging log before the crash.
-        .breaker(BreakerConfig {
-            failure_threshold: u32::MAX,
-            probe_after: 4,
-        })
-        .build();
-
-    injector.set_armed(true);
-    for r in issue_schedule(&vol, &c, &ids) {
-        let _ = r.expect("issue is acknowledged once staged in the WAL");
+    let log = StagingLog::open(device.clone());
+    let mut staged = 0u64;
+    for step in 0..STEPS {
+        for (p, &ds) in ids.iter().enumerate() {
+            let sel = Selection::Slab(Hyperslab::range1(step as u64 * SLAB, SLAB));
+            let bytes = apio::h5lite::datatype::to_bytes(&slab_values(step, p));
+            log.append(ds, &sel, &bytes).expect("append");
+            staged += 1;
+        }
     }
+    drop(log);
 
-    // The drain surfaces the persistent failures: this is where a real
-    // application would die mid-epoch.
-    let drain = vol.wait_all();
-    assert!(drain.is_err(), "the dead device must surface at wait_all");
-    let stats = vol.stats();
-    assert!(stats.retries > 0, "transient faults must have been retried");
-    assert!(injector.injected() > 0, "the plan must actually fire");
-
-    // Every retry in the trace respects the policy: the attempt index is
-    // recorded just before the backoff sleep, so with max_attempts = 6 no
-    // RetryAttempt may carry an index past 5.
-    let sink = tracer.sink();
-    let retries = sink.events_where(|e| matches!(e, Event::RetryAttempt { .. }));
-    assert!(!retries.is_empty(), "retries must appear in the trace");
-    for r in &retries {
-        let Some(Event::RetryAttempt { attempt, .. }) = r.event else {
-            unreachable!("filtered above");
-        };
-        assert!(attempt < 6, "retry attempt {attempt} exceeds the policy bound");
-    }
-    drop(vol); // crash: connector dies, DRAM state is gone
-
-    // Reboot: reopen the container from the raw (healed) device and
-    // replay the staging log through a fresh connector.
-    let c2 = Arc::new(Container::open(inner).expect("reopen after crash"));
-    let ids2: Vec<_> = (0..PROPS)
-        .map(|p| c2.lookup(ROOT_ID, &format!("prop{p}")).expect("lookup"))
-        .collect();
-    assert_eq!(ids2, ids, "flushed metadata survives the crash");
-
-    // Tear the log tail: a crash mid-append leaves a partial frame after
-    // the last valid record. Recovery must truncate it — and say so.
+    // A crash mid-append leaves a partial frame after the last valid
+    // record. Recovery must truncate it — and say so.
     let valid_end = device.len();
     device
         .write_at(valid_end, &[0xDE, 0xAD, 0xBE, 0xEF])
@@ -167,54 +238,49 @@ fn crash_recovery_restores_fault_free_contents() {
 
     // Recovery runs under the always-on flight recorder (not full
     // tracing): the black-box ring must be enough to audit a replay.
-    let tracer2 = Tracer::flight(4096);
-    let vol2 = AsyncVol::builder()
+    let tracer = Tracer::flight(4096);
+    let vol = AsyncVol::builder()
         .stage_to_device(device)
-        .tracer(tracer2.clone())
+        .tracer(tracer.clone())
         .build();
-    let report = vol2.recover_staging(&c2).expect("recovery");
-    assert!(
-        report.replayed > 0,
-        "crash left staged-but-unflushed extents: {report:?}"
-    );
+    let report = vol.recover_and_scrub(&c).expect("recovery");
+    assert_eq!(report.replayed, staged, "every staged record replays");
     assert!(report.bytes_replayed > 0);
     assert_eq!(report.orphaned, 0, "every record targets a live dataset");
 
     // The recovery trace mirrors the report: one `wal.replay` span per
     // replayed record (all inside the `wal.recover` span), and exactly
     // one torn-tail truncation at the end of the valid prefix.
-    let rsink = tracer2.sink();
-    let replays = rsink.spans("wal.replay");
+    let sink = tracer.sink();
+    let replays = sink.spans("wal.replay");
     assert_eq!(replays.len() as u64, report.replayed);
     let mut replay_bytes = 0u64;
     for r in &replays {
-        assert!(rsink.within_span_named(r, "wal.recover"));
+        assert!(sink.within_span_named(r, "wal.recover"));
         let Some(Event::WalReplay { bytes, .. }) = r.event else {
             panic!("wal.replay span without WalReplay payload");
         };
         replay_bytes += bytes;
     }
     assert_eq!(replay_bytes, report.bytes_replayed);
-    let torn = rsink.events_where(|e| matches!(e, Event::WalTruncated { .. }));
+    let torn = sink.events_where(|e| matches!(e, Event::WalTruncated { .. }));
     assert_eq!(torn.len(), 1, "exactly one torn-tail truncation event");
     let Some(Event::WalTruncated { offset }) = torn[0].event else {
         unreachable!("filtered above");
     };
     assert_eq!(offset, valid_end, "truncation lands at the valid prefix end");
 
-    for (p, &ds) in ids2.iter().enumerate() {
-        let got = c2.read_selection(ds, &Selection::All).expect("read back");
+    for (p, &ds) in ids.iter().enumerate() {
+        let got = c.read_selection(ds, &Selection::All).expect("read back");
         assert_eq!(
             got, reference[p],
             "dataset prop{p} must be byte-identical to the fault-free run"
         );
     }
 
-    // The same evidence must survive into the black-box telemetry: the
-    // flight-recorder dump carries one WalReplay per replayed record and
-    // the torn-tail truncation, and the operator report JSON carries the
-    // recovery summary — all cross-checked against the RecoveryReport.
-    let dump = tracer2.flight_dump();
+    // The same evidence must survive into the black-box telemetry and
+    // the operator report JSON.
+    let dump = tracer.flight_dump();
     assert_eq!(dump.dropped(), 0, "4096/shard must retain the whole recovery");
     let jsonl = dump.jsonl();
     let replay_lines = jsonl
@@ -229,7 +295,7 @@ fn crash_recovery_restores_fault_free_contents() {
     );
 
     let json = apio::model::ReportBuilder::new("chaos: crash recovery")
-        .metrics(vol2.metrics())
+        .metrics(vol.metrics())
         .recovery(apio::model::RecoverySummary {
             scanned: report.scanned,
             replayed: report.replayed,
@@ -246,7 +312,7 @@ fn crash_recovery_restores_fault_free_contents() {
     assert!(json.contains(&format!("\"recorded\":{}", dump.len())));
 
     // Recovery is idempotent: a second replay finds everything applied.
-    let again = vol2.recover_staging(&c2).expect("second recovery");
+    let again = vol.recover_staging(&c).expect("second recovery");
     assert_eq!(again.replayed, 0);
     assert_eq!(again.already_applied, report.scanned);
 }
