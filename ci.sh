@@ -30,6 +30,13 @@ cargo test -q "${CARGO_FLAGS[@]}" -p argolite --features debug-invariants
 cargo test -q "${CARGO_FLAGS[@]}" -p asyncvol --features debug-invariants
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants
 
+echo "== ring backend (backpressure, ordering, fault plumbing, lock-free hot path) =="
+# The explore sweep and the lock-order assertion both need
+# debug-invariants; ring_lockfree proves the submit/complete path takes
+# zero argolite::sync locks, reaper threads included.
+cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test ring
+cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test ring_lockfree
+
 echo "== fault injection (chaos + resilience properties) =="
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test chaos
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test properties
@@ -70,6 +77,10 @@ echo "== bench-regression gate =="
 # an order-of-magnitude envelope and keep every baseline benchmark alive.
 cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- bench-diff BENCH_baseline.json BENCH_baseline.json
 cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- bench-diff BENCH_connector.json BENCH_baseline.json --threshold=50
+# The ring report (queue-depth sweep + 64 KiB epoch) must stay parseable
+# and self-consistent; its depth-scaling and 2x-epoch assertions live in
+# crates/xtask/tests/gate.rs.
+cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- bench-diff BENCH_ring.json BENCH_ring.json
 # The gate itself must demonstrably catch a regression: a synthetically
 # slowed baseline (1000x on the e-4/e-5 entries) has to fail.
 sed 's/e-4/e-1/g; s/e-5/e-2/g' BENCH_baseline.json > target/BENCH_regressed.json

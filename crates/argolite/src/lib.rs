@@ -196,7 +196,7 @@ struct RtShared {
 /// then the streams exit and are joined.
 pub struct Runtime {
     shared: Arc<RtShared>,
-    streams: Vec<std::thread::JoinHandle<()>>,
+    streams: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Runtime {
@@ -214,20 +214,52 @@ impl Runtime {
             idle_lock: Mutex::new_named("argolite.idle", ()),
         });
         let streams = (0..num_streams)
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("argolite-es-{i}"))
-                    .spawn(move || stream_main(shared))
-                    .expect("spawn execution stream")
-            })
+            .map(|i| Self::spawn_stream(&shared, i))
             .collect();
-        Runtime { shared, streams }
+        Runtime {
+            shared,
+            streams: Mutex::new_named("argolite.streams", streams),
+        }
+    }
+
+    fn spawn_stream(
+        shared: &Arc<RtShared>,
+        index: usize,
+    ) -> std::thread::JoinHandle<()> {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name(format!("argolite-es-{index}"))
+            .spawn(move || stream_main(shared))
+            .expect("spawn execution stream")
     }
 
     /// Number of execution streams.
     pub fn num_streams(&self) -> usize {
-        self.streams.len()
+        self.streams.lock().len()
+    }
+
+    /// Grow the pool to `target` execution streams, spawning the
+    /// difference. Growth-only (shrinking would strand queued tasks on a
+    /// FIFO a dead stream already popped from); a `target` at or below
+    /// the current count is a no-op. Returns the resulting stream count.
+    ///
+    /// This is the scheduler's answer to a deepening I/O ring: occupancy
+    /// feedback (see `asyncvol`'s depth governor) widens the pool so
+    /// submission-side work keeps pace with the device instead of
+    /// queueing behind a fixed stream count.
+    pub fn grow_streams(&self, target: usize) -> usize {
+        let mut streams = self.streams.lock();
+        // A shutdown runtime must not spawn: new streams would block on
+        // a drained pool forever. `Drop` holds no lock while joining, so
+        // check under the pool lock.
+        if self.shared.pool.lock().shutdown {
+            return streams.len();
+        }
+        while streams.len() < target {
+            let index = streams.len();
+            streams.push(Self::spawn_stream(&self.shared, index));
+        }
+        streams.len()
     }
 
     /// Spawn an independent task.
@@ -318,7 +350,8 @@ impl Drop for Runtime {
             pool.shutdown = true;
         }
         self.shared.work_cv.notify_all();
-        for s in self.streams.drain(..) {
+        let streams: Vec<_> = self.streams.lock().drain(..).collect();
+        for s in streams {
             let _ = s.join();
         }
     }

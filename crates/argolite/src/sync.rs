@@ -35,9 +35,21 @@ use std::time::{Duration, Instant};
 pub mod lock_order {
     //! The `debug-invariants` lock-order graph recorder.
 
-    use std::cell::RefCell;
+    use std::cell::{Cell, RefCell};
     use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{Mutex, OnceLock, PoisonError};
+
+    /// Named-lock acquisitions recorded process-wide, across every
+    /// thread — background reapers and execution streams included. The
+    /// ring's lock-free hot-path guarantee is asserted against this:
+    /// pure submit/complete traffic must not move it.
+    static ACQUIRES: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        /// Named-lock acquisitions recorded on this thread.
+        static THREAD_ACQUIRES: Cell<u64> = const { Cell::new(0) };
+    }
 
     struct Registry {
         ids: HashMap<&'static str, usize>,
@@ -103,6 +115,8 @@ pub mod lock_order {
     /// Panics with the offending cycle if the acquisition order
     /// contradicts an order some thread has already exhibited.
     pub(super) fn on_acquire(class: usize) {
+        ACQUIRES.fetch_add(1, Ordering::Relaxed);
+        THREAD_ACQUIRES.with(|c| c.set(c.get() + 1));
         let cycle: Option<String> = HELD.with(|held| {
             let held = held.borrow();
             if held.is_empty() {
@@ -168,6 +182,22 @@ pub mod lock_order {
             let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
             held.borrow().iter().map(|&h| reg.names[h]).collect()
         })
+    }
+
+    /// Total named-lock acquisitions recorded process-wide since program
+    /// start, on every thread (test support). A code region is lock-free
+    /// with respect to `argolite::sync` exactly when this count is the
+    /// same before and after it — including work done by background
+    /// threads the region is waiting on, since those bump the same
+    /// counter.
+    pub fn total_acquire_count() -> u64 {
+        ACQUIRES.load(Ordering::SeqCst)
+    }
+
+    /// Named-lock acquisitions recorded on the calling thread (test
+    /// support for per-thread hot-path assertions).
+    pub fn acquire_count() -> u64 {
+        THREAD_ACQUIRES.with(|c| c.get())
     }
 
     /// Forget every class this thread thinks it holds. Only for the

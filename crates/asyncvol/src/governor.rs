@@ -1,0 +1,165 @@
+//! Depth-adaptive scheduling: ring occupancy → wait mode + stream count.
+//!
+//! The TASIO observation (arXiv 2011.13823) is that the task scheduler
+//! should *see* the I/O queue: a shallow ring means completions are
+//! imminent (poll, don't pay a park/unpark round trip) and background
+//! streams are idle capacity; a deep ring means block and spend threads
+//! on draining it. [`DepthGovernor`] folds two depth signals into that
+//! decision:
+//!
+//! - the ring's **instantaneous occupancy** (sampled at submit time),
+//! - the telemetry pipeline's **per-epoch queue-depth series** (the
+//!   `SeriesAggregator` the PR 5 flight recorder feeds), EWMA-smoothed
+//!   so one quiet epoch doesn't collapse the stream pool mid-burst.
+//!
+//! Advice takes the deeper of the two views: growth reacts to the
+//! current burst immediately, shrink-back is damped by the EWMA. Stream
+//! growth is applied with [`argolite::Runtime::grow_streams`], which is
+//! growth-only — the governor decides targets, never kills threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use apio_trace::SeriesAggregator;
+use h5lite::ring::{DepthAdvice, Ring, WaitMode};
+
+/// EWMA weight for a new depth sample (higher = more reactive).
+const ALPHA: f64 = 0.3;
+
+/// Ring fill fraction above which waiters should block rather than poll
+/// (mirrors [`Ring::advise`]).
+const BLOCK_FILL: f64 = 0.25;
+
+/// Occupancy-driven scheduling governor. All state is a single atomic
+/// (the EWMA-smoothed depth, stored as `f64` bits), so observing and
+/// advising never lock — racing observers lose a sample, not liveness.
+pub struct DepthGovernor {
+    ewma_bits: AtomicU64,
+    base_streams: usize,
+    max_streams: usize,
+}
+
+impl DepthGovernor {
+    /// Governor advising between `base_streams` (the configured stream
+    /// count) and `max_streams` (the growth ceiling; clamped up to
+    /// `base_streams` if smaller).
+    pub fn new(base_streams: usize, max_streams: usize) -> Self {
+        DepthGovernor {
+            ewma_bits: AtomicU64::new(0f64.to_bits()),
+            base_streams,
+            max_streams: max_streams.max(base_streams),
+        }
+    }
+
+    /// Fold one observed queue depth into the smoothed estimate.
+    pub fn observe(&self, depth: u64) {
+        let prev = f64::from_bits(self.ewma_bits.load(Ordering::Relaxed));
+        let next = prev + ALPHA * (depth as f64 - prev);
+        self.ewma_bits.store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Feed the latest telemetry epoch's queue-depth sample (the
+    /// [`SeriesAggregator`] the flight recorder maintains) into the
+    /// smoothed estimate. No-op before the first completed epoch.
+    pub fn observe_series(&self, series: &SeriesAggregator) {
+        if let Some(point) = series.last() {
+            self.observe(point.queue_depth);
+        }
+    }
+
+    /// The EWMA-smoothed queue depth.
+    pub fn smoothed_depth(&self) -> f64 {
+        f64::from_bits(self.ewma_bits.load(Ordering::Relaxed))
+    }
+
+    /// The growth ceiling this governor advises toward.
+    pub fn max_streams(&self) -> usize {
+        self.max_streams
+    }
+
+    /// Scheduling advice for `ring`: the deeper of the instantaneous
+    /// occupancy and the smoothed telemetry depth decides wait mode and
+    /// stream target.
+    pub fn advise(&self, ring: &Ring) -> DepthAdvice {
+        let instant = ring.advise(self.base_streams, self.max_streams);
+        let cap = ring.capacity().max(1) as f64;
+        let fill = (self.smoothed_depth() / cap).min(1.0);
+        let wait = if instant.wait == WaitMode::Block || fill >= BLOCK_FILL {
+            WaitMode::Block
+        } else {
+            WaitMode::Poll
+        };
+        let span = self.max_streams - self.base_streams;
+        let smoothed_streams = self.base_streams + (fill * span as f64).ceil() as usize;
+        DepthAdvice {
+            wait,
+            streams: instant.streams.max(smoothed_streams).min(self.max_streams),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h5lite::storage::MemBackend;
+    use h5lite::{RingConfig, StorageBackend};
+    use std::sync::Arc;
+
+    fn idle_ring() -> Ring {
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        Ring::new(backend, RingConfig::default())
+    }
+
+    #[test]
+    fn quiet_governor_polls_at_base_streams() {
+        let ring = idle_ring();
+        let gov = DepthGovernor::new(1, 8);
+        let advice = gov.advise(&ring);
+        assert_eq!(advice.wait, WaitMode::Poll);
+        assert_eq!(advice.streams, 1);
+    }
+
+    #[test]
+    fn deep_series_blocks_and_grows_streams() {
+        let ring = idle_ring();
+        let gov = DepthGovernor::new(1, 8);
+        // A sustained deep-queue regime reported by telemetry: the
+        // governor must advise blocking waits and more streams even
+        // though the instantaneous occupancy is momentarily zero.
+        for _ in 0..20 {
+            gov.observe(ring.capacity() as u64);
+        }
+        let advice = gov.advise(&ring);
+        assert_eq!(advice.wait, WaitMode::Block);
+        assert_eq!(advice.streams, 8);
+    }
+
+    #[test]
+    fn ewma_damps_a_single_quiet_sample() {
+        let gov = DepthGovernor::new(1, 8);
+        for _ in 0..20 {
+            gov.observe(100);
+        }
+        let deep = gov.smoothed_depth();
+        gov.observe(0);
+        assert!(
+            gov.smoothed_depth() > 0.5 * deep,
+            "one quiet sample must not collapse the estimate"
+        );
+    }
+
+    #[test]
+    fn series_feed_uses_last_epoch_point() {
+        let mut series = SeriesAggregator::default();
+        series.record_queue_depth(64);
+        let _ = series.end_epoch();
+        let gov = DepthGovernor::new(1, 4);
+        gov.observe_series(&series);
+        assert!(gov.smoothed_depth() > 0.0, "epoch depth must register");
+    }
+
+    #[test]
+    fn ceiling_clamps_below_base() {
+        let gov = DepthGovernor::new(4, 1);
+        assert_eq!(gov.max_streams(), 4, "ceiling clamps up to base");
+    }
+}

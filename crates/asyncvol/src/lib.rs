@@ -54,22 +54,25 @@ use std::time::Instant;
 use apio_trace::{Event, Tracer};
 use argolite::sync::Mutex;
 use argolite::{Runtime, TaskHandle};
+use h5lite::ring::{Completion, CqeErr, Ring, RingOp, Submitted, WaitMode};
 use h5lite::{
     Container, H5Error, ObjectId, Promise, ReadRequest, Request, Result, Selection, Vol,
 };
 
 pub mod batch;
 pub mod breaker;
+pub mod governor;
 pub mod retry;
 pub mod staging;
 pub mod stats;
 pub use batch::{BatchOpId, WriteBatch};
 pub use breaker::{BreakerConfig, BreakerState};
+pub use governor::DepthGovernor;
 pub use retry::RetryPolicy;
 pub use staging::{RecoveryReport, Staging, StagingLog};
 pub use stats::{AsyncVolStats, OpKind, OpRecord};
 
-use breaker::{CircuitBreaker, Route};
+use breaker::{CircuitBreaker, ProbeGuard, Route};
 use retry::with_backoff;
 
 /// How one write's snapshot travels to the background stream.
@@ -84,6 +87,8 @@ pub type Observer = Arc<dyn Fn(&OpRecord) + Send + Sync>;
 /// Builder for [`AsyncVol`].
 pub struct AsyncVolBuilder {
     streams: usize,
+    max_streams: Option<usize>,
+    ring: Option<Arc<Ring>>,
     observer: Option<Observer>,
     staging: Staging,
     retry: RetryPolicy,
@@ -103,6 +108,8 @@ impl AsyncVolBuilder {
     pub fn new() -> Self {
         AsyncVolBuilder {
             streams: 1,
+            max_streams: None,
+            ring: None,
             observer: None,
             staging: Staging::Dram,
             retry: RetryPolicy::default(),
@@ -115,6 +122,33 @@ impl AsyncVolBuilder {
     /// async VOL's single background thread per file).
     pub fn streams(mut self, n: usize) -> Self {
         self.streams = n;
+        self
+    }
+
+    /// Growth ceiling for depth-adaptive stream scaling (default: the
+    /// configured stream count, i.e. no growth). Effective only together
+    /// with [`ring`](Self::ring): the depth governor grows the stream
+    /// pool toward this ceiling as ring occupancy rises. Growth-only —
+    /// streams are never reclaimed.
+    pub fn adaptive_streams(mut self, max: usize) -> Self {
+        self.max_streams = Some(max);
+        self
+    }
+
+    /// Route DRAM-staged background writes through `ring` instead of
+    /// spawning a container-write task per request (DESIGN.md §14): the
+    /// caller's thread plans the selection, then submits the snapshot +
+    /// segments as one ring entry keyed by dataset id; the reaper
+    /// coalesces queued entries into vectored batches, and the request's
+    /// `wait` completes the promise — retrying retryable completions by
+    /// resubmission under the connector's [`RetryPolicy`], with
+    /// unchanged circuit-breaker semantics.
+    ///
+    /// The ring must wrap the **same backend** the container uses;
+    /// device staging bypasses the ring (the WAL already decouples the
+    /// caller from the device).
+    pub fn ring(mut self, ring: Arc<Ring>) -> Self {
+        self.ring = Some(ring);
         self
     }
 
@@ -161,15 +195,22 @@ impl AsyncVolBuilder {
 
     /// Spin up the execution streams and assemble the connector.
     pub fn build(self) -> AsyncVol {
+        let max_streams = self.max_streams.unwrap_or(self.streams);
         AsyncVol {
             staging: self.staging,
             rt: Runtime::new(self.streams),
+            ring: self.ring.map(|ring| RingCtl {
+                ring,
+                governor: DepthGovernor::new(self.streams, max_streams),
+            }),
             inner: Mutex::new_named("asyncvol.conn", ConnInner {
                 next_req: 1,
                 pending: HashMap::new(),
                 last_op: HashMap::new(),
                 errors: HashMap::new(),
                 prefetched: HashMap::new(),
+                ring_pending: HashMap::new(),
+                ring_by_ds: HashMap::new(),
             }),
             stats: stats::StatsCells::traced(self.tracer),
             observer: Mutex::new_named("asyncvol.observer", self.observer),
@@ -186,6 +227,32 @@ struct PrefetchSlot {
 
 type ErrorCell = Arc<Mutex<Option<H5Error>>>;
 
+/// The ring and its depth governor (present when the builder attached a
+/// ring).
+struct RingCtl {
+    ring: Arc<Ring>,
+    governor: DepthGovernor,
+}
+
+/// A ring-submitted write awaiting its completion bookkeeping (breaker,
+/// stats, observer, retries) — performed by whichever caller settles it
+/// first: the request's own `wait`, `wait_all`, or an ordering wait from
+/// a read/prefetch/degraded-write on the same dataset.
+struct RingPending {
+    promise: Promise<Completion>,
+    ds: ObjectId,
+    bytes: u64,
+    /// Snapshot + planning time on the caller's thread (Eq. 2b).
+    overhead_secs: f64,
+    /// Submission instant — anchors the reported io_secs (queue time
+    /// included, like the spawned task's measurement window).
+    submitted: Instant,
+    /// Wait strategy the governor advised at submit time.
+    wait: WaitMode,
+    /// Unresolved half-open probe riding on this request, if any.
+    probe: Option<ProbeGuard>,
+}
+
 struct ConnInner {
     next_req: u64,
     /// In-flight (or unreaped) write/read tasks by request id.
@@ -197,11 +264,17 @@ struct ConnInner {
     errors: HashMap<u64, ErrorCell>,
     /// Completed or in-flight prefetches keyed by (dataset, selection).
     prefetched: HashMap<(ObjectId, Selection), PrefetchSlot>,
+    /// Ring-submitted writes awaiting settlement, by request id.
+    ring_pending: HashMap<u64, RingPending>,
+    /// Settlement order per dataset for the ring path (mirrors the ring's
+    /// per-key FIFO; replaces `last_op` chaining for ring writes).
+    ring_by_ds: HashMap<ObjectId, Vec<u64>>,
 }
 
 /// The asynchronous VOL connector. See the crate docs.
 pub struct AsyncVol {
     rt: Runtime,
+    ring: Option<RingCtl>,
     inner: Mutex<ConnInner>,
     stats: stats::StatsCells,
     observer: Mutex<Option<Observer>>,
@@ -318,6 +391,235 @@ impl AsyncVol {
         }
     }
 
+    /// The attached submission/completion ring, when the connector runs
+    /// the ring path.
+    pub fn ring(&self) -> Option<&Arc<Ring>> {
+        self.ring.as_ref().map(|ctl| &ctl.ring)
+    }
+
+    /// The depth governor steering the ring path's scheduling, when one
+    /// is attached.
+    pub fn governor(&self) -> Option<&DepthGovernor> {
+        self.ring.as_ref().map(|ctl| &ctl.governor)
+    }
+
+    /// Feed the telemetry pipeline's queue-depth series into the depth
+    /// governor and apply its advice (growth-only stream scaling). The
+    /// closed loop: flight recorder → [`apio_trace::SeriesAggregator`] →
+    /// governor → [`argolite::Runtime::grow_streams`]. Returns the
+    /// advice, or `None` when no ring is attached.
+    pub fn govern_from_series(
+        &self,
+        series: &apio_trace::SeriesAggregator,
+    ) -> Option<h5lite::ring::DepthAdvice> {
+        let ctl = self.ring.as_ref()?;
+        ctl.governor.observe_series(series);
+        let advice = ctl.governor.advise(&ctl.ring);
+        self.rt.grow_streams(advice.streams);
+        Some(advice)
+    }
+
+    /// Submit to the ring with Block semantics regardless of the ring's
+    /// own policy: a Poll-policy ring hands a full-ring op back, and the
+    /// connector's contract is that an issued write is queued.
+    fn ring_submit_blocking(ring: &Ring, ds: ObjectId, op: RingOp) -> Promise<Completion> {
+        let mut op = op;
+        loop {
+            match ring.submit_keyed(ds, op) {
+                Submitted::Accepted { promise, .. } => return promise,
+                Submitted::Full(back) => {
+                    op = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Remove a ring-pending entry (and its settlement-order slot).
+    fn take_ring_pending(&self, req: u64) -> Option<RingPending> {
+        let mut inner = self.inner.lock();
+        let pending = inner.ring_pending.remove(&req)?;
+        if let Some(order) = inner.ring_by_ds.get_mut(&pending.ds) {
+            order.retain(|r| *r != req);
+            if order.is_empty() {
+                inner.ring_by_ds.remove(&pending.ds);
+            }
+        }
+        Some(pending)
+    }
+
+    /// Settle one ring write: wait for its completion (polling first
+    /// when the governor advised it), resubmitting retryable failures
+    /// under the connector's retry policy, then run the same breaker /
+    /// stats / observer bookkeeping the spawned-task path runs in its
+    /// closure. Returns the final error, if any.
+    fn finish_ring(&self, ctl: &RingCtl, req: u64, pending: RingPending) -> Option<H5Error> {
+        let RingPending {
+            promise,
+            ds,
+            bytes,
+            overhead_secs,
+            submitted,
+            wait,
+            probe,
+        } = pending;
+        let stats = &self.stats;
+        let mut current = promise;
+        let mut resubmit: Option<RingOp> = None;
+        // The deadline anchors at settlement, not submission: queue time
+        // under a deep ring is the workload's choice, not a fault.
+        let outcome: Result<()> = with_backoff(&self.retry, req, Instant::now(), stats, || {
+            if let Some(op) = resubmit.take() {
+                current = Self::ring_submit_blocking(&ctl.ring, ds, op);
+            }
+            if wait == WaitMode::Poll {
+                // Shallow-ring advice: the completion is imminent, spin
+                // briefly before paying the blocking wait.
+                for _ in 0..4096 {
+                    if current.is_fulfilled() {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+            match current.wait_cloned().result {
+                Ok(_) => Ok(()),
+                Err(CqeErr { error, op }) => {
+                    resubmit = Some(op);
+                    Err(error)
+                }
+            }
+        });
+        let io_secs = submitted.elapsed().as_secs_f64();
+        stats.record_write(bytes, io_secs);
+        // Same breaker resolution as the spawned-task path: only device
+        // faults move the machine; a probe guard always resolves.
+        match (&outcome, probe) {
+            (Ok(()), Some(g)) => g.success(),
+            (Err(e), Some(g)) if e.is_device_fault() => g.device_fault(),
+            (Err(_), Some(g)) => g.success(),
+            (Ok(()), None) => self.breaker.on_success(false, stats),
+            (Err(e), None) if e.is_device_fault() => self.breaker.on_device_failure(false, stats),
+            (Err(_), None) => self.breaker.on_success(false, stats),
+        }
+        self.notify(OpRecord {
+            kind: OpKind::Write,
+            bytes,
+            io_secs,
+            overhead_secs,
+        });
+        stats.record_queue_completed();
+        outcome.err()
+    }
+
+    /// Settle every ring write pending on `ds`, in submission order —
+    /// the ring path's RAW/WAR ordering for reads, prefetches, and
+    /// degraded writes. Failures are stowed as deferred errors so the
+    /// request's own `wait` still surfaces them.
+    fn settle_ring_ds(&self, ds: ObjectId) {
+        let Some(ctl) = &self.ring else { return };
+        loop {
+            let next = {
+                let mut inner = self.inner.lock();
+                let Some(order) = inner.ring_by_ds.get_mut(&ds) else {
+                    break;
+                };
+                if order.is_empty() {
+                    inner.ring_by_ds.remove(&ds);
+                    break;
+                }
+                let req = order.remove(0);
+                if order.is_empty() {
+                    inner.ring_by_ds.remove(&ds);
+                }
+                inner.ring_pending.remove(&req).map(|p| (req, p))
+            };
+            if let Some((req, pending)) = next {
+                if let Some(err) = self.finish_ring(ctl, req, pending) {
+                    let cell: ErrorCell =
+                        Arc::new(Mutex::new_named("asyncvol.error_cell", Some(err)));
+                    self.inner.lock().errors.insert(req, cell);
+                }
+            }
+        }
+    }
+
+    /// The ring write path (DESIGN.md §14): snapshot and plan on the
+    /// caller's thread, submit one keyed ring entry, settle at wait time.
+    fn ring_write(
+        &self,
+        ctl: &RingCtl,
+        c: &Arc<Container>,
+        ds: ObjectId,
+        sel: &Selection,
+        data: &[u8],
+        mut probe_guard: Option<ProbeGuard>,
+    ) -> Result<Request> {
+        let bytes = data.len() as u64;
+        let t0 = Instant::now();
+        let mut snap_span = self.stats.tracer().span("vol.snapshot");
+        let buf = data.to_vec();
+        snap_span.set_event(Event::Snapshot {
+            bytes,
+            staged: false,
+        });
+        drop(snap_span);
+        // Metadata-only planning on the caller's thread; the data path
+        // (the vectored writes) runs on the reaper.
+        let segs = match c.plan_write_selection(ds, sel, bytes) {
+            Ok(segs) => segs,
+            Err(e) => {
+                // Synchronous issue failure, like a WAL append failure:
+                // resolve the probe and count device faults.
+                match probe_guard.take() {
+                    Some(g) if e.is_device_fault() => g.device_fault(),
+                    Some(g) => drop(g),
+                    None if e.is_device_fault() => self.breaker.on_device_failure(false, &self.stats),
+                    None => {}
+                }
+                return Err(e);
+            }
+        };
+        let overhead_secs = t0.elapsed().as_secs_f64();
+        self.stats.record_snapshot(bytes, overhead_secs);
+
+        // Depth-adaptive scheduling: sample occupancy, take the
+        // governor's advice, and grow the stream pool toward its target.
+        ctl.governor.observe(ctl.ring.occupancy() as u64);
+        let advice = ctl.governor.advise(&ctl.ring);
+        self.rt.grow_streams(advice.streams);
+        self.stats.tracer().instant(
+            "ring.submit",
+            Event::VolCall {
+                op: "ring_submit",
+                dataset: ds,
+                bytes,
+            },
+        );
+
+        let mut inner = self.inner.lock();
+        Self::gc_locked(&mut inner);
+        let req = inner.next_req;
+        inner.next_req += 1;
+        self.stats.record_queue_submitted();
+        // Submission happens under the connector lock so the ring's
+        // per-key FIFO matches request order; the reaper drains without
+        // ever taking this lock, so a full-ring block here still makes
+        // progress.
+        let promise = Self::ring_submit_blocking(&ctl.ring, ds, RingOp::Write { data: buf, segs });
+        inner.ring_pending.insert(req, RingPending {
+            promise,
+            ds,
+            bytes,
+            overhead_secs,
+            submitted: Instant::now(),
+            wait: advice.wait,
+            probe: probe_guard,
+        });
+        inner.ring_by_ds.entry(ds).or_default().push(req);
+        Ok(Request(req))
+    }
+
     /// Schedule a background read of `(ds, sel)` so a later `dataset_read`
     /// with the same key completes without blocking. Returns the request
     /// token of the background read.
@@ -325,6 +627,9 @@ impl AsyncVol {
     /// Prefetching the same key twice is a no-op returning the original
     /// token's id 0 sentinel — the slot is already warm.
     pub fn prefetch(&self, c: &Arc<Container>, ds: ObjectId, sel: &Selection) -> Request {
+        // Ring writes are not task handles, so the dependency list below
+        // cannot order the background read after them — settle them now.
+        self.settle_ring_ds(ds);
         let mut inner = self.inner.lock();
         let key = (ds, sel.clone());
         if inner.prefetched.contains_key(&key) {
@@ -416,6 +721,7 @@ impl AsyncVol {
                 bytes: data.len() as u64,
             },
         );
+        self.settle_ring_ds(ds); // order after any in-flight ring writes
         let (salt, dep) = {
             let mut inner = self.inner.lock();
             let salt = inner.next_req;
@@ -489,11 +795,19 @@ impl Vol for AsyncVol {
         // A dispatched probe must always resolve: the guard reports the
         // outcome, and reverts HalfOpen → Open if dropped unresolved
         // (staging append failure below, or a panicking probe task).
-        let mut probe_guard = if probe {
+        let probe_guard = if probe {
             Some(self.breaker.probe_guard(&self.stats))
         } else {
             None
         };
+
+        // The ring path handles DRAM-staged writes when a ring is
+        // attached; device staging keeps the WAL pipeline (the log
+        // already decouples the caller from the device).
+        if let (Some(ctl), Staging::Dram) = (&self.ring, &self.staging) {
+            return self.ring_write(ctl, c, ds, sel, data, probe_guard);
+        }
+        let mut probe_guard = probe_guard;
 
         // The transactional overhead (Eq. 2b's t_transact_overhead): a
         // synchronous copy out of the caller's buffer — into a heap
@@ -647,7 +961,9 @@ impl Vol for AsyncVol {
 
         // Cold read: block on any outstanding op on this dataset (RAW
         // ordering), then read on the calling thread — the first-time-step
-        // behaviour of the paper's connector.
+        // behaviour of the paper's connector. Ring writes order the same
+        // way: settle them before reading.
+        self.settle_ring_ds(ds);
         let mut read_span = self.stats.tracer().span("vol.read");
         let dep = { self.inner.lock().last_op.get(&ds).cloned() };
         if let Some(dep) = dep {
@@ -679,6 +995,17 @@ impl Vol for AsyncVol {
     fn wait(&self, req: Request) -> Result<()> {
         if req.is_sync() {
             return Ok(());
+        }
+        // Ring-path request: settle its completion here (an ordering
+        // wait may already have settled it and stowed any error in the
+        // deferred-error map, which the shared path below surfaces).
+        if let Some(ctl) = &self.ring {
+            if let Some(pending) = self.take_ring_pending(req.0) {
+                return match self.finish_ring(ctl, req.0, pending) {
+                    Some(err) => Err(H5Error::Async(err.to_string())),
+                    None => Ok(()),
+                };
+            }
         }
         let (handle, error_cell) = {
             let mut inner = self.inner.lock();
@@ -715,6 +1042,18 @@ impl Vol for AsyncVol {
         // the rest, and a checkpoint writer deciding what to re-drive
         // needs the full list of failed requests.
         let mut failures: Vec<(u64, String)> = Vec::new();
+        if let Some(ctl) = &self.ring {
+            let ring_drained: Vec<(u64, RingPending)> = {
+                let mut inner = self.inner.lock();
+                inner.ring_by_ds.clear();
+                inner.ring_pending.drain().collect()
+            };
+            for (req, pending) in ring_drained {
+                if let Some(err) = self.finish_ring(ctl, req, pending) {
+                    failures.push((req, err.to_string()));
+                }
+            }
+        }
         for (req, handle) in handles {
             if let Err(p) = handle.wait() {
                 failures.push((req, format!("background task panicked: {}", p.message)));

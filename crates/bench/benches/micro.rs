@@ -3,14 +3,27 @@
 //! constant past tens of MB — is measured here on the machine running the
 //! benchmark, validating the saturating-curve shape of
 //! `platform::MemcpyModel`.
+//!
+//! Since the ring backend landed, this binary also owns the queue-depth
+//! sweep (depth ∈ {1, 4, 16, 64} × op size {4 KiB, 64 KiB, 1 MiB}) and
+//! the 64 KiB-op epoch comparison; a full (non-smoke) run rewrites
+//! `BENCH_ring.json` at the workspace root, which the `xtask bench-diff`
+//! gate and `crates/xtask/tests/gate.rs` consume.
 
-use apio_bench::harness::{bench, bench_bytes, bench_custom, section, Sample};
+use apio_bench::harness::{bench, bench_bytes, bench_custom, section, smoke_mode, Sample};
 use apio_trace::Tracer;
+use asyncvol::AsyncVol;
 use h5lite::container::ROOT_ID;
-use h5lite::{Container, Dataspace, Datatype, Layout, Selection};
+use h5lite::ring::{Ring, RingConfig, RingOp};
+use h5lite::{
+    Container, Dataspace, Datatype, Hyperslab, Layout, Selection, StorageBackend, ThrottledBackend,
+    Vol,
+};
 use kernels::vpic::interleaved_slab;
 use std::hint::black_box;
-use std::time::Instant;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn memcpy_by_size() {
     section("real_memcpy");
@@ -181,9 +194,177 @@ fn integrity_overhead() {
     });
 }
 
+/// One recorded measurement, flattened for the JSON report.
+struct Rec {
+    name: String,
+    secs_per_iter: f64,
+    iters: u64,
+    bytes: u64,
+}
+
+fn rec(recs: &mut Vec<Rec>, name: &str, s: Sample, bytes: u64) {
+    recs.push(Rec {
+        name: name.to_owned(),
+        secs_per_iter: s.secs_per_iter(),
+        iters: s.iters,
+        bytes,
+    });
+}
+
+/// Queue-depth sweep through the raw [`Ring`]: one batch of `depth`
+/// writes of `size` bytes each, submitted together and drained to
+/// completion, against a 4-channel throttled backend whose 200 µs
+/// per-op latency is what depth amortizes. The reaper coalesces a whole
+/// batch into one `write_vectored_at`, so small-op throughput must rise
+/// monotonically with depth — the io_uring shape the paper's async
+/// pipelines rely on. `gate.rs` asserts that monotonicity on the
+/// committed JSON for the ≤ 64 KiB rows (the 1 MiB row is
+/// bandwidth-bound, so depth buys it little by design).
+fn ring_depth_sweep(recs: &mut Vec<Rec>) {
+    section("ring_depth");
+    for size in [4096usize, 65536, 1 << 20] {
+        for depth in [1usize, 4, 16, 64] {
+            let backend: Arc<dyn StorageBackend> =
+                Arc::new(ThrottledBackend::with_channels(2e9, 2e-4, 4));
+            let ring = Ring::new(
+                backend,
+                RingConfig {
+                    idle_park: Duration::from_millis(5),
+                    ..RingConfig::default()
+                },
+            );
+            let payload = vec![0xA5u8; size];
+            let total = (size * depth) as u64;
+            let name = format!("ring_depth/{size}B/d{depth}");
+            let s = bench_custom(&name, |iters| {
+                let mut timed = Duration::ZERO;
+                for _ in 0..iters {
+                    // Build the owned batch outside the timed region so
+                    // the clone cost doesn't pollute the I/O number.
+                    let batch: Vec<RingOp> = (0..depth)
+                        .map(|i| RingOp::write_raw((i * size) as u64, payload.clone()))
+                        .collect();
+                    let t0 = Instant::now();
+                    for (_, promise) in ring.submit_batch_keyed(0, batch) {
+                        promise.wait_cloned().into_result().unwrap();
+                    }
+                    timed += t0.elapsed();
+                }
+                timed
+            });
+            rec(recs, &name, s, total);
+            let mbps = total as f64 / s.secs_per_iter() / 1e6;
+            println!("    {name:<28} {mbps:9.1} MB/s");
+        }
+    }
+}
+
+/// Fig. 1's epoch comparison at BD-CATS granularity: 1 ms of compute
+/// followed by 64 × 64 KiB slab writes, sync through the container vs
+/// async through the ring-backed connector. The sync epoch pays the
+/// 100 µs device latency per op; the async epoch overlaps I/O with the
+/// next compute phase and the reaper coalesces the slabs, so `gate.rs`
+/// holds the committed async figure to ≤ ½ of `BENCH_baseline.json`'s
+/// `epoch/async` (7.47 ms, the pre-ring connector on its 4 MiB
+/// workload).
+fn ring_epoch(recs: &mut Vec<Rec>) {
+    section("ring_epoch");
+    let ops = 64u64;
+    let op_bytes = 65536u64;
+    let total = ops * op_bytes;
+    let compute = Duration::from_millis(1);
+    let data = vec![0x5Au8; op_bytes as usize];
+    let sels: Vec<Selection> = (0..ops)
+        .map(|i| Selection::Slab(Hyperslab::range1(i * op_bytes, op_bytes)))
+        .collect();
+
+    {
+        let backend: Arc<dyn StorageBackend> =
+            Arc::new(ThrottledBackend::with_channels(2e9, 1e-4, 4));
+        let ring = Arc::new(Ring::new(
+            backend.clone(),
+            RingConfig {
+                idle_park: Duration::from_millis(5),
+                ..RingConfig::default()
+            },
+        ));
+        let vol = AsyncVol::builder().streams(2).adaptive_streams(4).ring(ring).build();
+        let c = Arc::new(Container::create(backend));
+        let ds = c
+            .create_dataset(ROOT_ID, "e", Datatype::U8, &Dataspace::d1(total), Layout::Contiguous)
+            .unwrap();
+        // Warm pass: extent allocation happens outside the timed region.
+        for sel in &sels {
+            // Drained collectively by wait_all below.
+            let _ = vol.dataset_write(&c, ds, sel, &data).unwrap();
+        }
+        vol.wait_all().unwrap();
+        let s = bench("ring/epoch_async_64KiB", || {
+            std::thread::sleep(compute);
+            for sel in &sels {
+                let _ = vol.dataset_write(&c, ds, black_box(sel), black_box(&data)).unwrap();
+            }
+        });
+        vol.wait_all().unwrap();
+        rec(recs, "ring/epoch_async_64KiB", s, total);
+    }
+    {
+        let backend: Arc<dyn StorageBackend> =
+            Arc::new(ThrottledBackend::with_channels(2e9, 1e-4, 4));
+        let c = Container::create(backend);
+        let ds = c
+            .create_dataset(ROOT_ID, "e", Datatype::U8, &Dataspace::d1(total), Layout::Contiguous)
+            .unwrap();
+        for sel in &sels {
+            c.write_selection(ds, sel, &data).unwrap();
+        }
+        let s = bench("ring/epoch_sync_64KiB", || {
+            std::thread::sleep(compute);
+            for sel in &sels {
+                c.write_selection(ds, black_box(sel), black_box(&data)).unwrap();
+            }
+        });
+        rec(recs, "ring/epoch_sync_64KiB", s, total);
+    }
+}
+
+/// Hand-rolled JSON report (the workspace is dependency-free). `{:e}`
+/// renders every float as a valid JSON number.
+fn emit_json(recs: &[Rec]) {
+    let mut out = String::from("{\n  \"bench\": \"ring\",\n");
+    out.push_str("  \"command\": \"cargo bench -p apio-bench --bench micro\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"secs_per_iter\": {:e}, \"iters\": {}, \"bytes\": {}}}{}\n",
+            r.name,
+            r.secs_per_iter,
+            r.iters,
+            r.bytes,
+            if i + 1 < recs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ring.json");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => println!("\nfailed to write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     memcpy_by_size();
     model_copy_time();
     trace_overhead();
     integrity_overhead();
+
+    let mut recs = Vec::new();
+    ring_depth_sweep(&mut recs);
+    ring_epoch(&mut recs);
+    // Smoke runs time a single iteration; persisting those numbers
+    // would overwrite the committed report with noise.
+    if !smoke_mode() {
+        emit_json(&recs);
+    }
 }

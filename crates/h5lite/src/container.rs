@@ -54,7 +54,7 @@ use crate::dataspace::{Dataspace, Selection};
 use crate::datatype::Datatype;
 use crate::error::{H5Error, Result};
 use crate::layout::Layout;
-use crate::plan::{IoPlan, COALESCE_WINDOW};
+use crate::plan::{IoPlan, IoSegment, COALESCE_WINDOW};
 use crate::storage::{FileBackend, IoVec, IoVecMut, MemBackend, StorageBackend};
 use crate::superblock::{self, fnv1a64, Superblock, SUPERBLOCK_AREA};
 
@@ -869,6 +869,27 @@ impl Container {
             self.backend.write_vectored_at(&batch)?;
         }
         Ok(())
+    }
+
+    /// Resolve a write selection to device segments without issuing any
+    /// I/O: same planning (and chunk allocation) as
+    /// [`Container::write_selection`], but the caller keeps the segments.
+    /// The ring path plans here, then submits segments plus the caller's
+    /// snapshot as one ring entry — the reaper issues the vectored
+    /// batches (DESIGN.md §14).
+    pub fn plan_write_selection(
+        &self,
+        id: ObjectId,
+        sel: &Selection,
+        data_len: u64,
+    ) -> Result<Vec<IoSegment>> {
+        let (plan, _verify) = self.plan_io(id, sel, Some(data_len), true)?;
+        Ok(plan.segments().to_vec())
+    }
+
+    /// The storage backend this container runs on (shared handle).
+    pub fn backend(&self) -> Arc<dyn StorageBackend> {
+        self.backend.clone()
     }
 
     /// Read the selected elements as raw on-disk bytes.

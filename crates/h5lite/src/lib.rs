@@ -51,6 +51,7 @@ pub mod layout;
 pub mod native;
 pub mod plan;
 pub mod promise;
+pub mod ring;
 pub mod storage;
 pub mod superblock;
 pub mod sync;
@@ -65,6 +66,10 @@ pub use layout::Layout;
 pub use native::NativeVol;
 pub use plan::{IoPlan, IoSegment, COALESCE_WINDOW};
 pub use promise::Promise;
+pub use ring::{
+    Backpressure, Completion, CqeErr, CqeOk, DepthAdvice, ReadExtent, Ring, RingBackend,
+    RingConfig, RingOp, Submitted, WaitMode,
+};
 pub use storage::{
     CrashBackend, CrashClock, FaultInjector, FaultKind, FaultOp, FaultPlan, FileBackend, IoVec,
     IoVecMut, MemBackend, StorageBackend, ThrottledBackend, TracedBackend,

@@ -330,6 +330,15 @@ impl StorageBackend for FileBackend {
 /// (ThrottledBackend::set_bandwidth)) to emulate a storage regime change
 /// — the stimulus the drift-detection tests use to exercise the model's
 /// stale-fit invalidation.
+///
+/// Concurrency is modelled with a fixed pool of *channels* (think PFS
+/// service lanes / NVMe queue pairs): each operation books the
+/// earliest-free channel in virtual time and sleeps until its booked
+/// completion. Up to `channels` operations overlap their stalls; beyond
+/// that, operations queue behind the busiest-free lane. Depth 1 pays one
+/// latency per op; depth `<= channels` overlaps them; only *coalescing*
+/// (one vectored batch, one latency) keeps winning past the cap — which
+/// is exactly the regime a queue-depth sweep needs to measure.
 pub struct ThrottledBackend {
     inner: Box<dyn StorageBackend>,
     /// Sustained bandwidth, bytes/s, stored as `f64` bits so concurrent
@@ -337,22 +346,62 @@ pub struct ThrottledBackend {
     bandwidth_bits: AtomicU64,
     /// Per-operation latency, seconds.
     latency: f64,
+    /// Virtual-time channel bookings; the lock is held only to pick a
+    /// lane and book the interval — the sleep happens outside it.
+    channels: Mutex<Channels>,
+}
+
+/// Per-channel virtual-time bookkeeping for [`ThrottledBackend`].
+struct Channels {
+    /// Zero point of the virtual clock.
+    epoch: std::time::Instant,
+    /// Seconds-since-epoch at which each channel is next free.
+    free_at: Vec<f64>,
 }
 
 impl ThrottledBackend {
-    /// Throttle `inner` to `bandwidth` bytes/s plus `latency` per op.
+    /// Default concurrency cap: matches the handful of service lanes a
+    /// single client typically gets from a PFS or an NVMe namespace.
+    pub const DEFAULT_CHANNELS: usize = 4;
+
+    /// Throttle `inner` to `bandwidth` bytes/s plus `latency` per op,
+    /// with [`DEFAULT_CHANNELS`](Self::DEFAULT_CHANNELS) in-flight lanes.
     pub fn new(inner: Box<dyn StorageBackend>, bandwidth: f64, latency: f64) -> Self {
-        assert!(bandwidth > 0.0 && latency >= 0.0);
+        Self::with_channel_count(inner, bandwidth, latency, Self::DEFAULT_CHANNELS)
+    }
+
+    /// Throttle `inner` with an explicit in-flight concurrency cap.
+    pub fn with_channel_count(
+        inner: Box<dyn StorageBackend>,
+        bandwidth: f64,
+        latency: f64,
+        channels: usize,
+    ) -> Self {
+        assert!(bandwidth > 0.0 && latency >= 0.0 && channels >= 1);
         ThrottledBackend {
             inner,
             bandwidth_bits: AtomicU64::new(bandwidth.to_bits()),
             latency,
+            channels: Mutex::new(Channels {
+                epoch: std::time::Instant::now(),
+                free_at: vec![0.0; channels],
+            }),
         }
     }
 
     /// Throttle a fresh in-memory backend.
     pub fn in_memory(bandwidth: f64, latency: f64) -> Self {
         Self::new(Box::new(MemBackend::new()), bandwidth, latency)
+    }
+
+    /// Throttle a fresh in-memory backend with an explicit channel cap.
+    pub fn with_channels(bandwidth: f64, latency: f64, channels: usize) -> Self {
+        Self::with_channel_count(Box::new(MemBackend::new()), bandwidth, latency, channels)
+    }
+
+    /// The in-flight concurrency cap.
+    pub fn channel_count(&self) -> usize {
+        self.channels.lock().free_at.len()
     }
 
     /// The current sustained bandwidth, bytes/s.
@@ -369,9 +418,35 @@ impl ThrottledBackend {
             .store(bandwidth.to_bits(), Ordering::Relaxed);
     }
 
+    /// Charge one operation of `bytes` payload: book the earliest-free
+    /// channel for `latency + bytes/bandwidth` of service, then sleep
+    /// until the booked completion. Per-batch accounting falls out of
+    /// this — a vectored call is *one* booking for its total bytes.
     fn stall(&self, bytes: usize) {
-        let secs = self.latency + bytes as f64 / self.bandwidth();
-        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        let service = self.latency + bytes as f64 / self.bandwidth();
+        let (epoch, end) = {
+            let mut ch = self.channels.lock();
+            let now = ch.epoch.elapsed().as_secs_f64();
+            let mut lane = 0;
+            for (i, free) in ch.free_at.iter().enumerate() {
+                if *free < ch.free_at[lane] {
+                    lane = i;
+                }
+            }
+            let start = if ch.free_at[lane] > now {
+                ch.free_at[lane]
+            } else {
+                now
+            };
+            let end = start + service;
+            ch.free_at[lane] = end;
+            (ch.epoch, end)
+        };
+        let deadline = epoch + std::time::Duration::from_secs_f64(end);
+        let now = std::time::Instant::now();
+        if deadline > now {
+            std::thread::sleep(deadline - now);
+        }
     }
 }
 
@@ -1165,6 +1240,34 @@ mod tests {
         b.write_at(192, &seg).unwrap();
         let scalar = t0.elapsed().as_secs_f64();
         assert!(scalar >= 2.0 * lat * 0.9, "scalar pays per op, took {scalar}");
+    }
+
+    #[test]
+    fn throttled_channels_cap_in_flight_concurrency() {
+        // 6 concurrent scalar writes over 2 channels: three serialized
+        // waves of two, so wall time is ~3 latencies — not the single
+        // shared latency the old unbounded model would charge.
+        let lat = 0.03;
+        let b = Arc::new(ThrottledBackend::with_channels(1e12, lat, 2));
+        let t0 = std::time::Instant::now();
+        let threads: Vec<_> = (0..6u64)
+            .map(|i| {
+                let b = b.clone();
+                std::thread::spawn(move || b.write_at(i * 64, &[3u8; 64]).unwrap())
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert!(
+            elapsed >= 3.0 * lat * 0.9,
+            "depth beyond the channel cap must serialize, took {elapsed}"
+        );
+        assert!(
+            elapsed < 5.0 * lat,
+            "ops within the cap must overlap, took {elapsed}"
+        );
     }
 
     #[test]

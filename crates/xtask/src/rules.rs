@@ -18,8 +18,9 @@
 //! | `checked-offset-arith` | h5lite `storage.rs`, `container.rs`, `plan.rs` | device offsets/addresses use `checked_*`/`saturating_*`, never raw `+`/`*` |
 //! | `swallowed-result` | asyncvol, h5lite `src/`              | no `let _ =` / statement `.ok();` discarding a `Result` on an I/O path |
 //! | `superblock-discipline` | h5lite `src/` except `superblock.rs` | the superblock area (offset 0) is written only through the dual-slot commit protocol |
+//! | `ring-discipline` | asyncvol `lib.rs`, `batch.rs`           | background-write paths reach storage via ring submission or planned vectored I/O, never scalar backend calls |
 //!
-//! Nine of the rules are line-local token patterns; the other four
+//! Ten of the rules are line-local token patterns; the other four
 //! ride the intra-procedural dataflow passes in [`crate::dataflow`].
 //! Lexing (see [`crate::lexer`]) makes every rule comment-, string-,
 //! and lifetime-aware for free.
@@ -57,7 +58,7 @@ impl std::fmt::Display for Violation {
 }
 
 /// Names of all rules, for reports and the fixture corpus.
-pub const RULE_NAMES: [&str; 13] = [
+pub const RULE_NAMES: [&str; 14] = [
     "virtual-time",
     "error-path",
     "lock-discipline",
@@ -71,6 +72,7 @@ pub const RULE_NAMES: [&str; 13] = [
     "checked-offset-arith",
     "swallowed-result",
     "superblock-discipline",
+    "ring-discipline",
 ];
 
 /// The one crate allowed to call the manual span API (`begin_span` /
@@ -94,6 +96,14 @@ const BOUNDED_RETRY_CRATES: [&str; 2] = ["crates/h5lite/", "crates/asyncvol/"];
 /// batches. Scalar `write_at`/`read_at` here is a regression back to
 /// per-run request storms; metadata paths carry inline waivers.
 const PLANNED_IO_FILES: [&str; 1] = ["crates/h5lite/src/container.rs"];
+/// Asyncvol background-write paths. With `RingBackend` in place, writes
+/// reach storage through ring submission (or the container's planned
+/// vectored path); a direct scalar `StorageBackend` call here is a
+/// per-request device round trip the ring exists to eliminate. The WAL
+/// staging module is out of scope — its scalar device I/O is the log's
+/// own format.
+const RING_DISCIPLINE_FILES: [&str; 2] =
+    ["crates/asyncvol/src/lib.rs", "crates/asyncvol/src/batch.rs"];
 /// Type names (beyond the `*Guard` convention) that must be `#[must_use]`.
 const MUST_USE_TYPES: [&str; 6] = [
     "TaskHandle",
@@ -207,6 +217,7 @@ pub fn lint_source_full(rel: &str, src: &str) -> FileLint {
     let must_use = in_src(rel, &MUST_USE_CRATES);
     let bounded_retry = in_src(rel, &BOUNDED_RETRY_CRATES);
     let planned_io = PLANNED_IO_FILES.contains(&rel);
+    let ring_discipline = RING_DISCIPLINE_FILES.contains(&rel);
     let trace_discipline = !rel.starts_with(TRACE_CRATE);
     let scheduled = in_src(rel, &SCHEDULED_CRATES);
     let offset_arith = OFFSET_ARITH_FILES.contains(&rel);
@@ -316,6 +327,18 @@ pub fn lint_source_full(rel: &str, src: &str) -> FileLint {
                         line,
                         "planned-io",
                         format!("scalar `.{name}(..)` in the container; route data-path I/O through `plan_io` + `write_vectored_at`/`read_vectored_at` so requests coalesce (metadata paths may waive inline)"),
+                    );
+                }
+            }
+        }
+
+        if ring_discipline {
+            for name in ["write_at", "read_at"] {
+                if seq(&[".", name, "("]) {
+                    push(
+                        line,
+                        "ring-discipline",
+                        format!("scalar `.{name}(..)` on an asyncvol background-write path; submit through the ring (`submit_keyed` / `RingOp`) or the container's planned vectored path so requests coalesce"),
                     );
                 }
             }

@@ -1,0 +1,15 @@
+//@ lint-as: crates/asyncvol/src/lib.rs
+impl AsyncVol {
+    fn background_write(&self, ring: &Ring, ds: ObjectId, op: RingOp) -> Result<()> {
+        match ring.submit_keyed(ds, op) {
+            Submitted::Accepted { promise, .. } => {
+                promise.wait_cloned().into_result().map(|_| ())
+            }
+            Submitted::Full(_) => Err(H5Error::Transient("ring full".into())),
+        }
+    }
+
+    fn planned_write(&self, c: &Container, ds: ObjectId, sel: &Selection, data: &[u8]) -> Result<()> {
+        c.write_selection(ds, sel, data)
+    }
+}

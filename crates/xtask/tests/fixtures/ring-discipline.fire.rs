@@ -1,0 +1,10 @@
+//@ lint-as: crates/asyncvol/src/lib.rs
+impl AsyncVol {
+    fn background_write(&self, extent: StagedExtent, bytes: &[u8]) -> Result<()> {
+        self.backend.write_at(extent.addr, bytes) //~ ring-discipline
+    }
+
+    fn background_readback(&self, extent: StagedExtent, buf: &mut [u8]) -> Result<()> {
+        self.backend.read_at(extent.addr, buf) //~ ring-discipline
+    }
+}

@@ -80,6 +80,70 @@ fn committed_bench_baseline_passes_the_diff_gate() {
 }
 
 #[test]
+fn committed_ring_bench_shows_depth_scaling() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("BENCH_ring.json")).unwrap_or_else(|e| {
+        panic!("BENCH_ring.json must be committed at the workspace root: {e}")
+    });
+    let entries = benchdiff::parse_results(&text).unwrap();
+    let secs = |name: String| -> f64 {
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from BENCH_ring.json"))
+            .secs_per_iter
+    };
+    // Small-op (≤ 64 KiB) throughput must rise monotonically with queue
+    // depth at fixed thread count: the reaper coalesces a deeper ring
+    // into fewer vectored ops, amortizing the device's per-op latency.
+    // The 1 MiB row is bandwidth-bound by design and not asserted.
+    for size in [4096u64, 65536] {
+        let mut last = 0.0f64;
+        for depth in [1u64, 4, 16, 64] {
+            let t = (size * depth) as f64 / secs(format!("ring_depth/{size}B/d{depth}"));
+            assert!(
+                t > last,
+                "ring_depth/{size}B: throughput not monotone at d{depth}: \
+                 {t:.3e} B/s <= {last:.3e} B/s"
+            );
+            last = t;
+        }
+    }
+}
+
+#[test]
+fn committed_ring_epoch_is_2x_over_the_baseline_async_epoch() {
+    let root = workspace_root();
+    let read = |name: &str| {
+        std::fs::read_to_string(root.join(name))
+            .unwrap_or_else(|e| panic!("{name} must be committed at the workspace root: {e}"))
+    };
+    let ring = benchdiff::parse_results(&read("BENCH_ring.json")).unwrap();
+    let baseline = benchdiff::parse_results(&read("BENCH_baseline.json")).unwrap();
+    let secs = |entries: &[benchdiff::BenchEntry], name: &str| -> f64 {
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+            .secs_per_iter
+    };
+    let ring_epoch = secs(&ring, "ring/epoch_async_64KiB");
+    let base_epoch = secs(&baseline, "epoch/async");
+    assert!(
+        ring_epoch <= base_epoch / 2.0,
+        "ring async epoch at 64 KiB ops ({ring_epoch:.3e} s) must be >= 2x over \
+         the committed baseline epoch/async ({base_epoch:.3e} s)"
+    );
+    // And async must actually beat its own sync companion — the overlap
+    // the ring exists to provide.
+    let sync_epoch = secs(&ring, "ring/epoch_sync_64KiB");
+    assert!(
+        ring_epoch < sync_epoch,
+        "ring async epoch ({ring_epoch:.3e} s) should beat sync ({sync_epoch:.3e} s)"
+    );
+}
+
+#[test]
 fn synthetic_regression_fails_the_diff_gate() {
     let root = workspace_root();
     let text = std::fs::read_to_string(root.join("BENCH_baseline.json")).unwrap();

@@ -1,0 +1,386 @@
+//! Integration gate for the ring backend (ISSUE 8): backpressure
+//! policies under a genuinely full ring, completion-vs-submission
+//! ordering, shutdown with operations in flight, fault plumbing through
+//! completions (retry and breaker semantics unchanged), the connector's
+//! ring path end to end, and a seeded `argolite::explore` sweep over
+//! submit/drain interleavings.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use apio::asyncvol::{AsyncVol, RetryPolicy};
+use apio::h5lite::ring::{
+    Backpressure, Ring, RingBackend, RingConfig, RingOp, Submitted, WaitMode,
+};
+use apio::h5lite::{
+    container::ROOT_ID, Container, Dataspace, Datatype, FaultInjector, FaultKind, FaultOp,
+    FaultPlan, Hyperslab, Layout, MemBackend, Selection, StorageBackend, ThrottledBackend, Vol,
+};
+use apio::trace::SeriesAggregator;
+
+#[cfg(feature = "debug-invariants")]
+fn seed_count() -> u64 {
+    std::env::var("APIO_EXPLORE_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
+}
+
+/// A tiny Block-policy ring in front of a slow device must absorb a
+/// submission burst far deeper than its capacity: submitters park until
+/// the reaper frees slots, and every byte still lands.
+#[test]
+fn block_backpressure_absorbs_a_burst_deeper_than_the_ring() {
+    let backend: Arc<dyn StorageBackend> = Arc::new(ThrottledBackend::in_memory(1e9, 2e-4));
+    let ring = Ring::new(
+        backend.clone(),
+        RingConfig {
+            capacity: 4,
+            backpressure: Backpressure::Block,
+            ..RingConfig::default()
+        },
+    );
+    let n = 32u64;
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let (_, promise) = ring
+                .submit_keyed(0, RingOp::write_raw(i * 8, vec![i as u8; 8]))
+                .accepted()
+                .expect("Block policy never reports Full");
+            promise
+        })
+        .collect();
+    for p in handles {
+        p.wait_cloned().into_result().expect("write completes");
+    }
+    for i in 0..n {
+        let mut buf = [0u8; 8];
+        backend.read_at(i * 8, &mut buf).expect("read back");
+        assert_eq!(buf, [i as u8; 8], "op {i} landed intact");
+    }
+}
+
+/// A full Poll-policy ring hands the operation back intact instead of
+/// blocking; after the backlog drains, the very same op resubmits and
+/// completes.
+#[test]
+fn poll_backpressure_hands_the_op_back_intact() {
+    let backend: Arc<dyn StorageBackend> = Arc::new(ThrottledBackend::in_memory(1e6, 0.05));
+    let ring = Ring::new(
+        backend.clone(),
+        RingConfig {
+            capacity: 2,
+            backpressure: Backpressure::Poll,
+            ..RingConfig::default()
+        },
+    );
+    let payload = vec![0xEEu8; 16];
+    let mut accepted = Vec::new();
+    let mut bounced = None;
+    for i in 0..64u64 {
+        match ring.submit_keyed(0, RingOp::write_raw(1024 + i * 16, payload.clone())) {
+            Submitted::Accepted { promise, .. } => accepted.push(promise),
+            Submitted::Full(op) => {
+                bounced = Some(op);
+                break;
+            }
+        }
+    }
+    let op = bounced.expect("a 50 ms/op device must fill a 2-slot ring within 64 submissions");
+    assert_eq!(op.total_bytes(), 16, "the bounced op comes back intact");
+    for p in accepted {
+        p.wait_cloned().into_result().expect("accepted ops complete");
+    }
+    ring.drain();
+    let (_, p) = ring
+        .submit_keyed(0, op)
+        .accepted()
+        .expect("room after drain");
+    p.wait_cloned().into_result().expect("resubmission completes");
+}
+
+/// CQ-polled completions on one key arrive in submission order — the
+/// per-shard FIFO the connector's settlement logic depends on.
+#[test]
+fn completions_arrive_in_submission_order_per_key() {
+    let ring = Ring::new(Arc::new(MemBackend::new()), RingConfig::default());
+    let n = 32u64;
+    let submitted: Vec<u64> = (0..n)
+        .map(|i| {
+            ring.submit_to_cq(0, RingOp::write_raw(i * 4, vec![i as u8; 4]))
+                .expect("ring has room")
+        })
+        .collect();
+    let mut completed = Vec::new();
+    while completed.len() < n as usize {
+        match ring.pop_completion() {
+            Some(c) => {
+                c.result.expect("write succeeds");
+                completed.push(c.id);
+            }
+            None => std::thread::yield_now(),
+        }
+    }
+    assert_eq!(completed, submitted, "per-key completion order == submission order");
+}
+
+/// Dropping the ring with operations still in flight must resolve every
+/// promise (shutdown runs each reaper's final drain) — no waiter can be
+/// left parked forever.
+#[test]
+fn drop_while_in_flight_resolves_every_promise() {
+    let backend: Arc<dyn StorageBackend> = Arc::new(ThrottledBackend::in_memory(1e9, 1e-3));
+    let ring = Ring::new(backend, RingConfig::default());
+    let handles: Vec<_> = (0..16u64)
+        .map(|i| {
+            ring.submit_keyed(i, RingOp::write_raw(i * 64, vec![0xAB; 64]))
+                .accepted()
+                .expect("Block policy")
+                .1
+        })
+        .collect();
+    drop(ring);
+    for (i, p) in handles.into_iter().enumerate() {
+        assert!(p.is_fulfilled(), "promise {i} left unresolved after drop");
+        p.wait_cloned().into_result().expect("completed before shutdown finished");
+    }
+}
+
+/// Seeded schedule exploration over the submit/drain mix: four writers
+/// race each other and a flush, with only the real dependency edges
+/// declared. After every step the ring's occupancy accounting must hold,
+/// and a completed verify step must observe all four payloads.
+/// (`argolite::explore` is compiled under `debug-invariants`, like the
+/// connector's own exploration gate.)
+#[cfg(feature = "debug-invariants")]
+#[test]
+fn seeded_submit_drain_interleavings_hold_ring_invariants() {
+    use apio::argolite::explore::explore;
+    use apio::argolite::TaskGraph;
+    use std::sync::Mutex;
+
+    let seeds = seed_count();
+    // Fresh ring per schedule, shared by the tasks of that run.
+    let slot: Arc<Mutex<Option<Arc<Ring>>>> = Arc::new(Mutex::new(None));
+    let build = || {
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let ring = Arc::new(Ring::new(backend.clone(), RingConfig::default()));
+        *slot.lock().unwrap() = Some(ring.clone());
+        let mut g = TaskGraph::new();
+        let writers: Vec<_> = (0..4u64)
+            .map(|i| {
+                let ring = ring.clone();
+                g.add_task(format!("submit:{i}"), move || {
+                    ring.submit_keyed(i, RingOp::write_raw(i * 32, vec![i as u8 + 1; 32]))
+                        .accepted()
+                        .expect("Block policy")
+                        .1
+                        .wait_cloned()
+                        .into_result()
+                        .expect("write completes");
+                })
+            })
+            .collect();
+        let drain = {
+            let ring = ring.clone();
+            g.add_task("drain", move || ring.drain())
+        };
+        let verify = g.add_task("verify", move || {
+            for i in 0..4u64 {
+                let mut buf = [0u8; 32];
+                backend.read_at(i * 32, &mut buf).expect("read back");
+                assert_eq!(buf, [i as u8 + 1; 32], "payload {i} landed");
+            }
+        });
+        for w in writers {
+            g.add_edge(w, drain);
+        }
+        g.add_edge(drain, verify);
+        g
+    };
+    let report = explore(seeds, build, |s| {
+        let guard = slot.lock().unwrap();
+        let ring = guard.as_ref().expect("build ran");
+        if ring.occupancy() > ring.capacity() {
+            return Err(format!(
+                "occupancy {} exceeds capacity {} after `{}`",
+                ring.occupancy(),
+                ring.capacity(),
+                s.label
+            ));
+        }
+        Ok(())
+    });
+    assert!(report.ok(), "failure: {}", report.failure.unwrap());
+    assert_eq!(report.seeds_run, seeds);
+    assert!(
+        report.distinct_orders >= 2,
+        "a {seeds}-seed sweep must exercise schedule diversity, saw {}",
+        report.distinct_orders
+    );
+}
+
+/// Transient faults injected *under* the ring surface through
+/// completions as the same retryable errors the synchronous path
+/// reports, so the connector's backoff-and-retry absorbs them with zero
+/// application-visible failures — the RingBackend sandwich changes the
+/// transport, not the resilience semantics.
+#[test]
+fn faults_under_the_ring_are_absorbed_by_connector_retries() {
+    let plan = FaultPlan::new(42)
+        .random(FaultOp::Write, 0.3, FaultKind::Transient)
+        .times(6);
+    let injector = Arc::new(FaultInjector::new(Arc::new(MemBackend::new()), plan));
+    injector.set_armed(false);
+    let ringed: Arc<dyn StorageBackend> =
+        Arc::new(RingBackend::with_defaults(injector.clone()));
+    let c = Arc::new(Container::create(ringed));
+    let n = 16u64 * 64;
+    let ds = c
+        .create_dataset(ROOT_ID, "x", Datatype::F32, &Dataspace::d1(n), Layout::Contiguous)
+        .expect("create dataset");
+    let vol = AsyncVol::builder()
+        .streams(2)
+        .retry(RetryPolicy {
+            max_attempts: 8,
+            ..RetryPolicy::default()
+        })
+        .build();
+    injector.set_armed(true);
+    let expected: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    for step in 0..16u64 {
+        let sel = Selection::Slab(Hyperslab::range1(step * 64, 64));
+        let vals = &expected[(step * 64) as usize..((step + 1) * 64) as usize];
+        let bytes = apio::h5lite::datatype::to_bytes(vals);
+        // Drained collectively by wait_all below.
+        let _ = vol.dataset_write(&c, ds, &sel, &bytes).expect("submit");
+    }
+    vol.wait_all().expect("retries absorb every transient fault");
+    injector.set_armed(false);
+    assert!(injector.injected() > 0, "the plan must actually fire");
+    assert!(
+        vol.stats().retries > 0,
+        "transient completions must route through the retry path"
+    );
+    let back = c.read_selection(ds, &Selection::All).expect("read back");
+    assert_eq!(back, apio::h5lite::datatype::to_bytes(&expected), "no write lost");
+}
+
+/// The connector's task-aware ring path end to end: builder-attached
+/// ring, writes submitted as ring entries, per-request wait and
+/// collective wait_all, read-after-write settlement, and the depth
+/// governor steering wait mode and stream count from the telemetry
+/// queue-depth series.
+#[test]
+fn connector_ring_path_roundtrip_and_depth_governor() {
+    let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+    let ring = Arc::new(Ring::new(backend.clone(), RingConfig::default()));
+    let vol = AsyncVol::builder()
+        .streams(1)
+        .adaptive_streams(4)
+        .ring(ring)
+        .build();
+    let c = Arc::new(Container::create(backend));
+    let n = 8u64 * 128;
+    let ds = c
+        .create_dataset(ROOT_ID, "x", Datatype::F32, &Dataspace::d1(n), Layout::Contiguous)
+        .expect("create dataset");
+    let expected: Vec<f32> = (0..n).map(|i| (i * 3) as f32).collect();
+    let mut last = None;
+    for step in 0..8u64 {
+        let sel = Selection::Slab(Hyperslab::range1(step * 128, 128));
+        let vals = &expected[(step * 128) as usize..((step + 1) * 128) as usize];
+        let bytes = apio::h5lite::datatype::to_bytes(vals);
+        last = Some(vol.dataset_write(&c, ds, &sel, &bytes).expect("submit"));
+    }
+    // Per-request wait settles that request's ring completion.
+    vol.wait(last.expect("eight writes issued")).expect("wait");
+    vol.wait_all().expect("wait_all settles the rest");
+    assert_eq!(vol.stats().writes, 8, "every write settled through the ring path");
+
+    // Read-after-write through the connector settles any ring traffic
+    // for the dataset before reading.
+    let sel = Selection::Slab(Hyperslab::range1(0, 128));
+    let back = vol
+        .dataset_read(&c, ds, &sel)
+        .expect("read")
+        .wait()
+        .expect("read data arrives");
+    assert_eq!(
+        back,
+        apio::h5lite::datatype::to_bytes(&expected[..128]),
+        "read-after-write sees settled data"
+    );
+
+    // Depth governor: a deep telemetry series must block-and-grow; an
+    // idle ring with a quiet series must poll at the base stream count.
+    let mut deep = SeriesAggregator::default();
+    deep.record_queue_depth(10_000);
+    deep.end_epoch();
+    let advice = vol.govern_from_series(&deep).expect("ring attached");
+    assert_eq!(advice.wait, WaitMode::Block, "deep series ⇒ park on completions");
+    assert_eq!(advice.streams, 4, "deep series ⇒ grow to the adaptive ceiling");
+}
+
+/// Faults under a connector-attached ring (the task-aware path, not the
+/// RingBackend shim) are resubmitted from the wait side with the same
+/// backoff policy — wait_all succeeds and the data lands.
+#[test]
+fn connector_ring_path_resubmits_faulted_ops() {
+    let plan = FaultPlan::new(9)
+        .random(FaultOp::Write, 0.4, FaultKind::Transient)
+        .times(4);
+    let injector = Arc::new(FaultInjector::new(Arc::new(MemBackend::new()), plan));
+    injector.set_armed(false);
+    let backend: Arc<dyn StorageBackend> = injector.clone();
+    let ring = Arc::new(Ring::new(backend.clone(), RingConfig::default()));
+    let vol = AsyncVol::builder()
+        .streams(1)
+        .ring(ring)
+        .retry(RetryPolicy {
+            max_attempts: 8,
+            ..RetryPolicy::default()
+        })
+        .build();
+    let c = Arc::new(Container::create(backend));
+    let n = 8u64 * 64;
+    let ds = c
+        .create_dataset(ROOT_ID, "x", Datatype::U8, &Dataspace::d1(n), Layout::Contiguous)
+        .expect("create dataset");
+    injector.set_armed(true);
+    let expected: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+    for step in 0..8u64 {
+        let sel = Selection::Slab(Hyperslab::range1(step * 64, 64));
+        let bytes = &expected[(step * 64) as usize..((step + 1) * 64) as usize];
+        // Drained collectively by wait_all below.
+        let _ = vol.dataset_write(&c, ds, &sel, bytes).expect("submit");
+    }
+    vol.wait_all().expect("wait-side resubmission absorbs the faults");
+    injector.set_armed(false);
+    assert!(injector.injected() > 0, "the plan must actually fire");
+    assert!(vol.stats().retries > 0, "faulted completions count as retries");
+    let back = c.read_selection(ds, &Selection::All).expect("read back");
+    assert_eq!(back, expected, "no write lost through the ring path");
+}
+
+/// The drain-then-report contract of `RingBackend::sync`: a flush
+/// submitted behind queued writes must not complete before them.
+#[test]
+fn ring_backend_sync_orders_behind_queued_writes() {
+    let inner: Arc<dyn StorageBackend> = Arc::new(ThrottledBackend::in_memory(1e8, 1e-3));
+    let rb = RingBackend::new(
+        inner.clone(),
+        RingConfig {
+            idle_park: Duration::from_millis(1),
+            ..RingConfig::default()
+        },
+    );
+    for i in 0..8u64 {
+        rb.write_at(i * 128, &[0xCD; 128]).expect("write through the ring");
+    }
+    rb.sync().expect("sync drains first");
+    assert_eq!(rb.len(), 8 * 128, "length reflects every drained write");
+    let mut buf = [0u8; 128];
+    inner.read_at(7 * 128, &mut buf).expect("read");
+    assert_eq!(buf, [0xCD; 128], "last write visible after sync");
+}
