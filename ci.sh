@@ -41,6 +41,13 @@ echo "== fault injection (chaos + resilience properties) =="
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test chaos
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test properties
 
+echo "== consistency-model conformance (seeded multi-tenant schedules) =="
+# Strong/Session/Commit visibility under explored writer/reader/flusher
+# interleavings: floor ⊆ observed ⊆ completed per model, plus scripted
+# replays proving the three models pairwise distinct.
+APIO_EXPLORE_SEEDS=64 cargo test -q "${CARGO_FLAGS[@]}" \
+    --features debug-invariants --test consistency
+
 echo "== crash-point enumeration + integrity (scrub with injected corruption) =="
 # Exhaustively cuts persistence after every backend mutation of a chaos
 # workload, reopens, recovers, and asserts no acked write is lost; also
@@ -70,6 +77,7 @@ cargo bench -q "${CARGO_FLAGS[@]}" -p apio-bench --bench connector -- --smoke \
     --trace-out "$PWD/target/trace_smoke.json"
 test -s target/trace_smoke.json || { echo "trace smoke export missing"; exit 1; }
 cargo bench -q "${CARGO_FLAGS[@]}" -p apio-bench --bench micro -- --smoke
+cargo bench -q "${CARGO_FLAGS[@]}" -p apio-bench --bench multitenant -- --smoke
 
 echo "== bench-regression gate =="
 # The committed baseline must pass against itself at the strict default
@@ -81,6 +89,10 @@ cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- bench-diff BENCH_connector.json BEN
 # and self-consistent; its depth-scaling and 2x-epoch assertions live in
 # crates/xtask/tests/gate.rs.
 cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- bench-diff BENCH_ring.json BENCH_ring.json
+# The multi-tenant contention report must stay parseable and
+# self-consistent; its ≥4x-speedup, O(1)-locks-per-op, and zero-lock
+# snapshot-reader assertions live in crates/xtask/tests/gate.rs.
+cargo run -q "${CARGO_FLAGS[@]}" -p xtask -- bench-diff BENCH_multitenant.json BENCH_multitenant.json
 # The gate itself must demonstrably catch a regression: a synthetically
 # slowed baseline (1000x on the e-4/e-5 entries) has to fail.
 sed 's/e-4/e-1/g; s/e-5/e-2/g' BENCH_baseline.json > target/BENCH_regressed.json

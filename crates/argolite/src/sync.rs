@@ -207,6 +207,23 @@ pub mod lock_order {
     pub fn clear_held() {
         HELD.with(|held| held.borrow_mut().clear());
     }
+
+    /// Record an acquisition of external lock class `name` on this
+    /// thread: registered in the same class table, pushed on the same
+    /// held-stack, cycle-checked against the same edge graph as native
+    /// `argolite::sync` locks. This is the bridge for foreign crates
+    /// that cannot depend on argolite (e.g. h5lite's metadata-plane
+    /// shard locks, forwarded through `h5lite::sync::order_hook`).
+    /// Must be paired with [`release_class`] in LIFO-compatible order.
+    pub fn acquire_class(name: &'static str) {
+        on_acquire(class_id(name));
+    }
+
+    /// Record the release of an external lock class previously reported
+    /// via [`acquire_class`].
+    pub fn release_class(name: &'static str) {
+        on_release(class_id(name));
+    }
 }
 
 /// Class tag carried by named locks; zero-sized when invariants are off.

@@ -48,7 +48,7 @@
 //! ([`staging`], [`AsyncVol::recover_staging`]).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 
 use apio_trace::{Event, Tracer};
@@ -195,6 +195,16 @@ impl AsyncVolBuilder {
 
     /// Spin up the execution streams and assemble the connector.
     pub fn build(self) -> AsyncVol {
+        // With invariants on, forward h5lite's named metadata-plane
+        // locks (shard, tree, and allocator classes) into argolite's
+        // lock-order graph: the bridge is how cross-crate deadlock
+        // cycles (connector lock vs. container shard) get caught even
+        // though h5lite itself cannot depend on argolite.
+        #[cfg(feature = "debug-invariants")]
+        h5lite::sync::order_hook::install(
+            argolite::sync::lock_order::acquire_class,
+            argolite::sync::lock_order::release_class,
+        );
         let max_streams = self.max_streams.unwrap_or(self.streams);
         AsyncVol {
             staging: self.staging,
@@ -216,6 +226,7 @@ impl AsyncVolBuilder {
             observer: Mutex::new_named("asyncvol.observer", self.observer),
             retry: self.retry,
             breaker: CircuitBreaker::new(self.breaker),
+            tenants: Mutex::new_named("asyncvol.tenants", Vec::new()),
         }
     }
 }
@@ -281,6 +292,12 @@ pub struct AsyncVol {
     staging: Staging,
     retry: RetryPolicy,
     breaker: CircuitBreaker,
+    /// Containers this connector has written to, weakly held (the
+    /// connector must not keep a closed file alive). Settlement
+    /// (`wait`/`wait_all`) forwards to every live tenant's
+    /// [`Container::publish_settled`] — the session model's
+    /// visibility boundary.
+    tenants: Mutex<Vec<Weak<Container>>>,
 }
 
 impl AsyncVol {
@@ -436,6 +453,38 @@ impl AsyncVol {
     }
 
     /// Remove a ring-pending entry (and its settlement-order slot).
+    /// Remember `c` as a tenant of this connector (idempotent per
+    /// container identity). Called on every write issue; the list is
+    /// weak and self-pruning, so a dropped container costs one retain
+    /// pass, never a leak.
+    fn register_tenant(&self, c: &Arc<Container>) {
+        let mut tenants = self.tenants.lock();
+        tenants.retain(|w| w.strong_count() > 0);
+        if !tenants.iter().any(|w| w.as_ptr() == Arc::as_ptr(c)) {
+            tenants.push(Arc::downgrade(c));
+        }
+    }
+
+    /// Settlement is a publication point: under
+    /// [`ConsistencyModel::Session`](h5lite::ConsistencyModel) the
+    /// working metadata of every tenant becomes the published view the
+    /// moment its requests settle. A no-op under the strong model
+    /// (already published at mutation) and the commit model (waits for
+    /// flush). The tenant list is cloned out first so no connector lock
+    /// is held across the containers' shard acquisitions.
+    fn publish_settled_tenants(&self) {
+        let tenants: Vec<Weak<Container>> = {
+            let mut t = self.tenants.lock();
+            t.retain(|w| w.strong_count() > 0);
+            t.clone()
+        };
+        for w in tenants {
+            if let Some(c) = w.upgrade() {
+                c.publish_settled();
+            }
+        }
+    }
+
     fn take_ring_pending(&self, req: u64) -> Option<RingPending> {
         let mut inner = self.inner.lock();
         let pending = inner.ring_pending.remove(&req)?;
@@ -785,6 +834,9 @@ impl Vol for AsyncVol {
                 bytes: data.len() as u64,
             },
         );
+        // Registered before routing so every regime (ring, staged,
+        // degraded) publishes at this connector's settlement points.
+        self.register_tenant(c);
         // The circuit breaker decides the regime first: degraded issues
         // run synchronously on the caller's thread and are acknowledged
         // only once durable.
@@ -993,6 +1045,22 @@ impl Vol for AsyncVol {
     }
 
     fn wait(&self, req: Request) -> Result<()> {
+        let result = self.wait_inner(req);
+        // Request settlement is the session model's publication point —
+        // even for sync (degraded-path) requests, which settled on issue.
+        self.publish_settled_tenants();
+        result
+    }
+
+    fn wait_all(&self) -> Result<()> {
+        let result = self.wait_all_inner();
+        self.publish_settled_tenants();
+        result
+    }
+}
+
+impl AsyncVol {
+    fn wait_inner(&self, req: Request) -> Result<()> {
         if req.is_sync() {
             return Ok(());
         }
@@ -1025,7 +1093,7 @@ impl Vol for AsyncVol {
         Ok(())
     }
 
-    fn wait_all(&self) -> Result<()> {
+    fn wait_all_inner(&self) -> Result<()> {
         // Drain pending writes and any in-flight prefetches.
         let (handles, error_cells, prefetch_handles) = {
             let mut inner = self.inner.lock();

@@ -30,10 +30,17 @@
 //! offline and [`Container::scrub_with`] read-repairs corrupt extents
 //! from a durable copy (e.g. the staging WAL). See DESIGN.md §13.
 //!
-//! All methods take `&self`; a `RwLock` guards the object tree while bulk
-//! data moves through the (internally synchronized) storage backend
-//! without holding the tree lock — this is what lets the async VOL's
-//! background streams overlap data movement with the application thread.
+//! ## The metadata plane
+//!
+//! All methods take `&self`. Metadata is split across the sharded,
+//! copy-on-write [`MetaPlane`] (see [`crate::meta`] and DESIGN.md §15):
+//! the namespace tree behind one lock, dataset state behind
+//! [`META_SHARDS`](crate::meta::META_SHARDS) per-object shard locks, and
+//! the bump allocator behind its own (uncounted) mutex. Operations on
+//! disjoint datasets never touch the same lock, and readers can capture
+//! a [`MetaSnapshot`] and resolve chunk addresses without any lock at
+//! all. The visibility of mutations to *published* readers is governed
+//! by the open-time [`ConsistencyModel`].
 //!
 //! Selection I/O goes through the planner ([`crate::plan`]):
 //! `write_selection`/`read_selection` resolve the whole selection — shape
@@ -54,6 +61,10 @@ use crate::dataspace::{Dataspace, Selection};
 use crate::datatype::Datatype;
 use crate::error::{H5Error, Result};
 use crate::layout::Layout;
+use crate::meta::{
+    ChunkEntry, ConsistencyModel, DatasetState, MetaLockStats, MetaPlane, MetaSnapshot, NodeKind,
+    Tree, TreeObject,
+};
 use crate::plan::{IoPlan, IoSegment, COALESCE_WINDOW};
 use crate::storage::{FileBackend, IoVec, IoVecMut, MemBackend, StorageBackend};
 use crate::superblock::{self, fnv1a64, Superblock, SUPERBLOCK_AREA};
@@ -81,52 +92,6 @@ pub struct AttrValue {
     pub bytes: Vec<u8>,
 }
 
-/// One chunk's storage: extent address plus the optional FNV-1a checksum
-/// recorded at the last flush (`None` until the chunk has been flushed
-/// after a write, or when checksumming is disabled).
-#[derive(Clone, Copy, Debug)]
-struct ChunkEntry {
-    addr: u64,
-    fnv: Option<u64>,
-}
-
-#[derive(Clone, Debug)]
-enum ObjectData {
-    Group {
-        links: BTreeMap<String, ObjectId>,
-    },
-    Dataset {
-        dtype: Datatype,
-        space: Dataspace,
-        layout: Layout,
-        /// Extent address for contiguous layout (0 for empty datasets).
-        data_addr: u64,
-        /// Checksum of the contiguous extent, like [`ChunkEntry::fnv`].
-        data_fnv: Option<u64>,
-        /// chunk index → extent entry, for chunked layout.
-        chunks: BTreeMap<u64, ChunkEntry>,
-    },
-}
-
-#[derive(Clone, Debug)]
-struct Object {
-    data: ObjectData,
-    attrs: BTreeMap<String, AttrValue>,
-}
-
-struct Meta {
-    objects: BTreeMap<ObjectId, Object>,
-    next_id: ObjectId,
-    /// Bump-allocation cursor.
-    eof: u64,
-    dirty: bool,
-    /// Superblock generation of the last durable commit (0 before the
-    /// first flush); bumped only after a commit fully succeeds, so a
-    /// failed commit retries into the same slot instead of overwriting
-    /// the surviving fallback.
-    generation: u64,
-}
-
 /// Kind of an object, for introspection.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ObjectKind {
@@ -147,14 +112,31 @@ pub struct DatasetInfo {
     pub layout: Layout,
 }
 
+/// The bump allocator and commit-generation state. Deliberately **not**
+/// part of the metadata plane: reserving address space is an allocator
+/// concern, its mutex is not counted by
+/// [`Container::meta_lock_acquisitions`], and the sanctioned nesting
+/// order is metadata lock → allocator (never the reverse).
+struct Alloc {
+    /// Bump-allocation cursor.
+    eof: u64,
+    /// Superblock generation of the last durable commit (0 before the
+    /// first flush); bumped only after a commit fully succeeds, so a
+    /// failed commit retries into the same slot instead of overwriting
+    /// the surviving fallback.
+    generation: u64,
+}
+
 /// A single self-describing container over a storage backend.
 pub struct Container {
     backend: Arc<dyn StorageBackend>,
-    meta: RwLock<Meta>,
-    /// Metadata-lock acquisitions (read + write), observable via
-    /// [`Container::meta_lock_acquisitions`] so tests and benches can
-    /// assert the planner's one-acquisition-per-operation property.
-    meta_locks: AtomicU64,
+    /// The sharded, versioned metadata plane (DESIGN.md §15). Every
+    /// metadata-lock acquisition goes through it — the per-shard
+    /// counters behind [`Container::meta_lock_stats`] are exhaustive.
+    plane: MetaPlane,
+    alloc: Mutex<Alloc>,
+    /// Whether tree/state metadata changed since the last flush.
+    meta_dirty: AtomicBool,
     /// Extents written since the last flush, keyed by
     /// `(dataset, chunk index | CONTIG_EXTENT)`. Their stored checksums
     /// are stale: flush recomputes them, reads skip verifying them.
@@ -225,29 +207,47 @@ struct VerifyExtent {
     fnv: u64,
 }
 
+/// Everything one planning pass learns from a dataset state, with no
+/// lock held: the plan itself, the touched extents (for dirty marking /
+/// verification), the chunk indices the state could not resolve, and the
+/// layout facts an allocation pass would need.
+struct PlanParts {
+    plan: IoPlan,
+    /// Every extent the plan touches: (key, addr, len, stored fnv).
+    touched: Vec<(u64, u64, u64, Option<u64>)>,
+    missing: Vec<u64>,
+    chunk_info: Option<ChunkInfo>,
+}
+
+/// Chunked-layout facts an allocation pass needs to place the chunks a
+/// plan found missing.
+struct ChunkInfo {
+    chunk_elems: u64,
+    elem: u64,
+    runs: Vec<(u64, u64)>,
+}
+
 impl Container {
-    /// Create a fresh container on `backend`.
+    /// Create a fresh container on `backend` with the default
+    /// [`ConsistencyModel::Strong`] visibility contract.
     pub fn create(backend: Arc<dyn StorageBackend>) -> Self {
-        let mut objects = BTreeMap::new();
-        objects.insert(
-            ROOT_ID,
-            Object {
-                data: ObjectData::Group {
-                    links: BTreeMap::new(),
-                },
-                attrs: BTreeMap::new(),
-            },
-        );
+        Self::create_with(backend, ConsistencyModel::Strong)
+    }
+
+    /// Create a fresh container on `backend` under `model` (see
+    /// [`ConsistencyModel`] for the publication points).
+    pub fn create_with(backend: Arc<dyn StorageBackend>, model: ConsistencyModel) -> Self {
         Container {
             backend,
-            meta: RwLock::new(Meta {
-                objects,
-                next_id: ROOT_ID + 1,
-                eof: SUPERBLOCK_AREA,
-                dirty: true,
-                generation: 0,
-            }),
-            meta_locks: AtomicU64::new(0),
+            plane: MetaPlane::new(ROOT_ID, model),
+            alloc: Mutex::new_named(
+                "h5lite.alloc",
+                Alloc {
+                    eof: SUPERBLOCK_AREA,
+                    generation: 0,
+                },
+            ),
+            meta_dirty: AtomicBool::new(true),
             dirty_extents: Mutex::new(BTreeSet::new()),
             checksums: AtomicBool::new(true),
             integrity: IntegrityCounters::default(),
@@ -268,24 +268,33 @@ impl Container {
         self.tracer.read().clone()
     }
 
-    /// Acquire the metadata lock shared, counting the acquisition.
-    fn meta_read(&self) -> std::sync::RwLockReadGuard<'_, Meta> {
-        self.meta_locks.fetch_add(1, Ordering::Relaxed);
-        self.meta.read()
+    /// The visibility contract this container enforces (fixed at
+    /// create/open time).
+    pub fn consistency_model(&self) -> ConsistencyModel {
+        self.plane.model()
     }
 
-    /// Acquire the metadata lock exclusively, counting the acquisition.
-    fn meta_write(&self) -> std::sync::RwLockWriteGuard<'_, Meta> {
-        self.meta_locks.fetch_add(1, Ordering::Relaxed);
-        self.meta.write()
-    }
-
-    /// Total metadata-lock acquisitions so far (reads and writes). A
-    /// steady-state `write_selection`/`read_selection` takes exactly one;
-    /// a first write into unallocated chunks takes two (resolve +
-    /// allocate).
+    /// Total metadata-lock acquisitions so far — shard locks plus the
+    /// namespace tree lock, reads and writes. A steady-state
+    /// `write_selection`/`read_selection` takes exactly one (a shared
+    /// shard acquisition); a first write into unallocated chunks takes
+    /// two (resolve + allocate). The allocator mutex is not metadata and
+    /// is not counted.
+    ///
+    /// Counter contract: increments are `Ordering::Relaxed` — exact only
+    /// once the observer has synchronized with the counted threads
+    /// (e.g. joined them); see [`crate::meta`] module docs.
     pub fn meta_lock_acquisitions(&self) -> u64 {
-        self.meta_locks.load(Ordering::Relaxed)
+        self.plane.lock_stats().total()
+    }
+
+    /// Per-shard breakdown of [`Container::meta_lock_acquisitions`]:
+    /// shared/exclusive counts per dataset-state shard plus the tree
+    /// lock. Lets tests pin *which* lock an operation took — disjoint
+    /// tenants must only ever move their own shard's counters, and
+    /// snapshot readers must move no exclusive counter at all.
+    pub fn meta_lock_stats(&self) -> MetaLockStats {
+        self.plane.lock_stats()
     }
 
     /// Create a container on a fresh in-memory backend.
@@ -293,16 +302,30 @@ impl Container {
         Self::create(Arc::new(MemBackend::new()))
     }
 
+    /// [`Container::create_mem`] under an explicit consistency model.
+    pub fn create_mem_with(model: ConsistencyModel) -> Self {
+        Self::create_with(Arc::new(MemBackend::new()), model)
+    }
+
     /// Create a container in a new file at `path`.
     pub fn create_file(path: impl AsRef<std::path::Path>) -> Result<Self> {
         Ok(Self::create(Arc::new(FileBackend::create(path)?)))
     }
 
-    /// Open an existing container from `backend`. Reads both superblock
-    /// slots and resumes from the highest-generation valid one; a torn
-    /// or corrupted slot is survived (and counted in
+    /// Open an existing container from `backend` under the default
+    /// [`ConsistencyModel::Strong`]. Reads both superblock slots and
+    /// resumes from the highest-generation valid one; a torn or
+    /// corrupted slot is survived (and counted in
     /// [`Container::integrity_stats`]) as long as the other validates.
     pub fn open(backend: Arc<dyn StorageBackend>) -> Result<Self> {
+        Self::open_with(backend, ConsistencyModel::Strong)
+    }
+
+    /// [`Container::open`] under an explicit consistency model. The
+    /// model is a property of the open session, not of the file: the
+    /// same container can be opened strong by one process and
+    /// commit-consistent by another.
+    pub fn open_with(backend: Arc<dyn StorageBackend>, model: ConsistencyModel) -> Result<Self> {
         let (sb, invalid_slots) = superblock::read_latest(&backend)?;
         if sb.root_id != ROOT_ID {
             return Err(H5Error::Corrupt(format!(
@@ -316,8 +339,8 @@ impl Container {
         if fnv1a64(&meta_bytes) != sb.meta_fnv {
             return Err(H5Error::Corrupt("metadata checksum mismatch".into()));
         }
-        let (objects, next_id) = decode_meta(&meta_bytes)?;
-        if !objects.contains_key(&ROOT_ID) {
+        let (tree, states) = decode_meta(&meta_bytes)?;
+        if !tree.objects.contains_key(&ROOT_ID) {
             return Err(H5Error::Corrupt("metadata lacks root group".into()));
         }
         let integrity = IntegrityCounters::default();
@@ -326,14 +349,15 @@ impl Container {
             .store(invalid_slots, Ordering::Relaxed);
         Ok(Container {
             backend,
-            meta: RwLock::new(Meta {
-                objects,
-                next_id,
-                eof: sb.eof,
-                dirty: false,
-                generation: sb.generation,
-            }),
-            meta_locks: AtomicU64::new(0),
+            plane: MetaPlane::from_parts(tree, states, model),
+            alloc: Mutex::new_named(
+                "h5lite.alloc",
+                Alloc {
+                    eof: sb.eof,
+                    generation: sb.generation,
+                },
+            ),
+            meta_dirty: AtomicBool::new(false),
             dirty_extents: Mutex::new(BTreeSet::new()),
             checksums: AtomicBool::new(true),
             integrity,
@@ -346,89 +370,135 @@ impl Container {
         Self::open(Arc::new(FileBackend::open(path)?))
     }
 
+    /// Reserve `bytes` of address space from the bump allocator,
+    /// returning the extent's base address.
+    fn reserve(&self, bytes: u64, what: &str) -> Result<u64> {
+        let mut alloc = self.alloc.lock();
+        let addr = alloc.eof;
+        alloc.eof = addr.checked_add(bytes).ok_or_else(|| {
+            H5Error::Storage(format!("{what} overflows the device address space"))
+        })?;
+        Ok(addr)
+    }
+
     /// Persist metadata and sync the backend. Idempotent when clean.
     ///
-    /// Flush also refreshes the per-extent checksums of every extent
-    /// written since the previous flush (reading the extent back and
-    /// hashing it), then commits the new metadata through the dual-slot
-    /// superblock protocol: metadata extent → sync → one slot → sync.
-    /// Concurrent writers must be quiesced (the same contract the
-    /// durability of the flush itself already requires) — a write racing
-    /// the flush could be hashed mid-flight.
+    /// Flush refreshes the per-extent checksums of every extent written
+    /// since the previous flush (reading the extent back and hashing
+    /// it), serializes the metadata plane, and commits it through the
+    /// dual-slot superblock protocol: metadata extent → sync → one slot
+    /// → sync. Writers whose durability this flush must cover are
+    /// expected to be quiesced (a write racing the flush could be hashed
+    /// mid-flight or miss the commit) — but unlike the pre-shard design,
+    /// flush holds **no metadata lock across its device I/O**:
+    /// foreground writers on other data keep planning and allocating
+    /// while a flush is on the wire.
+    ///
+    /// On success the working states publish under
+    /// [`ConsistencyModel::Session`] and [`ConsistencyModel::Commit`]
+    /// (flush is a publication point for both deferred models).
     pub fn flush(&self) -> Result<()> {
-        let mut meta = self.meta_write();
         let dirty_keys: Vec<(ObjectId, u64)> = {
             let mut d = self.dirty_extents.lock();
             let keys: Vec<_> = d.iter().copied().collect();
             d.clear();
             keys
         };
-        if !meta.dirty && dirty_keys.is_empty() {
+        if !self.meta_dirty.load(Ordering::Acquire) && dirty_keys.is_empty() {
             return Ok(());
         }
-        let result = self.flush_locked(&mut meta, &dirty_keys);
-        if result.is_err() {
-            // The extents are still unchecksummed: put the marks back so
-            // a later, successful flush hashes them.
-            self.dirty_extents.lock().extend(dirty_keys);
-        }
-        result
-    }
-
-    fn flush_locked(&self, meta: &mut Meta, dirty_keys: &[(ObjectId, u64)]) -> Result<()> {
-        let enabled = self.checksums.load(Ordering::Relaxed);
-        for &(id, key) in dirty_keys {
-            let Some(obj) = meta.objects.get_mut(&id) else {
-                continue;
-            };
-            let ObjectData::Dataset {
-                dtype,
-                space,
-                layout,
-                data_addr,
-                data_fnv,
-                chunks,
-            } = &mut obj.data
-            else {
-                continue;
-            };
-            let elem = dtype.size() as u64;
-            if key == CONTIG_EXTENT {
-                let len = space.npoints().checked_mul(elem).ok_or_else(|| {
-                    H5Error::Storage("dataset byte size overflows the address space".into())
-                })?;
-                *data_fnv = if enabled && len > 0 {
-                    Some(self.hash_extent(*data_addr, len)?)
-                } else {
-                    None
-                };
-            } else if let Layout::Chunked1D { chunk_elems } = layout {
-                let chunk_bytes = chunk_elems.checked_mul(elem).ok_or_else(|| {
-                    H5Error::Storage("chunk byte size overflows the address space".into())
-                })?;
-                let Some(entry) = chunks.get_mut(&key) else {
-                    continue;
-                };
-                let addr = entry.addr;
-                entry.fnv = if enabled {
-                    Some(self.hash_extent(addr, chunk_bytes)?)
-                } else {
-                    None
-                };
+        let result = self.flush_inner(&dirty_keys);
+        match result {
+            Ok(()) => {
+                self.plane.publish_flushed();
+                Ok(())
+            }
+            Err(e) => {
+                // The extents are still unchecksummed: put the marks
+                // back so a later, successful flush hashes them.
+                self.dirty_extents.lock().extend(dirty_keys);
+                Err(e)
             }
         }
-        let bytes = encode_meta(&meta.objects, meta.next_id);
-        let addr = meta.eof;
-        meta.eof = addr.checked_add(bytes.len() as u64).ok_or_else(|| {
-            H5Error::Storage("metadata append overflows the device address space".into())
-        })?;
+    }
+
+    fn flush_inner(&self, dirty_keys: &[(ObjectId, u64)]) -> Result<()> {
+        let enabled = self.checksums.load(Ordering::Relaxed);
+        let mut by_dataset: BTreeMap<ObjectId, Vec<u64>> = BTreeMap::new();
+        for &(id, key) in dirty_keys {
+            by_dataset.entry(id).or_default().push(key);
+        }
+        for (id, keys) in by_dataset {
+            let Some(state) = self.plane.working(id) else {
+                continue;
+            };
+            // Hash first — these are device reads and must not run
+            // under any metadata lock — then fold the fresh checksums
+            // into the state with one copy-on-write mutation.
+            let elem = state.dtype.size() as u64;
+            let mut contig_fnv: Option<Option<u64>> = None;
+            let mut chunk_fnvs: Vec<(u64, Option<u64>)> = Vec::new();
+            for &key in &keys {
+                if key == CONTIG_EXTENT {
+                    let len = state.space.npoints().checked_mul(elem).ok_or_else(|| {
+                        H5Error::Storage("dataset byte size overflows the address space".into())
+                    })?;
+                    contig_fnv = Some(if enabled && len > 0 {
+                        Some(self.hash_extent(state.data_addr, len)?)
+                    } else {
+                        None
+                    });
+                } else if let Layout::Chunked1D { chunk_elems } = state.layout {
+                    let chunk_bytes = chunk_elems.checked_mul(elem).ok_or_else(|| {
+                        H5Error::Storage("chunk byte size overflows the address space".into())
+                    })?;
+                    let Some(entry) = state.chunks.get(&key) else {
+                        continue;
+                    };
+                    chunk_fnvs.push((
+                        key,
+                        if enabled {
+                            Some(self.hash_extent(entry.addr, chunk_bytes)?)
+                        } else {
+                            None
+                        },
+                    ));
+                }
+            }
+            self.plane.mutate(id, |st| {
+                if let Some(fnv) = contig_fnv {
+                    st.data_fnv = fnv;
+                }
+                for &(key, fnv) in &chunk_fnvs {
+                    if let Some(entry) = st.chunks.get_mut(&key) {
+                        entry.fnv = fnv;
+                    }
+                }
+                Ok(())
+            })?;
+        }
+        // Serialize the plane in the stable on-disk format. The tree
+        // guard is held across the shard capture so the view cannot
+        // contain a dataset whose state insert is still in flight
+        // (creation nests tree → shard the same way); encoding is pure
+        // CPU, so no device I/O happens under the guard.
+        let bytes = {
+            let tree = self.plane.tree_read();
+            let states = self.plane.snapshot_working();
+            encode_meta(&tree, &states)?
+        };
+        let addr = self.reserve(bytes.len() as u64, "metadata append")?;
         self.backend.write_at(addr, &bytes)?; // xtask: allow(planned-io) metadata extent
         // First barrier: the new root's payload must be durable before
         // any slot points at it.
         self.backend.sync()?;
-        let next_gen = meta.generation.checked_add(1).ok_or_else(|| {
-            H5Error::Storage("superblock generation counter overflow".into())
-        })?;
+        let (next_gen, eof_now) = {
+            let alloc = self.alloc.lock();
+            let next = alloc.generation.checked_add(1).ok_or_else(|| {
+                H5Error::Storage("superblock generation counter overflow".into())
+            })?;
+            (next, alloc.eof)
+        };
         superblock::commit(
             &self.backend,
             &Superblock {
@@ -436,7 +506,7 @@ impl Container {
                 meta_addr: addr,
                 meta_len: bytes.len() as u64,
                 meta_fnv: fnv1a64(&bytes),
-                eof: meta.eof,
+                eof: eof_now,
                 root_id: ROOT_ID,
             },
         )?;
@@ -444,8 +514,8 @@ impl Container {
         // durable, so only now does the in-memory generation advance — a
         // failed commit retries into the same slot, never the fallback.
         self.backend.sync()?;
-        meta.generation = next_gen;
-        meta.dirty = false;
+        self.alloc.lock().generation = next_gen;
+        self.meta_dirty.store(false, Ordering::Release);
         Ok(())
     }
 
@@ -500,8 +570,16 @@ impl Container {
     /// `repair(dataset)` is asked to rewrite the dataset's bytes from a
     /// durable copy (returning `true` if it had one — e.g. WAL replay);
     /// the extent is then re-hashed and counted repaired only if it now
-    /// matches its stored checksum. The caller must be quiesced (no
-    /// concurrent writers), like [`Container::flush`].
+    /// matches its stored checksum.
+    ///
+    /// The walk iterates a [`MetaSnapshot`] of the working state: after
+    /// one shared acquisition per shard to capture the `Arc`s, the scrub
+    /// holds **no metadata lock** — not while reading extents, not while
+    /// hashing — so a background scrub never stalls foreground writers.
+    /// Extents the snapshot misses (written after capture) are exactly
+    /// the dirty extents the scrub would skip anyway. Repair correctness
+    /// still requires the scrubbed datasets to be write-quiesced, like
+    /// [`Container::flush`].
     pub fn scrub_with(
         &self,
         mut repair: impl FnMut(ObjectId) -> Result<bool>,
@@ -509,42 +587,28 @@ impl Container {
         let tracer = self.tracer();
         let _span = tracer.span("container.scrub");
         let mut report = ScrubReport::default();
-        // Every checksummed extent, gathered under one read acquisition.
-        let extents: Vec<(ObjectId, u64, u64, u64, u64)> = {
-            let meta = self.meta_read();
-            let mut v = Vec::new();
-            for (&id, obj) in &meta.objects {
-                let ObjectData::Dataset {
-                    dtype,
-                    space,
-                    layout,
-                    data_addr,
-                    data_fnv,
-                    chunks,
-                } = &obj.data
-                else {
-                    continue;
-                };
-                let elem = dtype.size() as u64;
-                if let Some(fnv) = data_fnv {
-                    let len = space.npoints().checked_mul(elem).ok_or_else(|| {
-                        H5Error::Storage("dataset byte size overflows the address space".into())
-                    })?;
-                    v.push((id, CONTIG_EXTENT, *data_addr, len, *fnv));
-                }
-                if let Layout::Chunked1D { chunk_elems } = layout {
-                    let chunk_bytes = chunk_elems.checked_mul(elem).ok_or_else(|| {
-                        H5Error::Storage("chunk byte size overflows the address space".into())
-                    })?;
-                    for (&idx, entry) in chunks {
-                        if let Some(fnv) = entry.fnv {
-                            v.push((id, idx, entry.addr, chunk_bytes, fnv));
-                        }
+        // Every checksummed extent, from a lock-free snapshot walk.
+        let snap = self.plane.snapshot_working();
+        let mut extents: Vec<(ObjectId, u64, u64, u64, u64)> = Vec::new();
+        for (id, state) in snap.iter() {
+            let elem = state.dtype.size() as u64;
+            if let Some(fnv) = state.data_fnv {
+                let len = state.space.npoints().checked_mul(elem).ok_or_else(|| {
+                    H5Error::Storage("dataset byte size overflows the address space".into())
+                })?;
+                extents.push((id, CONTIG_EXTENT, state.data_addr, len, fnv));
+            }
+            if let Layout::Chunked1D { chunk_elems } = state.layout {
+                let chunk_bytes = chunk_elems.checked_mul(elem).ok_or_else(|| {
+                    H5Error::Storage("chunk byte size overflows the address space".into())
+                })?;
+                for (&idx, entry) in &state.chunks {
+                    if let Some(fnv) = entry.fnv {
+                        extents.push((id, idx, entry.addr, chunk_bytes, fnv));
                     }
                 }
             }
-            v
-        };
+        }
         let dirty: BTreeSet<(ObjectId, u64)> = self.dirty_extents.lock().clone();
         // Repair replays a whole dataset at a time; remember the answer
         // so N corrupt chunks of one dataset replay once.
@@ -589,7 +653,65 @@ impl Container {
 
     /// Total bytes addressed in the backend (allocation high-water mark).
     pub fn allocated_bytes(&self) -> u64 {
-        self.meta_read().eof
+        self.alloc.lock().eof
+    }
+
+    // ----- snapshots and publication ---------------------------------
+
+    /// Capture the model-published view of every dataset as an immutable
+    /// [`MetaSnapshot`]: one shared acquisition per shard now, zero lock
+    /// acquisitions per [`Container::read_snapshot`] afterwards — no
+    /// matter how many writers mutate the plane meanwhile.
+    pub fn snapshot(&self) -> MetaSnapshot {
+        self.plane.snapshot()
+    }
+
+    /// Settlement-point publication hook. The async connector calls this
+    /// when requests settle (`wait`/`wait_all`): under
+    /// [`ConsistencyModel::Session`] the working states publish; under
+    /// the other models this is a no-op (Strong already published at
+    /// mutation, Commit waits for flush).
+    pub fn publish_settled(&self) {
+        self.plane.publish_settled();
+    }
+
+    /// Read the selected elements through the model-published state: one
+    /// shared shard acquisition to fetch the `Arc`, then a planned read.
+    /// This is the visibility-governed read — under the deferred models
+    /// it may lawfully return data older than
+    /// [`Container::read_selection`] would (see [`ConsistencyModel`]).
+    ///
+    /// Published reads skip per-extent checksum verification: the
+    /// published checksums can postdate the published chunk map (flush
+    /// refreshes them on the working path), so verification belongs to
+    /// the working-state read and to [`Container::scrub`].
+    pub fn read_published(&self, id: ObjectId, sel: &Selection) -> Result<Vec<u8>> {
+        let state = self
+            .plane
+            .published(id)
+            .ok_or_else(|| self.missing_dataset(id))?;
+        let parts = plan_from_state(&state, sel, None)?;
+        self.read_planned(&parts.plan, &[])
+    }
+
+    /// Read the selected elements of `id` as captured by `snap`. Takes
+    /// **zero** metadata-lock acquisitions — the address resolution runs
+    /// entirely against the snapshot's immutable state, which is the
+    /// point: a long-lived reader never blocks, and is never blocked by,
+    /// any writer. Addresses stay valid because extent allocation is
+    /// append-only (nothing the snapshot resolves is ever reused).
+    /// Unverified, like [`Container::read_published`].
+    pub fn read_snapshot(
+        &self,
+        snap: &MetaSnapshot,
+        id: ObjectId,
+        sel: &Selection,
+    ) -> Result<Vec<u8>> {
+        let state = snap
+            .get(id)
+            .ok_or_else(|| H5Error::NotFound(format!("dataset {id} not captured in snapshot")))?;
+        let parts = plan_from_state(state, sel, None)?;
+        self.read_planned(&parts.plan, &[])
     }
 
     // ----- object tree -----------------------------------------------
@@ -599,14 +721,14 @@ impl Container {
         id: ObjectId,
         f: impl FnOnce(&BTreeMap<String, ObjectId>) -> R,
     ) -> Result<R> {
-        let meta = self.meta_read();
-        let obj = meta
+        let tree = self.plane.tree_read();
+        let obj = tree
             .objects
             .get(&id)
             .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
-        match &obj.data {
-            ObjectData::Group { links } => Ok(f(links)),
-            ObjectData::Dataset { .. } => {
+        match &obj.kind {
+            NodeKind::Group { links } => Ok(f(links)),
+            NodeKind::Dataset => {
                 Err(H5Error::WrongObjectKind(format!("object {id} is a dataset")))
             }
         }
@@ -614,30 +736,55 @@ impl Container {
 
     /// Kind of an object.
     pub fn kind(&self, id: ObjectId) -> Result<ObjectKind> {
-        let meta = self.meta_read();
-        let obj = meta
+        let tree = self.plane.tree_read();
+        let obj = tree
             .objects
             .get(&id)
             .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
-        Ok(match obj.data {
-            ObjectData::Group { .. } => ObjectKind::Group,
-            ObjectData::Dataset { .. } => ObjectKind::Dataset,
+        Ok(match obj.kind {
+            NodeKind::Group { .. } => ObjectKind::Group,
+            NodeKind::Dataset => ObjectKind::Dataset,
         })
+    }
+
+    /// Classify a dataset-state miss (error path only — costs one tree
+    /// read): the object may not exist at all, may be a group, or — an
+    /// internal invariant violation — may be a dataset whose shard slot
+    /// vanished.
+    fn missing_dataset(&self, id: ObjectId) -> H5Error {
+        let tree = self.plane.tree_read();
+        match tree.objects.get(&id).map(|o| &o.kind) {
+            None => H5Error::NotFound(format!("object {id}")),
+            Some(NodeKind::Group { .. }) => {
+                H5Error::WrongObjectKind(format!("object {id} is a group"))
+            }
+            Some(NodeKind::Dataset) => {
+                H5Error::Corrupt(format!("dataset {id} lost its shard state"))
+            }
+        }
+    }
+
+    /// The working dataset state (one shared shard acquisition), with
+    /// misses classified against the tree.
+    fn dataset_state(&self, id: ObjectId) -> Result<Arc<DatasetState>> {
+        self.plane
+            .working(id)
+            .ok_or_else(|| self.missing_dataset(id))
     }
 
     /// Create a group under `parent`.
     pub fn create_group(&self, parent: ObjectId, name: &str) -> Result<ObjectId> {
         validate_link_name(name)?;
-        let mut meta = self.meta_write();
-        let id = meta.next_id;
+        let mut tree = self.plane.tree_write();
+        let id = tree.next_id;
         {
-            let obj = meta
+            let obj = tree
                 .objects
                 .get_mut(&parent)
                 .ok_or_else(|| H5Error::NotFound(format!("object {parent}")))?;
-            let links = match &mut obj.data {
-                ObjectData::Group { links } => links,
-                _ => {
+            let links = match &mut obj.kind {
+                NodeKind::Group { links } => links,
+                NodeKind::Dataset => {
                     return Err(H5Error::WrongObjectKind(format!(
                         "object {parent} is a dataset"
                     )))
@@ -648,17 +795,17 @@ impl Container {
             }
             links.insert(name.to_owned(), id);
         }
-        meta.next_id += 1;
-        meta.objects.insert(
+        tree.next_id += 1;
+        tree.objects.insert(
             id,
-            Object {
-                data: ObjectData::Group {
+            TreeObject {
+                kind: NodeKind::Group {
                     links: BTreeMap::new(),
                 },
                 attrs: BTreeMap::new(),
             },
         );
-        meta.dirty = true;
+        self.meta_dirty.store(true, Ordering::Release);
         Ok(id)
     }
 
@@ -676,16 +823,19 @@ impl Container {
         layout.validate(space.rank())?;
         let nbytes = space.npoints() * dtype.size() as u64;
 
-        let mut meta = self.meta_write();
-        let id = meta.next_id;
+        // The tree guard is held across the shard insert (tree → shard
+        // nesting, same as flush's capture order): an id visible through
+        // the tree always has its shard slot installed.
+        let mut tree = self.plane.tree_write();
+        let id = tree.next_id;
         {
-            let obj = meta
+            let obj = tree
                 .objects
                 .get_mut(&parent)
                 .ok_or_else(|| H5Error::NotFound(format!("object {parent}")))?;
-            let links = match &mut obj.data {
-                ObjectData::Group { links } => links,
-                _ => {
+            let links = match &mut obj.kind {
+                NodeKind::Group { links } => links,
+                NodeKind::Dataset => {
                     return Err(H5Error::WrongObjectKind(format!(
                         "object {parent} is a dataset"
                     )))
@@ -694,36 +844,36 @@ impl Container {
             if links.contains_key(name) {
                 return Err(H5Error::AlreadyExists(name.to_owned()));
             }
+            let data_addr = match layout {
+                Layout::Contiguous if nbytes > 0 => self.reserve(
+                    nbytes,
+                    &format!("contiguous dataset of {nbytes} bytes"),
+                )?,
+                _ => 0,
+            };
             links.insert(name.to_owned(), id);
-        }
-        meta.next_id += 1;
-        let data_addr = match layout {
-            Layout::Contiguous if nbytes > 0 => {
-                let addr = meta.eof;
-                meta.eof = addr.checked_add(nbytes).ok_or_else(|| {
-                    H5Error::Storage(format!(
-                        "contiguous dataset of {nbytes} bytes overflows the device address space"
-                    ))
-                })?;
-                addr
-            }
-            _ => 0,
-        };
-        meta.objects.insert(
-            id,
-            Object {
-                data: ObjectData::Dataset {
+            tree.next_id += 1;
+            self.plane.insert(
+                id,
+                DatasetState {
                     dtype,
                     space: space.clone(),
                     layout,
                     data_addr,
                     data_fnv: None,
                     chunks: BTreeMap::new(),
+                    generation: 0,
                 },
+            );
+        }
+        tree.objects.insert(
+            id,
+            TreeObject {
+                kind: NodeKind::Dataset,
                 attrs: BTreeMap::new(),
             },
         );
-        meta.dirty = true;
+        self.meta_dirty.store(true, Ordering::Release);
         Ok(id)
     }
 
@@ -740,26 +890,12 @@ impl Container {
 
     /// Static description of a dataset.
     pub fn dataset_info(&self, id: ObjectId) -> Result<DatasetInfo> {
-        let meta = self.meta_read();
-        let obj = meta
-            .objects
-            .get(&id)
-            .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
-        match &obj.data {
-            ObjectData::Dataset {
-                dtype,
-                space,
-                layout,
-                ..
-            } => Ok(DatasetInfo {
-                dtype: *dtype,
-                space: space.clone(),
-                layout: layout.clone(),
-            }),
-            ObjectData::Group { .. } => {
-                Err(H5Error::WrongObjectKind(format!("object {id} is a group")))
-            }
-        }
+        let state = self.dataset_state(id)?;
+        Ok(DatasetInfo {
+            dtype: state.dtype,
+            space: state.space.clone(),
+            layout: state.layout.clone(),
+        })
     }
 
     /// Grow a chunked 1-D dataset to `new_len` elements (the `H5Dextend`
@@ -768,31 +904,28 @@ impl Container {
     /// dataset is unsupported (contiguous extents are allocated at
     /// creation).
     pub fn extend_dataset(&self, id: ObjectId, new_len: u64) -> Result<()> {
-        let mut meta = self.meta_write();
-        let obj = meta
-            .objects
-            .get_mut(&id)
-            .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
-        match &mut obj.data {
-            ObjectData::Dataset { space, layout, .. } => {
-                if !matches!(layout, Layout::Chunked1D { .. }) {
-                    return Err(H5Error::Unsupported(
-                        "only chunked datasets are extendable".into(),
-                    ));
-                }
-                let current = space.npoints();
-                if new_len < current {
-                    return Err(H5Error::Unsupported(format!(
-                        "cannot shrink dataset from {current} to {new_len}"
-                    )));
-                }
-                *space = Dataspace::d1(new_len);
-                meta.dirty = true;
+        let result = self.plane.mutate(id, |st| {
+            if !matches!(st.layout, Layout::Chunked1D { .. }) {
+                return Err(H5Error::Unsupported(
+                    "only chunked datasets are extendable".into(),
+                ));
+            }
+            let current = st.space.npoints();
+            if new_len < current {
+                return Err(H5Error::Unsupported(format!(
+                    "cannot shrink dataset from {current} to {new_len}"
+                )));
+            }
+            st.space = Dataspace::d1(new_len);
+            Ok(())
+        });
+        match result {
+            Ok(_) => {
+                self.meta_dirty.store(true, Ordering::Release);
                 Ok(())
             }
-            ObjectData::Group { .. } => {
-                Err(H5Error::WrongObjectKind(format!("object {id} is a group")))
-            }
+            Err(H5Error::NotFound(_)) => Err(self.missing_dataset(id)),
+            Err(e) => Err(e),
         }
     }
 
@@ -808,20 +941,20 @@ impl Container {
                 value.bytes.len()
             )));
         }
-        let mut meta = self.meta_write();
-        let obj = meta
+        let mut tree = self.plane.tree_write();
+        let obj = tree
             .objects
             .get_mut(&id)
             .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
         obj.attrs.insert(name.to_owned(), value);
-        meta.dirty = true;
+        self.meta_dirty.store(true, Ordering::Release);
         Ok(())
     }
 
     /// Read an attribute.
     pub fn get_attr(&self, id: ObjectId, name: &str) -> Result<AttrValue> {
-        let meta = self.meta_read();
-        let obj = meta
+        let tree = self.plane.tree_read();
+        let obj = tree
             .objects
             .get(&id)
             .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
@@ -833,8 +966,8 @@ impl Container {
 
     /// Attribute names on an object, sorted.
     pub fn list_attrs(&self, id: ObjectId) -> Result<Vec<String>> {
-        let meta = self.meta_read();
-        let obj = meta
+        let tree = self.plane.tree_read();
+        let obj = tree
             .objects
             .get(&id)
             .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
@@ -905,10 +1038,17 @@ impl Container {
     /// silently reaching the caller.
     pub fn read_selection(&self, id: ObjectId, sel: &Selection) -> Result<Vec<u8>> {
         let (plan, verify) = self.plan_io(id, sel, None, false)?;
+        self.read_planned(&plan, &verify)
+    }
+
+    /// Issue a built read plan: verify the clean checksummed extents,
+    /// serve verified segments from the whole-extent reads, and batch
+    /// the rest to the backend vectored.
+    fn read_planned(&self, plan: &IoPlan, verify: &[VerifyExtent]) -> Result<Vec<u8>> {
         let mut out = vec![0u8; plan.total_bytes() as usize];
         // Whole-extent verified reads, keyed by extent address.
         let mut cache: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
-        for v in &verify {
+        for v in verify {
             let mut buf = vec![0u8; v.len as usize];
             self.backend
                 .read_at(v.addr, &mut buf)?; // xtask: allow(planned-io) integrity verification read
@@ -920,7 +1060,7 @@ impl Container {
                     m.counter("container.checksum_failures").inc();
                 }
                 return Err(H5Error::Corrupt(format!(
-                    "dataset {id}: extent at {} ({} bytes) fails its checksum",
+                    "extent at {} ({} bytes) fails its checksum",
                     v.addr, v.len
                 )));
             }
@@ -978,16 +1118,18 @@ impl Container {
 
     /// Resolve a selection into a coalesced [`IoPlan`].
     ///
-    /// The fast path takes **one** shared metadata-lock acquisition that
-    /// does everything the old per-run path re-did per segment: object
-    /// lookup, shape validation (against `expect_bytes` when given), run
-    /// decomposition, and resolution of every chunk address. When
-    /// `allocate` is set and some chunks are missing, one exclusive
-    /// acquisition follows: all still-missing chunks are claimed in a
-    /// single `eof` bump and the plan is rebuilt against the complete
-    /// chunk map. The new chunks are zero-filled *outside* the lock from
-    /// one reused buffer, as a vectored batch ordered before the caller's
-    /// data batch.
+    /// The fast path takes **one** shared shard-lock acquisition — just
+    /// long enough to clone the dataset's state `Arc` — then does
+    /// everything the old per-run path re-did per segment with no lock
+    /// held at all: shape validation (against `expect_bytes` when
+    /// given), run decomposition, and resolution of every chunk address.
+    /// When `allocate` is set and some chunks are missing, one exclusive
+    /// shard acquisition follows: the copy-on-write mutation claims all
+    /// still-missing chunks in a single `eof` reservation (allocator
+    /// mutex nested inside the shard lock) and the plan is rebuilt
+    /// against the complete chunk map. The new chunks are zero-filled
+    /// *outside* the locks from one reused buffer, as a vectored batch
+    /// ordered before the caller's data batch.
     ///
     /// Publishing chunk addresses before the zero-fill means a concurrent
     /// first writer to the *same* chunk could interleave with the fill;
@@ -1004,77 +1146,17 @@ impl Container {
     ) -> Result<(IoPlan, Vec<VerifyExtent>)> {
         let tracer = self.tracer();
         let mut plan_span = tracer.span("container.plan_io");
-        let mut missing: Vec<u64> = Vec::new();
-        // Every extent the plan touches: (key, addr, len, stored fnv).
-        // Writes mark these dirty; reads verify the clean checksummed
-        // ones.
-        let mut touched: Vec<(u64, u64, u64, Option<u64>)> = Vec::new();
-        let (plan, chunk_info) = {
+        let state = {
             let _lock_span = tracer.span("container.meta_lock");
-            let meta = self.meta_read();
-            let obj = meta
-                .objects
-                .get(&id)
-                .ok_or_else(|| H5Error::NotFound(format!("object {id}")))?;
-            let ObjectData::Dataset {
-                dtype,
-                space,
-                layout,
-                data_addr,
-                data_fnv,
-                chunks,
-            } = &obj.data
-            else {
-                return Err(H5Error::WrongObjectKind(format!("object {id} is a group")));
-            };
-            let elem = dtype.size() as u64;
-            if let Some(got) = expect_bytes {
-                let want = sel.npoints(space) * elem;
-                if got != want {
-                    return Err(H5Error::ShapeMismatch(format!(
-                        "selection wants {want} bytes, buffer has {got}"
-                    )));
-                }
-            }
-            let runs = sel.runs(space)?;
-            match layout {
-                Layout::Contiguous => {
-                    let nbytes = space.npoints().checked_mul(elem).ok_or_else(|| {
-                        H5Error::Storage("dataset byte size overflows the address space".into())
-                    })?;
-                    if nbytes > 0 && !runs.is_empty() {
-                        touched.push((CONTIG_EXTENT, *data_addr, nbytes, *data_fnv));
-                    }
-                    (IoPlan::for_contiguous(*data_addr, elem, &runs)?, None)
-                }
-                Layout::Chunked1D { chunk_elems } => {
-                    let ce = *chunk_elems;
-                    let chunk_bytes = ce.checked_mul(elem).ok_or_else(|| {
-                        H5Error::Storage(
-                            "chunk byte size overflows the device address space".into(),
-                        )
-                    })?;
-                    let mut seen = std::collections::BTreeSet::new();
-                    let plan = IoPlan::for_chunked(ce, elem, &runs, |idx| {
-                        let entry = chunks.get(&idx).copied();
-                        if seen.insert(idx) {
-                            match entry {
-                                Some(e) => touched.push((idx, e.addr, chunk_bytes, e.fnv)),
-                                None => missing.push(idx),
-                            }
-                        }
-                        entry.map(|e| e.addr)
-                    })?;
-                    (plan, Some((ce, elem, runs)))
-                }
-            }
+            self.dataset_state(id)?
         };
-        if missing.is_empty() || !allocate {
-            plan_span.set_event(plan_built_event(id, &plan));
-            let verify = self.note_touched(id, allocate, &touched);
-            return Ok((plan, verify));
+        let mut parts = plan_from_state(&state, sel, expect_bytes)?;
+        if parts.missing.is_empty() || !allocate {
+            plan_span.set_event(plan_built_event(id, &parts.plan));
+            let verify = self.note_touched(id, allocate, &parts.touched);
+            return Ok((parts.plan, verify));
         }
-        let Some((chunk_elems, elem, runs)) = chunk_info else {
+        let Some(ChunkInfo { chunk_elems, elem, runs }) = parts.chunk_info else {
             return Err(H5Error::Corrupt(format!(
                 "object {id} reported missing chunks without a chunked layout"
             )));
@@ -1083,59 +1165,49 @@ impl Container {
             H5Error::Storage("chunk byte size overflows the device address space".into())
         })?;
 
-        // Slow path: claim every still-missing chunk under one exclusive
-        // acquisition with a single eof bump, and rebuild the plan while
-        // the chunk map is complete and stable.
-        let (plan, fresh) = {
+        // Slow path: claim every still-missing chunk with one
+        // copy-on-write mutation under one exclusive shard acquisition
+        // and a single eof reservation.
+        let missing = std::mem::take(&mut parts.missing);
+        let (state, fresh) = {
             let _lock_span = tracer.span("container.meta_lock");
-            let mut meta = self.meta_write();
-            let Meta {
-                objects, eof, dirty, ..
-            } = &mut *meta;
-            let Some(ObjectData::Dataset { chunks, .. }) =
-                objects.get_mut(&id).map(|o| &mut o.data)
-            else {
-                return Err(H5Error::Corrupt(format!(
-                    "object {id} vanished or changed kind mid-plan"
-                )));
-            };
-            // Re-check under the write lock (another writer may have won
-            // the race for some of these chunks).
-            let still: Vec<u64> = missing
-                .iter()
-                .copied()
-                .filter(|idx| !chunks.contains_key(idx))
-                .collect();
-            let mut addr = *eof;
-            if !still.is_empty() {
-                *eof = chunk_bytes
-                    .checked_mul(still.len() as u64)
-                    .and_then(|grow| eof.checked_add(grow))
-                    .ok_or_else(|| {
-                        H5Error::Storage(
-                            "chunk allocation overflows the device address space".into(),
-                        )
-                    })?;
-                *dirty = true;
-            }
-            let mut fresh = Vec::with_capacity(still.len());
-            for idx in still {
-                chunks.insert(idx, ChunkEntry { addr, fnv: None });
-                fresh.push(addr);
-                // Bounded by the checked `*eof` above; saturating keeps
-                // the watermark arithmetic wrap-free.
-                addr = addr.saturating_add(chunk_bytes);
-            }
-            for &idx in &missing {
-                if let Some(e) = chunks.get(&idx) {
-                    touched.push((idx, e.addr, chunk_bytes, e.fnv));
+            self.plane.mutate(id, |st| {
+                // Re-check under the exclusive lock (another writer may
+                // have won the race for some of these chunks).
+                let still: Vec<u64> = missing
+                    .iter()
+                    .copied()
+                    .filter(|idx| !st.chunks.contains_key(idx))
+                    .collect();
+                let mut fresh = Vec::with_capacity(still.len());
+                if !still.is_empty() {
+                    let grow = chunk_bytes
+                        .checked_mul(still.len() as u64)
+                        .ok_or_else(|| {
+                            H5Error::Storage(
+                                "chunk allocation overflows the device address space".into(),
+                            )
+                        })?;
+                    let mut addr = self.reserve(grow, "chunk allocation")?;
+                    for idx in still {
+                        st.chunks.insert(idx, ChunkEntry { addr, fnv: None });
+                        fresh.push(addr);
+                        // Bounded by the checked reservation above;
+                        // saturating keeps the arithmetic wrap-free.
+                        addr = addr.saturating_add(chunk_bytes);
+                    }
                 }
-            }
-            let plan = IoPlan::for_chunked(chunk_elems, elem, &runs, |idx| {
-                chunks.get(&idx).map(|e| e.addr)
-            })?;
-            (plan, fresh)
+                Ok(fresh)
+            })?
         };
+        if !fresh.is_empty() {
+            self.meta_dirty.store(true, Ordering::Release);
+        }
+        for &idx in &missing {
+            if let Some(e) = state.chunks.get(&idx) {
+                parts.touched.push((idx, e.addr, chunk_bytes, e.fnv));
+            }
+        }
 
         // Zero-fill the freshly claimed chunks outside the metadata lock
         // so partially written chunks read back as the fill value. One
@@ -1153,8 +1225,12 @@ impl Container {
                 self.backend.write_vectored_at(&batch)?;
             }
         }
+        // Rebuild the plan against the complete, immutable chunk map.
+        let plan = IoPlan::for_chunked(chunk_elems, elem, &runs, |idx| {
+            state.chunks.get(&idx).map(|e| e.addr)
+        })?;
         plan_span.set_event(plan_built_event(id, &plan));
-        let verify = self.note_touched(id, allocate, &touched);
+        let verify = self.note_touched(id, allocate, &parts.touched);
         Ok((plan, verify))
     }
 
@@ -1190,6 +1266,73 @@ impl Container {
     }
 }
 
+/// One lock-free planning pass over an immutable dataset state: shape
+/// validation, run decomposition, chunk-address resolution, and the
+/// touched/missing bookkeeping. Shared by the live paths (which fetch
+/// the state under one shard acquisition) and the snapshot paths (which
+/// fetch it from a [`MetaSnapshot`] with no lock at all).
+fn plan_from_state(
+    state: &DatasetState,
+    sel: &Selection,
+    expect_bytes: Option<u64>,
+) -> Result<PlanParts> {
+    let elem = state.dtype.size() as u64;
+    if let Some(got) = expect_bytes {
+        let want = sel.npoints(&state.space) * elem;
+        if got != want {
+            return Err(H5Error::ShapeMismatch(format!(
+                "selection wants {want} bytes, buffer has {got}"
+            )));
+        }
+    }
+    let runs = sel.runs(&state.space)?;
+    let mut touched: Vec<(u64, u64, u64, Option<u64>)> = Vec::new();
+    let mut missing: Vec<u64> = Vec::new();
+    match &state.layout {
+        Layout::Contiguous => {
+            let nbytes = state.space.npoints().checked_mul(elem).ok_or_else(|| {
+                H5Error::Storage("dataset byte size overflows the address space".into())
+            })?;
+            if nbytes > 0 && !runs.is_empty() {
+                touched.push((CONTIG_EXTENT, state.data_addr, nbytes, state.data_fnv));
+            }
+            Ok(PlanParts {
+                plan: IoPlan::for_contiguous(state.data_addr, elem, &runs)?,
+                touched,
+                missing,
+                chunk_info: None,
+            })
+        }
+        Layout::Chunked1D { chunk_elems } => {
+            let ce = *chunk_elems;
+            let chunk_bytes = ce.checked_mul(elem).ok_or_else(|| {
+                H5Error::Storage("chunk byte size overflows the device address space".into())
+            })?;
+            let mut seen = BTreeSet::new();
+            let plan = IoPlan::for_chunked(ce, elem, &runs, |idx| {
+                let entry = state.chunks.get(&idx).copied();
+                if seen.insert(idx) {
+                    match entry {
+                        Some(e) => touched.push((idx, e.addr, chunk_bytes, e.fnv)),
+                        None => missing.push(idx),
+                    }
+                }
+                entry.map(|e| e.addr)
+            })?;
+            Ok(PlanParts {
+                plan,
+                touched,
+                missing,
+                chunk_info: Some(ChunkInfo {
+                    chunk_elems: ce,
+                    elem,
+                    runs,
+                }),
+            })
+        }
+    }
+}
+
 /// The planner-result payload for a `container.plan_io` span: segment
 /// count plus the number of vectored windows those segments become.
 fn plan_built_event(id: ObjectId, plan: &IoPlan) -> Event {
@@ -1203,11 +1346,11 @@ fn plan_built_event(id: ObjectId, plan: &IoPlan) -> Event {
 
 impl std::fmt::Debug for Container {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let meta = self.meta_read();
+        let objects = self.plane.tree_read().objects.len();
         f.debug_struct("Container")
-            .field("objects", &meta.objects.len())
-            .field("eof", &meta.eof)
-            .field("dirty", &meta.dirty)
+            .field("objects", &objects)
+            .field("eof", &self.alloc.lock().eof)
+            .field("dirty", &self.meta_dirty.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -1230,22 +1373,50 @@ fn validate_link_name(name: &str) -> Result<()> {
 }
 
 // ----- metadata (de)serialization -------------------------------------
+//
+// The byte format predates the sharded plane and is preserved exactly:
+// a flush reassembles the old single-map object shape from the tree and
+// the captured dataset states, and open splits it back apart. Files
+// written before the split reopen byte-identically after it.
 
-fn encode_meta(objects: &BTreeMap<ObjectId, Object>, next_id: ObjectId) -> Vec<u8> {
+/// A tree object paired with its captured dataset state (when it is a
+/// dataset) — the pre-validated encoding view.
+enum EncodeNode<'a> {
+    Group(&'a BTreeMap<String, ObjectId>),
+    Dataset(&'a DatasetState),
+}
+
+fn encode_meta(tree: &Tree, states: &MetaSnapshot) -> Result<Vec<u8>> {
+    // Validate before encoding: every tree dataset must have a captured
+    // state (guaranteed by the tree → shard creation nesting).
+    let mut entries: Vec<(ObjectId, &BTreeMap<String, AttrValue>, EncodeNode<'_>)> = Vec::new();
+    for (&id, obj) in &tree.objects {
+        let node = match &obj.kind {
+            NodeKind::Group { links } => EncodeNode::Group(links),
+            NodeKind::Dataset => EncodeNode::Dataset(
+                states
+                    .get(id)
+                    .ok_or_else(|| {
+                        H5Error::Corrupt(format!("dataset {id} lost its shard state"))
+                    })?
+                    .as_ref(),
+            ),
+        };
+        entries.push((id, &obj.attrs, node));
+    }
     let mut w = Writer::new();
-    w.u64(next_id);
-    let entries: Vec<(&ObjectId, &Object)> = objects.iter().collect();
-    w.list(&entries, |w, (id, obj)| {
-        w.u64(**id);
-        let attrs: Vec<(&String, &AttrValue)> = obj.attrs.iter().collect();
+    w.u64(tree.next_id);
+    w.list(&entries, |w, (id, attrs, node)| {
+        w.u64(*id);
+        let attrs: Vec<(&String, &AttrValue)> = attrs.iter().collect();
         w.list(&attrs, |w, (name, a)| {
             w.str(name);
             w.u8(a.dtype.tag());
             w.list(&a.shape, |w, d| w.u64(*d));
             w.bytes(&a.bytes);
         });
-        match &obj.data {
-            ObjectData::Group { links } => {
+        match node {
+            EncodeNode::Group(links) => {
                 w.u8(0);
                 let links: Vec<(&String, &ObjectId)> = links.iter().collect();
                 w.list(&links, |w, (name, id)| {
@@ -1253,25 +1424,18 @@ fn encode_meta(objects: &BTreeMap<ObjectId, Object>, next_id: ObjectId) -> Vec<u
                     w.u64(**id);
                 });
             }
-            ObjectData::Dataset {
-                dtype,
-                space,
-                layout,
-                data_addr,
-                data_fnv,
-                chunks,
-            } => {
+            EncodeNode::Dataset(state) => {
                 w.u8(1);
-                w.u8(dtype.tag());
-                w.list(space.dims(), |w, d| w.u64(*d));
-                w.u8(layout.tag());
-                if let Layout::Chunked1D { chunk_elems } = layout {
-                    w.u64(*chunk_elems);
+                w.u8(state.dtype.tag());
+                w.list(state.space.dims(), |w, d| w.u64(*d));
+                w.u8(state.layout.tag());
+                if let Layout::Chunked1D { chunk_elems } = state.layout {
+                    w.u64(chunk_elems);
                 }
-                w.u64(*data_addr);
-                w.bool(data_fnv.is_some());
-                w.u64(data_fnv.unwrap_or(0));
-                let chunks: Vec<(&u64, &ChunkEntry)> = chunks.iter().collect();
+                w.u64(state.data_addr);
+                w.bool(state.data_fnv.is_some());
+                w.u64(state.data_fnv.unwrap_or(0));
+                let chunks: Vec<(&u64, &ChunkEntry)> = state.chunks.iter().collect();
                 w.list(&chunks, |w, (idx, entry)| {
                     w.u64(**idx);
                     w.u64(entry.addr);
@@ -1281,12 +1445,13 @@ fn encode_meta(objects: &BTreeMap<ObjectId, Object>, next_id: ObjectId) -> Vec<u
             }
         }
     });
-    w.into_bytes()
+    Ok(w.into_bytes())
 }
 
-fn decode_meta(bytes: &[u8]) -> Result<(BTreeMap<ObjectId, Object>, ObjectId)> {
+fn decode_meta(bytes: &[u8]) -> Result<(Tree, Vec<(ObjectId, DatasetState)>)> {
     let mut r = Reader::new(bytes);
     let next_id = r.u64()?;
+    let mut states: Vec<(ObjectId, DatasetState)> = Vec::new();
     let entries = r.list(|r| {
         let id = r.u64()?;
         let attrs_list = r.list(|r| {
@@ -1298,10 +1463,10 @@ fn decode_meta(bytes: &[u8]) -> Result<(BTreeMap<ObjectId, Object>, ObjectId)> {
         })?;
         let attrs: BTreeMap<String, AttrValue> = attrs_list.into_iter().collect();
         let kind = r.u8()?;
-        let data = match kind {
+        let kind = match kind {
             0 => {
                 let links_list = r.list(|r| Ok((r.str()?, r.u64()?)))?;
-                ObjectData::Group {
+                NodeKind::Group {
                     links: links_list.into_iter().collect(),
                 }
             }
@@ -1335,25 +1500,35 @@ fn decode_meta(bytes: &[u8]) -> Result<(BTreeMap<ObjectId, Object>, ObjectId)> {
                         },
                     ))
                 })?;
-                ObjectData::Dataset {
-                    dtype,
-                    space: Dataspace::new(&dims),
-                    layout,
-                    data_addr,
-                    data_fnv: has_data_fnv.then_some(data_fnv_raw),
-                    chunks: chunks_list.into_iter().collect(),
-                }
+                states.push((
+                    id,
+                    DatasetState {
+                        dtype,
+                        space: Dataspace::new(&dims),
+                        layout,
+                        data_addr,
+                        data_fnv: has_data_fnv.then_some(data_fnv_raw),
+                        chunks: chunks_list.into_iter().collect(),
+                        generation: 0,
+                    },
+                ));
+                NodeKind::Dataset
             }
             t => return Err(H5Error::Corrupt(format!("unknown object kind {t}"))),
         };
-        Ok((id, Object { data, attrs }))
+        Ok((id, TreeObject { kind, attrs }))
     })?;
     if !r.is_exhausted() {
         return Err(H5Error::Corrupt("trailing bytes after metadata".into()));
     }
-    Ok((entries.into_iter().collect(), next_id))
+    Ok((
+        Tree {
+            objects: entries.into_iter().collect(),
+            next_id,
+        },
+        states,
+    ))
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,6 +48,7 @@ pub mod dataspace;
 pub mod datatype;
 pub mod error;
 pub mod layout;
+pub mod meta;
 pub mod native;
 pub mod plan;
 pub mod promise;
@@ -63,6 +64,7 @@ pub use dataspace::{Dataspace, Hyperslab, Selection};
 pub use datatype::{Datatype, H5Type};
 pub use error::{ErrorClass, H5Error, Result};
 pub use layout::Layout;
+pub use meta::{shard_of, ConsistencyModel, MetaLockStats, MetaSnapshot, META_SHARDS};
 pub use native::NativeVol;
 pub use plan::{IoPlan, IoSegment, COALESCE_WINDOW};
 pub use promise::Promise;

@@ -846,6 +846,9 @@ pub struct CrashClock {
     mutations: AtomicU64,
     /// Admissions granted before the cut.
     cut_after: u64,
+    /// Bytes of the boundary write (mutation index `cut_after`) that
+    /// still reach the device — the torn-write mode. `None` cuts clean.
+    torn_prefix: Option<u64>,
 }
 
 impl CrashClock {
@@ -863,6 +866,23 @@ impl CrashClock {
         Arc::new(CrashClock {
             mutations: AtomicU64::new(0),
             cut_after: k,
+            torn_prefix: None,
+        })
+    }
+
+    /// Like [`CrashClock::cut_after`], but the boundary mutation itself
+    /// *tears*: if it is a write, its first `keep_bytes` bytes (clamped
+    /// to the write's length) reach the device before the error is
+    /// returned — modelling the in-flight sector train a power cut
+    /// chops mid-write. The caller still never gets an ack for the torn
+    /// write; what the harness checks is that recovery disowns the
+    /// partial bytes. A boundary `sync` cannot tear and is refused
+    /// whole.
+    pub fn cut_torn(k: u64, keep_bytes: u64) -> Arc<Self> {
+        Arc::new(CrashClock {
+            mutations: AtomicU64::new(0),
+            cut_after: k,
+            torn_prefix: Some(keep_bytes),
         })
     }
 
@@ -879,6 +899,29 @@ impl CrashClock {
     fn admit(&self) -> bool {
         self.mutations.fetch_add(1, Ordering::SeqCst) < self.cut_after
     }
+
+    /// Admission decision for a write, distinguishing the torn
+    /// boundary: `Full` before the cut, `Torn(keep)` exactly at a torn
+    /// boundary, `Refused` after (and at a clean boundary).
+    fn admit_write(&self) -> Admission {
+        let idx = self.mutations.fetch_add(1, Ordering::SeqCst);
+        if idx < self.cut_after {
+            Admission::Full
+        } else if idx == self.cut_after {
+            match self.torn_prefix {
+                Some(keep) => Admission::Torn(keep),
+                None => Admission::Refused,
+            }
+        } else {
+            Admission::Refused
+        }
+    }
+}
+
+enum Admission {
+    Full,
+    Torn(u64),
+    Refused,
 }
 
 /// A [`StorageBackend`] wrapper that deterministically kills persistence
@@ -914,10 +957,19 @@ impl CrashBackend {
 
 impl StorageBackend for CrashBackend {
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
-        if !self.clock.admit() {
-            return Err(self.refuse("write"));
+        match self.clock.admit_write() {
+            Admission::Full => self.inner.write_at(offset, data),
+            Admission::Torn(keep) => {
+                // The prefix lands on the device; the caller still sees
+                // the crash error — an unacked, torn in-flight write.
+                let keep = (keep as usize).min(data.len());
+                if keep > 0 {
+                    self.inner.write_at(offset, &data[..keep])?;
+                }
+                Err(self.refuse("write (torn mid-flight)"))
+            }
+            Admission::Refused => Err(self.refuse("write")),
         }
-        self.inner.write_at(offset, data)
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {

@@ -6,19 +6,78 @@
 //! properties the rest of the stack relies on: guards without `Result`
 //! noise, and no lock poisoning — a panicking background I/O thread must
 //! not wedge every later metadata operation on the container.
+//!
+//! ## Lock classes without a dependency edge
+//!
+//! Locks constructed with [`Mutex::new_named`]/[`RwLock::new_named`]
+//! carry a *class name*. On its own h5lite does nothing with the name;
+//! a layer that depends on both h5lite and `argolite` (the async
+//! connector) can install process-wide [`order_hook`] callbacks that
+//! forward every named acquisition/release into `argolite`'s
+//! `debug-invariants` lock-order graph. That is how the metadata-plane
+//! shard locks (`crates/h5lite/src/meta.rs`) participate in cross-crate
+//! deadlock detection even though h5lite cannot name argolite.
 
-use std::sync::{self, PoisonError};
+use std::sync::{self, OnceLock, PoisonError};
 use std::time::Duration;
+
+/// Process-wide observation hooks for named-lock traffic.
+///
+/// Install with [`order_hook::install`]; until then (and always for
+/// anonymous locks) acquisitions cost one relaxed pointer load. The
+/// hooks fire on the acquiring thread, *after* the lock is held and
+/// *before* it is released, which is exactly the window a held-stack
+/// lock-order recorder needs to build its edge graph.
+pub mod order_hook {
+    use super::OnceLock;
+
+    /// `(on_acquire, on_release)` callbacks, each given the class name.
+    struct Hooks {
+        acquire: fn(&'static str),
+        release: fn(&'static str),
+    }
+
+    static HOOKS: OnceLock<Hooks> = OnceLock::new();
+
+    /// Install the process-wide hooks. First caller wins; later calls
+    /// are ignored, so bridges can install idempotently from any number
+    /// of entry points.
+    pub fn install(acquire: fn(&'static str), release: fn(&'static str)) {
+        let _ = HOOKS.set(Hooks { acquire, release }); // xtask: allow(swallowed-result) first-caller-wins install; a later bridge is deliberately ignored
+    }
+
+    pub(super) fn acquired(name: &'static str) {
+        if let Some(h) = HOOKS.get() {
+            (h.acquire)(name);
+        }
+    }
+
+    pub(super) fn released(name: &'static str) {
+        if let Some(h) = HOOKS.get() {
+            (h.release)(name);
+        }
+    }
+}
 
 /// Mutual exclusion without poison propagation.
 pub struct Mutex<T: ?Sized> {
+    name: Option<&'static str>,
     inner: sync::Mutex<T>,
 }
 
 impl<T> Mutex<T> {
-    /// A fresh mutex.
+    /// A fresh anonymous mutex.
     pub fn new(value: T) -> Self {
         Mutex {
+            name: None,
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// A fresh mutex belonging to lock class `name` (see [`order_hook`]).
+    pub fn new_named(name: &'static str, value: T) -> Self {
+        Mutex {
+            name: Some(name),
             inner: sync::Mutex::new(value),
         }
     }
@@ -32,8 +91,13 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking; never returns a poison error.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(name) = self.name {
+            order_hook::acquired(name);
+        }
         MutexGuard {
-            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            name: self.name,
+            inner: Some(g),
         }
     }
 }
@@ -48,6 +112,7 @@ impl<T: Default> Default for Mutex<T> {
 /// inside [`Condvar`] waits, which hold the unique `&mut`.
 #[must_use = "dropping a MutexGuard immediately releases the lock"]
 pub struct MutexGuard<'a, T: ?Sized> {
+    name: Option<&'static str>,
     inner: Option<sync::MutexGuard<'a, T>>,
 }
 
@@ -70,6 +135,18 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     }
 }
 
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // A vacated guard (mid-`Condvar::wait`) already reported its
+        // release when the wait began.
+        if self.inner.is_some() {
+            if let Some(name) = self.name {
+                order_hook::released(name);
+            }
+        }
+    }
+}
+
 /// Condition variable pairing with [`Mutex`].
 pub struct Condvar {
     inner: sync::Condvar,
@@ -86,7 +163,13 @@ impl Condvar {
     /// Atomically release the guard's lock and wait for a notification.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         if let Some(g) = guard.inner.take() {
+            if let Some(name) = guard.name {
+                order_hook::released(name);
+            }
             guard.inner = Some(self.inner.wait(g).unwrap_or_else(PoisonError::into_inner));
+            if let Some(name) = guard.name {
+                order_hook::acquired(name);
+            }
         }
     }
 
@@ -95,11 +178,17 @@ impl Condvar {
     pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
         match guard.inner.take() {
             Some(g) => {
+                if let Some(name) = guard.name {
+                    order_hook::released(name);
+                }
                 let (g, res) = match self.inner.wait_timeout(g, timeout) {
                     Ok(pair) => pair,
                     Err(p) => p.into_inner(),
                 };
                 guard.inner = Some(g);
+                if let Some(name) = guard.name {
+                    order_hook::acquired(name);
+                }
                 res.timed_out()
             }
             None => false,
@@ -125,13 +214,24 @@ impl Default for Condvar {
 
 /// Reader-writer lock without poison propagation.
 pub struct RwLock<T: ?Sized> {
+    name: Option<&'static str>,
     inner: sync::RwLock<T>,
 }
 
 impl<T> RwLock<T> {
-    /// A fresh rwlock.
+    /// A fresh anonymous rwlock.
     pub fn new(value: T) -> Self {
         RwLock {
+            name: None,
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// A fresh rwlock belonging to lock class `name` (see
+    /// [`order_hook`]).
+    pub fn new_named(name: &'static str, value: T) -> Self {
+        RwLock {
+            name: Some(name),
             inner: sync::RwLock::new(value),
         }
     }
@@ -144,19 +244,83 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read guard.
-    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let g = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        if let Some(name) = self.name {
+            order_hook::acquired(name);
+        }
+        RwLockReadGuard {
+            name: self.name,
+            inner: g,
+        }
     }
 
     /// Acquire an exclusive write guard.
-    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let g = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(name) = self.name {
+            order_hook::acquired(name);
+        }
+        RwLockWriteGuard {
+            name: self.name,
+            inner: g,
+        }
     }
 }
 
 impl<T: Default> Default for RwLock<T> {
     fn default() -> Self {
         RwLock::new(T::default())
+    }
+}
+
+/// RAII shared guard for [`RwLock`].
+#[must_use = "dropping a read guard immediately releases the lock"]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    name: Option<&'static str>,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(name) = self.name {
+            order_hook::released(name);
+        }
+    }
+}
+
+/// RAII exclusive guard for [`RwLock`].
+#[must_use = "dropping a write guard immediately releases the lock"]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    name: Option<&'static str>,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(name) = self.name {
+            order_hook::released(name);
+        }
     }
 }
 
@@ -189,5 +353,15 @@ mod tests {
         assert!(cv.wait_for(&mut g, Duration::from_millis(5)));
         drop(g);
         assert_eq!(m.into_inner(), 9);
+    }
+
+    #[test]
+    fn named_locks_work_without_hooks() {
+        let m = Mutex::new_named("h5lite.test.m", 1);
+        assert_eq!(*m.lock(), 1);
+        let l = RwLock::new_named("h5lite.test.l", 2);
+        assert_eq!(*l.read(), 2);
+        *l.write() = 3;
+        assert_eq!(*l.read(), 3);
     }
 }

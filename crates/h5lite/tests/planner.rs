@@ -9,8 +9,8 @@ use std::sync::Arc;
 
 use h5lite::container::ROOT_ID;
 use h5lite::{
-    Container, Dataspace, Datatype, Hyperslab, IoVec, IoVecMut, Layout, MemBackend, Selection,
-    StorageBackend, COALESCE_WINDOW,
+    shard_of, Container, Dataspace, Datatype, Hyperslab, IoVec, IoVecMut, Layout, MemBackend,
+    MetaLockStats, Selection, StorageBackend, COALESCE_WINDOW, META_SHARDS,
 };
 
 /// Forwards to a [`MemBackend`] while counting scalar calls, vectored
@@ -164,6 +164,84 @@ fn chunked_steady_state_matches_contiguous_accounting() {
     let back = c.read_selection(id, &sel).unwrap();
     assert_eq!(back, data);
     assert_eq!(c.meta_lock_acquisitions() - locks0, 1);
+}
+
+/// Per-shard delta between two [`MetaLockStats`] captures, as
+/// `(shard, reads, writes)` triples for every shard that moved.
+fn shard_delta(before: &MetaLockStats, after: &MetaLockStats) -> Vec<(usize, u64, u64)> {
+    (0..META_SHARDS)
+        .filter_map(|s| {
+            let r = after.shard_reads[s] - before.shard_reads[s];
+            let w = after.shard_writes[s] - before.shard_writes[s];
+            (r + w > 0).then_some((s, r, w))
+        })
+        .collect()
+}
+
+#[test]
+fn per_shard_breakdown_pins_steady_ops_to_the_dataset_shard() {
+    // The aggregate one-lock-per-op counts above stay meaningful under
+    // sharding only if the single acquisition is a *shard read* of the
+    // dataset's own shard: no tree traffic, no stray shard, no write
+    // acquisition on the read path.
+    let (c, _backend, sel, data) = strided_setup(Layout::Chunked1D { chunk_elems: 64 });
+    let id = 2;
+    let home = shard_of(id);
+    assert_eq!(home, 2, "sequential ids land on sequential shards");
+
+    // First write = plan pass (shard read) + allocation pass (shard
+    // write), both on the home shard.
+    let s0 = c.meta_lock_stats();
+    c.write_selection(id, &sel, &data).unwrap();
+    let s1 = c.meta_lock_stats();
+    assert_eq!(shard_delta(&s0, &s1), vec![(home, 1, 1)]);
+    assert_eq!((s1.tree_reads, s1.tree_writes), (s0.tree_reads, s0.tree_writes));
+
+    // Steady-state write: one read acquisition of the home shard only.
+    let s1 = c.meta_lock_stats();
+    c.write_selection(id, &sel, &data).unwrap();
+    let s2 = c.meta_lock_stats();
+    assert_eq!(shard_delta(&s1, &s2), vec![(home, 1, 0)]);
+
+    // Steady-state read: same breakdown — readers never take a shard
+    // write lock.
+    let s2 = c.meta_lock_stats();
+    let back = c.read_selection(id, &sel).unwrap();
+    assert_eq!(back, data);
+    let s3 = c.meta_lock_stats();
+    assert_eq!(shard_delta(&s2, &s3), vec![(home, 1, 0)]);
+    assert_eq!((s3.tree_reads, s3.tree_writes), (s2.tree_reads, s2.tree_writes));
+}
+
+#[test]
+fn disjoint_datasets_touch_disjoint_shard_locks() {
+    // Two tenants on consecutive dataset ids: every steady op moves
+    // exactly one counter, and never the other tenant's.
+    let backend = Arc::new(CountingBackend::default());
+    let c = Container::create(backend as Arc<dyn StorageBackend>);
+    let space = Dataspace::d1(64);
+    let a = c
+        .create_dataset(ROOT_ID, "a", Datatype::F32, &space, Layout::Contiguous)
+        .unwrap();
+    let b = c
+        .create_dataset(ROOT_ID, "b", Datatype::F32, &space, Layout::Contiguous)
+        .unwrap();
+    assert_ne!(shard_of(a), shard_of(b), "consecutive ids must not collide");
+
+    let sel = Selection::Slab(Hyperslab::range1(0, 64));
+    let data = vec![9u8; 64 * 4];
+    c.write_selection(a, &sel, &data).unwrap();
+
+    let s0 = c.meta_lock_stats();
+    c.write_selection(b, &sel, &data).unwrap();
+    let s1 = c.meta_lock_stats();
+    assert_eq!(shard_delta(&s0, &s1), vec![(shard_of(b), 1, 0)]);
+
+    let s1 = c.meta_lock_stats();
+    let back = c.read_selection(a, &sel).unwrap();
+    assert_eq!(back, data);
+    let s2 = c.meta_lock_stats();
+    assert_eq!(shard_delta(&s1, &s2), vec![(shard_of(a), 1, 0)]);
 }
 
 #[test]

@@ -19,8 +19,9 @@
 //! | `swallowed-result` | asyncvol, h5lite `src/`              | no `let _ =` / statement `.ok();` discarding a `Result` on an I/O path |
 //! | `superblock-discipline` | h5lite `src/` except `superblock.rs` | the superblock area (offset 0) is written only through the dual-slot commit protocol |
 //! | `ring-discipline` | asyncvol `lib.rs`, `batch.rs`           | background-write paths reach storage via ring submission or planned vectored I/O, never scalar backend calls |
+//! | `snapshot-discipline` | h5lite `src/` except `meta.rs`       | metadata state is resolved through the sharded `MetaPlane` API, never by locking a monolithic `meta` field directly |
 //!
-//! Ten of the rules are line-local token patterns; the other four
+//! Eleven of the rules are line-local token patterns; the other four
 //! ride the intra-procedural dataflow passes in [`crate::dataflow`].
 //! Lexing (see [`crate::lexer`]) makes every rule comment-, string-,
 //! and lifetime-aware for free.
@@ -58,7 +59,7 @@ impl std::fmt::Display for Violation {
 }
 
 /// Names of all rules, for reports and the fixture corpus.
-pub const RULE_NAMES: [&str; 14] = [
+pub const RULE_NAMES: [&str; 15] = [
     "virtual-time",
     "error-path",
     "lock-discipline",
@@ -73,6 +74,7 @@ pub const RULE_NAMES: [&str; 14] = [
     "swallowed-result",
     "superblock-discipline",
     "ring-discipline",
+    "snapshot-discipline",
 ];
 
 /// The one crate allowed to call the manual span API (`begin_span` /
@@ -128,6 +130,13 @@ const SWALLOWED_RESULT_CRATES: [&str; 2] = ["crates/asyncvol/", "crates/h5lite/"
 /// dual-slot commit protocol. A raw offset-0 write anywhere else in the
 /// container crate can tear the anchor every reopen depends on.
 const SUPERBLOCK_MODULE: &str = "crates/h5lite/src/superblock.rs";
+/// The one module allowed to acquire metadata-plane locks directly: the
+/// sharded plane itself. A raw `meta.read()`/`meta.write()` anywhere
+/// else in the crate is a regression back to the monolithic metadata
+/// lock — it bypasses the per-shard counters, the MVCC working/published
+/// split, and the zero-lock snapshot path that multi-tenant planning
+/// depends on.
+const META_PLANE_MODULE: &str = "crates/h5lite/src/meta.rs";
 
 fn in_src(rel: &str, crates: &[&str]) -> bool {
     crates
@@ -223,6 +232,7 @@ pub fn lint_source_full(rel: &str, src: &str) -> FileLint {
     let offset_arith = OFFSET_ARITH_FILES.contains(&rel);
     let swallowed = in_src(rel, &SWALLOWED_RESULT_CRATES);
     let superblock = in_src(rel, &["crates/h5lite/"]) && rel != SUPERBLOCK_MODULE;
+    let snapshot_discipline = in_src(rel, &["crates/h5lite/"]) && rel != META_PLANE_MODULE;
 
     // Whole-file evidence for `bounded-retry`: a retry decision
     // (`is_retryable`) in non-test code is only legal when the same file
@@ -360,6 +370,27 @@ pub fn lint_source_full(rel: &str, src: &str) -> FileLint {
                     "trace-discipline",
                     "raw flight-recorder access `.flight_records(..)` outside apio-trace; dump through `Tracer::flight_dump` so records leave only via the exporter API".to_owned(),
                 );
+            }
+        }
+
+        if snapshot_discipline {
+            for name in ["read", "write"] {
+                if seq(&["meta", ".", name, "("]) {
+                    push(
+                        line,
+                        "snapshot-discipline",
+                        format!("direct metadata lock `meta.{name}()` outside the sharded plane; resolve through `MetaPlane` (`working`/`mutate`/`snapshot`) so per-shard accounting and MVCC publication stay intact"),
+                    );
+                }
+            }
+            for name in ["meta_read", "meta_write"] {
+                if seq(&[".", name, "("]) {
+                    push(
+                        line,
+                        "snapshot-discipline",
+                        format!("raw metadata lock accessor `.{name}()` outside the sharded plane; resolve through `MetaPlane` (`working`/`mutate`/`snapshot`) so per-shard accounting and MVCC publication stay intact"),
+                    );
+                }
             }
         }
 
@@ -934,6 +965,36 @@ fn f(rt: &Runtime) {
         let zero = "fn f(&self) { self.device.write_at(0, &rec) }\n";
         assert!(lint_source("crates/asyncvol/src/staging.rs", zero).is_empty());
         assert!(lint_source("crates/h5lite/tests/x.rs", zero).is_empty());
+    }
+
+    #[test]
+    fn snapshot_discipline_fires_on_direct_meta_locks() {
+        let bad = "fn f(&self) { let m = self.meta.read(); m.len() }\n";
+        assert_eq!(
+            rules_fired("crates/h5lite/src/container.rs", bad),
+            ["snapshot-discipline"]
+        );
+        let bad_write = "fn g(&self) { self.meta.write().generation += 1; }\n";
+        assert!(rules_fired("crates/h5lite/src/api.rs", bad_write)
+            .contains(&"snapshot-discipline"));
+        let bad_accessor = "fn h(&self) { self.plane.meta_read().len() }\n";
+        assert_eq!(
+            rules_fired("crates/h5lite/src/api.rs", bad_accessor),
+            ["snapshot-discipline"]
+        );
+    }
+
+    #[test]
+    fn snapshot_discipline_permits_the_plane_module_and_its_api() {
+        // The sharded plane itself is the sanctioned lock owner.
+        let direct = "fn f(&self) { let m = self.meta.read(); m.len() }\n";
+        assert!(lint_source("crates/h5lite/src/meta.rs", direct).is_empty());
+        // Out of scope: tests and other crates.
+        assert!(lint_source("crates/h5lite/tests/x.rs", direct).is_empty());
+        assert!(lint_source("crates/asyncvol/src/lib.rs", direct).is_empty());
+        // The plane API is the sanctioned path everywhere else.
+        let ok = "fn f(&self) { let s = self.plane.working(id); self.plane.snapshot(); }\n";
+        assert!(lint_source("crates/h5lite/src/container.rs", ok).is_empty());
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//@ lint-as: crates/h5lite/src/meta.rs
+impl MetaPlane {
+    fn working_len(&self, id: ObjectId) -> usize {
+        let meta = self.meta.read();
+        meta.len()
+    }
+
+    fn publish(&self, id: ObjectId) {
+        let mut meta = self.meta.write();
+        meta.publish(id);
+    }
+}

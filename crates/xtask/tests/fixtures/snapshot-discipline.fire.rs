@@ -1,0 +1,16 @@
+//@ lint-as: crates/h5lite/src/api.rs
+impl Container {
+    fn lookup_len(&self, id: ObjectId) -> u64 {
+        let meta = self.meta.read(); //~ snapshot-discipline
+        meta.datasets[&id].space.npoints()
+    }
+
+    fn bump_generation(&self) {
+        let mut meta = self.meta.write(); //~ snapshot-discipline
+        meta.generation += 1;
+    }
+
+    fn peek(&self) -> usize {
+        self.plane.meta_read().len() //~ snapshot-discipline
+    }
+}

@@ -144,6 +144,64 @@ fn committed_ring_epoch_is_2x_over_the_baseline_async_epoch() {
 }
 
 #[test]
+fn committed_multitenant_bench_meets_the_contention_bar() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("BENCH_multitenant.json")).unwrap_or_else(|e| {
+        panic!("BENCH_multitenant.json must be committed at the workspace root: {e}")
+    });
+    // The timing entries must be benchdiff-parseable so ci.sh can run the
+    // self-diff gate over the committed file.
+    let entries = benchdiff::parse_results(&text).unwrap();
+    for name in [
+        "multitenant/sharded/aggregate_writer_op",
+        "multitenant/single_lock/aggregate_writer_op",
+        "multitenant/sharded/snapshot_reader_op",
+    ] {
+        assert!(
+            entries.iter().any(|e| e.name == name),
+            "{name} missing from BENCH_multitenant.json"
+        );
+    }
+    let field = |key: &str| -> f64 {
+        let tag = format!("\"{key}\":");
+        let at = text
+            .find(&tag)
+            .unwrap_or_else(|| panic!("{key} missing from BENCH_multitenant.json"));
+        let rest = text[at + tag.len()..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().unwrap_or_else(|e| panic!("{key}: {e}"))
+    };
+    // 16 writers on disjoint datasets must aggregate ≥ 4x the throughput
+    // of the emulated single-metadata-lock discipline (same workload,
+    // same device model — the win is lock granularity alone).
+    let speedup = field("aggregate_speedup_sharded_over_single_lock");
+    assert!(speedup >= 4.0, "sharded speedup {speedup} < 4x over single-lock");
+    // Steady-state writes are O(1) metadata-lock acquisitions: exactly one
+    // shard read per op, with a hair of slack for counter granularity.
+    let locks = field("sharded_meta_locks_per_writer_op");
+    assert!(locks <= 1.05, "meta locks per writer op {locks} not O(1)");
+    // Snapshot readers take the zero-lock path — exactly zero.
+    let reader_locks = field("snapshot_reader_lock_acquisitions");
+    assert_eq!(reader_locks, 0.0, "snapshot readers acquired metadata locks");
+    // Per-shard balance: 16 tenants on 16 distinct shards means every
+    // shard's read delta is identical — no hot lock.
+    let list_tag = "\"sharded_shard_reads_delta\": [";
+    let at = text.find(list_tag).expect("shard delta list missing");
+    let rest = &text[at + list_tag.len()..];
+    let deltas: Vec<u64> = rest[..rest.find(']').expect("unterminated shard delta list")]
+        .split(',')
+        .map(|s| s.trim().parse().expect("shard delta"))
+        .collect();
+    assert_eq!(deltas.len(), 16);
+    assert!(
+        deltas.iter().all(|&d| d == deltas[0] && d > 0),
+        "shard read deltas unbalanced: {deltas:?}"
+    );
+}
+
+#[test]
 fn synthetic_regression_fails_the_diff_gate() {
     let root = workspace_root();
     let text = std::fs::read_to_string(root.join("BENCH_baseline.json")).unwrap();

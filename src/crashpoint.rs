@@ -110,6 +110,50 @@ pub fn sweep(mut run: impl FnMut(&Arc<CrashClock>) -> Result<(), String>) -> Cra
     report
 }
 
+/// [`sweep`] with torn boundary writes: every crash point is explored
+/// once per entry of `prefixes`, with the boundary mutation applying
+/// only its first `prefix` bytes before the cut (see
+/// [`CrashClock::cut_torn`]). This is the harsher power-cut model —
+/// the clean sweep leaves every prefix of the mutation *sequence*, the
+/// torn sweep additionally chops the last in-flight write mid-sector —
+/// and is what proves recovery disowns partial bytes instead of merely
+/// missing absent ones (e.g. a metadata extent whose first half landed:
+/// the superblock checksum must reject it and reopen must fall back to
+/// the previous generation, whole, on every shard).
+pub fn sweep_torn(
+    prefixes: &[u64],
+    mut run: impl FnMut(&Arc<CrashClock>) -> Result<(), String>,
+) -> CrashSweepReport {
+    let clock = CrashClock::unlimited();
+    let mut report = CrashSweepReport {
+        boundaries: 0,
+        runs: 1,
+        failure: None,
+    };
+    if let Err(message) = run(&clock) {
+        report.failure = Some(CrashFailure {
+            cut_after: None,
+            message,
+        });
+        return report;
+    }
+    report.boundaries = clock.mutations();
+    'cuts: for k in 0..report.boundaries {
+        for &prefix in prefixes {
+            let clock = CrashClock::cut_torn(k, prefix);
+            report.runs += 1;
+            if let Err(message) = run(&clock) {
+                report.failure = Some(CrashFailure {
+                    cut_after: Some(k),
+                    message: format!("torn boundary (first {prefix} byte(s) landed): {message}"),
+                });
+                break 'cuts;
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +197,51 @@ mod tests {
         // one run per k in 0..=8.
         assert_eq!(report.boundaries, 8);
         assert_eq!(report.runs, 10);
+    }
+
+    #[test]
+    fn torn_sweep_passes_a_sound_journal_and_multiplies_runs() {
+        let report = sweep_torn(&[1, 4, 7], journal_run);
+        assert!(report.ok(), "{:?}", report.failure);
+        assert_eq!(report.boundaries, 8);
+        // Recording pass + 3 torn prefixes per boundary.
+        assert_eq!(report.runs, 1 + 3 * 8);
+    }
+
+    #[test]
+    fn torn_sweep_catches_a_workload_trusting_unacked_bytes() {
+        // Bug: the workload decides what's committed by reading the
+        // device back instead of trusting only acked syncs. A clean cut
+        // cannot expose it (the device holds whole records or nothing);
+        // a torn boundary leaves a half-written record that the naive
+        // read-back mistakes for a commit.
+        let report = sweep_torn(&[4], |clock| {
+            let inner: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+            // Pre-size the device (not a crash-gated mutation) so the
+            // recovery read-back below sees torn bytes, not EOF.
+            inner.write_at(0, &[0u8; 16]).map_err(|e| e.to_string())?;
+            let dev = CrashBackend::new(inner.clone(), clock.clone());
+            for i in 0..2u64 {
+                if dev.write_at(i * 8, &u64::MAX.to_le_bytes()).is_err() {
+                    break;
+                }
+                if dev.sync().is_err() {
+                    break;
+                }
+            }
+            // "Recovery": any nonzero record is treated as committed.
+            for i in 0..2u64 {
+                let mut buf = [0u8; 8];
+                let _ = inner.read_at(i * 8, &mut buf);
+                let v = u64::from_le_bytes(buf);
+                if v != 0 && v != u64::MAX {
+                    return Err(format!("record {i} recovered torn: {v:#x}"));
+                }
+            }
+            Ok(())
+        });
+        let failure = report.failure.expect("torn boundary must be caught");
+        assert!(failure.to_string().contains("torn"));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use apio::asyncvol::{AsyncVol, BreakerConfig, RetryPolicy};
-use apio::crashpoint::{sweep, CrashBackend};
+use apio::crashpoint::{sweep, sweep_torn, CrashBackend};
 use apio::h5lite::{
     container::ROOT_ID, datatype::to_bytes, Container, Dataspace, Datatype, FaultInjector,
     FaultKind, FaultOp, FaultPlan, H5Error, Hyperslab, Layout, MemBackend, Selection,
@@ -148,6 +148,171 @@ fn whole_stack_crash_enumeration_holds_every_durability_invariant() {
         report.boundaries
     );
     assert_eq!(report.runs, report.boundaries + 2);
+}
+
+/// ISSUE 9 satellite: cross-shard generation atomicity under torn
+/// boundary writes. The metadata plane is sharded per dataset, but a
+/// flush commits ONE superblock generation covering every shard — so a
+/// crash anywhere inside the commit (including a write chopped
+/// mid-sector) must reopen as either the whole old generation or the
+/// whole new one, never a shard-wise mix. The workload stamps the two
+/// generations so a mix is detectable: generation A creates four
+/// chunked datasets (ids landing in four different shards) and fills
+/// chunk 0; generation B extends all four (a per-shard chunk-map
+/// mutation), fills chunk 1, and creates four more datasets. Any
+/// reopen where *some* shards show B-state and others A-state fails.
+#[test]
+fn torn_crash_between_shard_commits_never_reopens_a_mixed_generation() {
+    const W: usize = 4; // datasets per wave, ids 2..=5 → shards 2..=5
+    const CHUNK: u64 = 16;
+
+    fn wave_values(wave: u64, i: usize) -> Vec<f32> {
+        (0..CHUNK)
+            .map(|e| (wave * 10_000 + i as u64 * 100 + e) as f32)
+            .collect()
+    }
+
+    // Clean cut (prefix 0) plus two torn prefixes: one byte (tears
+    // everything) and 33 bytes (tears a superblock slot mid-payload and
+    // a metadata extent mid-record).
+    let report = sweep_torn(&[0, 1, 33], |clock| {
+        let inner: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let dev: Arc<dyn StorageBackend> = Arc::new(CrashBackend::new(inner.clone(), clock.clone()));
+        let c = Container::create(dev);
+
+        // Generation A.
+        let mut ids = Vec::new();
+        for i in 0..W {
+            let Ok(id) = c.create_dataset(
+                ROOT_ID,
+                &format!("a{i}"),
+                Datatype::F32,
+                &Dataspace::d1(CHUNK),
+                Layout::Chunked1D { chunk_elems: CHUNK },
+            ) else {
+                break;
+            };
+            ids.push(id);
+        }
+        let mut a_ok = ids.len() == W;
+        for (i, &id) in ids.iter().enumerate() {
+            let sel = Selection::Slab(Hyperslab::range1(0, CHUNK));
+            if c.write_selection(id, &sel, &to_bytes(&wave_values(1, i))).is_err() {
+                a_ok = false;
+            }
+        }
+        let committed_a = a_ok && c.flush().is_ok();
+
+        // Generation B: per-shard mutations plus new objects.
+        if committed_a {
+            let mut b_ok = true;
+            for (i, &id) in ids.iter().enumerate() {
+                if c.extend_dataset(id, 2 * CHUNK).is_err() {
+                    b_ok = false;
+                    break;
+                }
+                let sel = Selection::Slab(Hyperslab::range1(CHUNK, CHUNK));
+                if c.write_selection(id, &sel, &to_bytes(&wave_values(2, i))).is_err() {
+                    b_ok = false;
+                    break;
+                }
+            }
+            for i in 0..W {
+                if !b_ok {
+                    break;
+                }
+                b_ok = c
+                    .create_dataset(
+                        ROOT_ID,
+                        &format!("b{i}"),
+                        Datatype::F32,
+                        &Dataspace::d1(CHUNK),
+                        Layout::Chunked1D { chunk_elems: CHUNK },
+                    )
+                    .and_then(|id| {
+                        let sel = Selection::Slab(Hyperslab::range1(0, CHUNK));
+                        c.write_selection(id, &sel, &to_bytes(&wave_values(3, i)))
+                    })
+                    .is_ok();
+            }
+            if b_ok {
+                let _ = c.flush(); // the cut may land anywhere inside
+            }
+        }
+        drop(c); // crash (Drop's best-effort flush is refused past the cut)
+
+        // Reboot from what persisted.
+        let c2 = match Container::open(inner) {
+            Ok(c2) => c2,
+            Err(e) => {
+                if committed_a {
+                    return Err(format!("generation A was acked but is unreadable: {e}"));
+                }
+                return Ok(()); // nothing ever committed: legal
+            }
+        };
+        // Which generation is visible? Decide once, then hold EVERY
+        // shard to it.
+        let have_b = c2.lookup(ROOT_ID, "b0").is_ok();
+        for i in 0..W {
+            let a_id = c2
+                .lookup(ROOT_ID, &format!("a{i}"))
+                .map_err(|e| format!("a{i} missing from the visible generation: {e}"))?;
+            let len = c2
+                .dataset_info(a_id)
+                .map_err(|e| format!("a{i} info: {e}"))?
+                .space
+                .npoints();
+            let want_len = if have_b { 2 * CHUNK } else { CHUNK };
+            if len != want_len {
+                return Err(format!(
+                    "mixed generation: b-wave visible={have_b} but a{i} has {len} elements \
+                     (want {want_len}) — shard {i} reopened at a different generation"
+                ));
+            }
+            if c2.lookup(ROOT_ID, &format!("b{i}")).is_ok() != have_b {
+                return Err(format!(
+                    "mixed generation: b0 visible={have_b} but b{i} visibility differs"
+                ));
+            }
+            // A visible generation implies its data mutations were all
+            // admitted before the commit — verify bytes, checksums on.
+            let sel0 = Selection::Slab(Hyperslab::range1(0, CHUNK));
+            let got = c2
+                .read_selection(a_id, &sel0)
+                .map_err(|e| format!("a{i} chunk 0: {e}"))?;
+            if got != to_bytes(&wave_values(1, i)) {
+                return Err(format!("a{i} chunk 0 bytes differ after reopen"));
+            }
+            if have_b {
+                let sel1 = Selection::Slab(Hyperslab::range1(CHUNK, CHUNK));
+                let got = c2
+                    .read_selection(a_id, &sel1)
+                    .map_err(|e| format!("a{i} chunk 1: {e}"))?;
+                if got != to_bytes(&wave_values(2, i)) {
+                    return Err(format!("a{i} chunk 1 bytes differ after reopen"));
+                }
+                let b_id = c2.lookup(ROOT_ID, &format!("b{i}")).map_err(|e| e.to_string())?;
+                let got = c2
+                    .read_selection(b_id, &sel0)
+                    .map_err(|e| format!("b{i}: {e}"))?;
+                if got != to_bytes(&wave_values(3, i)) {
+                    return Err(format!("b{i} bytes differ after reopen"));
+                }
+            }
+        }
+        Ok(())
+    });
+
+    assert!(report.ok(), "{}", report.failure.expect("failure"));
+    // Two waves of chunk fills + data writes + two flush commits: the
+    // boundary count must cover both generations' mutation trains.
+    assert!(
+        report.boundaries > 2 * W as u64,
+        "{} boundaries cannot span two commit waves",
+        report.boundaries
+    );
+    assert_eq!(report.runs, 1 + 3 * report.boundaries);
 }
 
 #[test]
