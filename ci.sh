@@ -57,6 +57,9 @@ cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test crashpoint
 echo "== trace pipeline (span structure of the async epoch) =="
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test trace_pipeline
 
+echo "== cross-rank critical path (straggler attribution, Eq. 2 overlap check) =="
+cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test critpath
+
 echo "== telemetry loop (drift alarm -> refit -> advice flip, from report JSON) =="
 cargo test -q "${CARGO_FLAGS[@]}" --features debug-invariants --test telemetry
 
@@ -71,6 +74,19 @@ echo "$report_json" | grep -q '"label":"pre-drift (fast device)","decision":"syn
     || { echo "apio-report: pre-drift advice is not sync"; exit 1; }
 echo "$report_json" | grep -q '"label":"post-drift (refit on degraded device)","decision":"async"' \
     || { echo "apio-report: post-drift advice did not flip to async"; exit 1; }
+# The seeded 16-rank straggler demo (rank 7 slowed 4x) must attribute
+# every post-warmup epoch to rank 7.
+echo "$report_json" | grep -q '"stragglers"' \
+    || { echo "apio-report: straggler section missing"; exit 1; }
+echo "$report_json" | grep -q '"straggler_rank":7' \
+    || { echo "apio-report: slowed rank 7 not named as straggler"; exit 1; }
+
+echo "== multi-rank trace smoke (per-rank Chrome rows from the straggler demo) =="
+cargo run -q "${CARGO_FLAGS[@]}" -p apio-apps --bin apio-report -- \
+    --rank-trace="$PWD/target/rank_trace_smoke.json" >/dev/null
+test -s target/rank_trace_smoke.json || { echo "rank trace smoke export missing"; exit 1; }
+grep -q '"tid":15' target/rank_trace_smoke.json \
+    || { echo "rank trace smoke: missing per-rank viewer rows"; exit 1; }
 
 echo "== bench smoke (one iteration per benchmark; no numbers persisted) =="
 cargo bench -q "${CARGO_FLAGS[@]}" -p apio-bench --bench connector -- --smoke \

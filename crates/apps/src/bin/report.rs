@@ -8,12 +8,19 @@
 //! plus the machine-readable JSON snapshot (`apio-report-v1`), with the
 //! flight-recorder dump available on the side.
 //!
+//! Alongside the drift demo, a seeded 16-rank simulated run with rank 7
+//! slowed 4× feeds the cross-rank attribution path (DESIGN.md §16): its
+//! per-rank span streams run through the critical-path analysis and land
+//! in the report's straggler section.
+//!
 //! ```text
-//! apio-report [--json] [--flight-dump=PATH]
+//! apio-report [--json] [--flight-dump=PATH] [--rank-trace=PATH]
 //! ```
 //!
 //! `--json` prints only the JSON snapshot; `--flight-dump=PATH` writes
-//! the flight recorder's retained records as JSONL to `PATH`.
+//! the flight recorder's retained records as JSONL to `PATH`;
+//! `--rank-trace=PATH` writes the straggler demo's multi-rank trace as
+//! Chrome JSON (one viewer row per rank) to `PATH`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -110,12 +117,15 @@ fn main() {
         .iter()
         .find_map(|a| a.strip_prefix("--flight-dump="))
         .map(std::path::PathBuf::from);
-    if let Some(bad) = args
+    let rank_trace_path = args
         .iter()
-        .find(|a| *a != "--json" && !a.starts_with("--flight-dump="))
-    {
+        .find_map(|a| a.strip_prefix("--rank-trace="))
+        .map(std::path::PathBuf::from);
+    if let Some(bad) = args.iter().find(|a| {
+        *a != "--json" && !a.starts_with("--flight-dump=") && !a.starts_with("--rank-trace=")
+    }) {
         eprintln!("apio-report: unknown argument {bad}");
-        eprintln!("usage: apio-report [--json] [--flight-dump=PATH]");
+        eprintln!("usage: apio-report [--json] [--flight-dump=PATH] [--rank-trace=PATH]");
         std::process::exit(2);
     }
 
@@ -210,6 +220,23 @@ fn main() {
         dump.write_jsonl(path).expect("write flight dump");
     }
 
+    // The cross-rank attribution demo: a seeded 16-rank checkpoint run
+    // with rank 7's compute slowed 4x, re-enacted as per-rank span
+    // streams and folded through the critical-path analysis.
+    let straggler_job = mpisim::Job::new(platform::summit(), 16);
+    let straggler_w = mpisim::Workload::checkpoint(16, 32 * platform::units::MIB, 5, 5.0)
+        .with_straggler(7, 4.0);
+    let (stragglers, rank_sink, _) = mpisim::straggler_report(
+        &straggler_job,
+        &straggler_w,
+        &mpisim::RunConfig::async_io(),
+        1,
+    );
+    if let Some(path) = &rank_trace_path {
+        let chrome = apio_trace::export::chrome_json(rank_sink.records());
+        std::fs::write(path, chrome).expect("write rank trace");
+    }
+
     let mut report = ReportBuilder::new("apio live telemetry")
         .metrics(vol.metrics())
         .breaker(breaker_tag(vol.breaker_state()), vol.stats().degraded)
@@ -223,7 +250,8 @@ fn main() {
             crash_points: 0,
             crash_failures: 0,
         })
-        .flight(dump.capacity(), dump.len(), dump.dropped());
+        .flight(dump.capacity(), dump.len(), dump.dropped())
+        .stragglers(stragglers);
     if let Ok(a) = before {
         report = report.advice("pre-drift (fast device)", a);
     }
@@ -248,6 +276,9 @@ fn main() {
         }
         if let Some(path) = &dump_path {
             println!("flight dump written to {}", path.display());
+        }
+        if let Some(path) = &rank_trace_path {
+            println!("rank trace written to {}", path.display());
         }
     }
 }

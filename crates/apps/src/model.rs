@@ -70,6 +70,7 @@ impl AppModel {
             direction: self.direction,
             t_init: 1.0,
             t_term: 0.5,
+            perturb: mpisim::Perturbation::default(),
         }
     }
 

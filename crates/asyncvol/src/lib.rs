@@ -567,6 +567,7 @@ impl AsyncVol {
     /// request's own `wait` still surfaces them.
     fn settle_ring_ds(&self, ds: ObjectId) {
         let Some(ctl) = &self.ring else { return };
+        let mut settled = 0u64;
         loop {
             let next = {
                 let mut inner = self.inner.lock();
@@ -584,12 +585,25 @@ impl AsyncVol {
                 inner.ring_pending.remove(&req).map(|p| (req, p))
             };
             if let Some((req, pending)) = next {
+                settled += 1;
                 if let Some(err) = self.finish_ring(ctl, req, pending) {
                     let cell: ErrorCell =
                         Arc::new(Mutex::new_named("asyncvol.error_cell", Some(err)));
                     self.inner.lock().errors.insert(req, cell);
                 }
             }
+        }
+        if settled > 0 {
+            // Causal edge closing the vol.handoff instants this dataset's
+            // ring writes opened; the connector spans epochs, so 0 marks
+            // "epoch unknown".
+            self.stats.tracer().instant(
+                "vol.settle",
+                Event::Settle {
+                    epoch: 0,
+                    requests: settled,
+                },
+            );
         }
     }
 
@@ -645,6 +659,11 @@ impl AsyncVol {
                 bytes,
             },
         );
+        // Causal edge: the snapshot leaves the application thread here;
+        // the matching vol.settle fires when settle_ring_ds drains it.
+        self.stats
+            .tracer()
+            .instant("vol.handoff", Event::WriteHandoff { epoch: 0, bytes });
 
         let mut inner = self.inner.lock();
         Self::gc_locked(&mut inner);

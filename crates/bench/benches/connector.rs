@@ -379,6 +379,65 @@ fn lookup(recs: &[Rec], name: &str) -> Option<f64> {
         .map(|r| r.secs_per_iter)
 }
 
+/// Cross-rank tracing rows (DESIGN.md §16), mirrored from the micro
+/// bench so `BENCH_connector.json` / `BENCH_baseline.json` carry them
+/// under the bench-diff gate: ctx-guard cost on a disabled and enabled
+/// tracer, per-rank stream emission for a 16-rank × 8-epoch run, and
+/// the critical-path merge over that trace.
+fn critpath(recs: &mut Vec<Rec>) {
+    use apio_trace::{SpanContext, VirtualClock};
+    use mpisim::{Job, RunConfig, Workload};
+    use platform::units::MIB;
+
+    section("critpath");
+    let ctx_cost = |name: &str, enabled: bool| -> Sample {
+        bench_custom(name, |iters| {
+            let t = if enabled { Tracer::new() } else { Tracer::disabled() };
+            let ctx = SpanContext::new(0, 7, 3);
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                let _g = t.span_ctx(black_box("rank.compute"), black_box(ctx));
+            }
+            t0.elapsed()
+        })
+    };
+    rec(recs, "critpath/span_ctx_disabled", ctx_cost("critpath/span_ctx_disabled", false), 0);
+    rec(recs, "critpath/span_ctx_enabled", ctx_cost("critpath/span_ctx_enabled", true), 0);
+
+    let job = Job::new(platform::summit(), 16);
+    let w = Workload::checkpoint(16, 32 * MIB, 8, 5.0).with_straggler(7, 4.0);
+    let cfg = RunConfig::async_io();
+    let result = mpisim::run_analytic(&job, &w, &cfg);
+    let emit = bench_custom("critpath/emit_16r_8e", |iters| {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let clock = Arc::new(VirtualClock::new(0));
+            let tracer = Tracer::with_clock(clock.clone());
+            mpisim::trace_rank_streams(0, &job, &w, &cfg, &result, &tracer, &clock);
+            black_box(tracer.sink().records().len());
+        }
+        t0.elapsed()
+    });
+    rec(recs, "critpath/emit_16r_8e", emit, 0);
+
+    let clock = Arc::new(VirtualClock::new(0));
+    let tracer = Tracer::with_clock(clock.clone());
+    mpisim::trace_rank_streams(0, &job, &w, &cfg, &result, &tracer, &clock);
+    let sink = tracer.sink();
+    let analyze = bench_custom("critpath/analyze_16r_8e", |iters| {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(
+                apio_trace::critpath::analyze_job(black_box(&sink), 0)
+                    .epochs
+                    .len(),
+            );
+        }
+        t0.elapsed()
+    });
+    rec(recs, "critpath/analyze_16r_8e", analyze, 0);
+}
+
 /// Planned-vs-per-run speedups for every strided variant, as
 /// `(label, speedup)` pairs.
 fn strided_speedups(recs: &[Rec]) -> Vec<(String, f64)> {
@@ -438,6 +497,7 @@ fn main() {
     chaos(&mut recs);
     ioplan_micro(&mut recs);
     strided_vpic(&mut recs);
+    critpath(&mut recs);
 
     let speedups = strided_speedups(&recs);
     if !speedups.is_empty() {

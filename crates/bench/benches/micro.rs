@@ -5,8 +5,10 @@
 //! `platform::MemcpyModel`.
 //!
 //! Since the ring backend landed, this binary also owns the queue-depth
-//! sweep (depth ∈ {1, 4, 16, 64} × op size {4 KiB, 64 KiB, 1 MiB}) and
-//! the 64 KiB-op epoch comparison; a full (non-smoke) run rewrites
+//! sweep (depth ∈ {1, 4, 16, 64} × op size {4 KiB, 64 KiB, 1 MiB}), the
+//! 64 KiB-op epoch comparison, and the cross-rank tracing costs
+//! (ctx-guard, per-rank stream emission, critical-path merge, with the
+//! ≤ 2% enabled-emission budget); a full (non-smoke) run rewrites
 //! `BENCH_ring.json` at the workspace root, which the `xtask bench-diff`
 //! gate and `crates/xtask/tests/gate.rs` consume.
 
@@ -140,6 +142,96 @@ fn trace_overhead() {
     println!(
         "trace: flight recorder (512/shard ring) adds {flight_pct:+.2}% \
          over disabled tracer on the strided write (budget 2%)"
+    );
+}
+
+/// Cross-rank tracing cost (DESIGN.md §16): the `span_ctx` guard on a
+/// disabled and an enabled tracer, the emission cost of a full
+/// 16-rank × 8-epoch per-rank re-enactment, and the merge throughput of
+/// the critical-path analysis over that trace. The budget: emitting one
+/// 16-rank epoch's span streams with tracing enabled must stay ≤ 2% of
+/// the 64 KiB async epoch it annotates (`ring/epoch_async_64KiB`,
+/// measured earlier into `recs`).
+fn critpath_overhead(recs: &mut Vec<Rec>) {
+    use apio_trace::{SpanContext, VirtualClock};
+    use mpisim::{Job, RunConfig, Workload};
+    use platform::units::MIB;
+
+    section("critpath");
+    const RANKS: u32 = 16;
+    const EPOCHS: u32 = 8;
+
+    let ctx_cost = |name: &str, enabled: bool| -> Sample {
+        bench_custom(name, |iters| {
+            let t = if enabled { Tracer::new() } else { Tracer::disabled() };
+            let ctx = SpanContext::new(0, 7, 3);
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                let _g = t.span_ctx(black_box("rank.compute"), black_box(ctx));
+            }
+            t0.elapsed()
+        })
+    };
+    let ctx_off = ctx_cost("critpath/span_ctx_disabled", false);
+    let ctx_on = ctx_cost("critpath/span_ctx_enabled", true);
+
+    let job = Job::new(platform::summit(), RANKS);
+    let w = Workload::checkpoint(RANKS, 32 * MIB, EPOCHS, 5.0).with_straggler(7, 4.0);
+    let cfg = RunConfig::async_io();
+    let result = mpisim::run_analytic(&job, &w, &cfg);
+
+    let emit = bench_custom("critpath/emit_16r_8e", |iters| {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let clock = Arc::new(VirtualClock::new(0));
+            let tracer = Tracer::with_clock(clock.clone());
+            mpisim::trace_rank_streams(0, &job, &w, &cfg, &result, &tracer, &clock);
+            black_box(tracer.sink().records().len());
+        }
+        t0.elapsed()
+    });
+
+    let clock = Arc::new(VirtualClock::new(0));
+    let tracer = Tracer::with_clock(clock.clone());
+    mpisim::trace_rank_streams(0, &job, &w, &cfg, &result, &tracer, &clock);
+    let sink = tracer.sink();
+    let nrec = sink.records().len() as u64;
+    let analyze = bench_custom("critpath/analyze_16r_8e", |iters| {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(
+                apio_trace::critpath::analyze_job(black_box(&sink), 0)
+                    .epochs
+                    .len(),
+            );
+        }
+        t0.elapsed()
+    });
+
+    rec(recs, "critpath/span_ctx_disabled", ctx_off, 0);
+    rec(recs, "critpath/span_ctx_enabled", ctx_on, 0);
+    rec(recs, "critpath/emit_16r_8e", emit, 0);
+    rec(recs, "critpath/analyze_16r_8e", analyze, 0);
+
+    let per_epoch = emit.secs_per_iter() / EPOCHS as f64;
+    if let Some(base) = recs
+        .iter()
+        .find(|r| r.name == "ring/epoch_async_64KiB")
+        .map(|r| r.secs_per_iter)
+    {
+        let pct = per_epoch / base.max(1e-12) * 100.0;
+        println!(
+            "critpath: enabled emission ≈ {:.1} µs per 16-rank epoch \
+             ({pct:.2}% of the 64 KiB async epoch, budget 2%)",
+            per_epoch * 1e6
+        );
+    }
+    println!(
+        "critpath: analyze merges {nrec} records at {:.1} Mrec/s; \
+         span_ctx on/off: {:.1}/{:.1} ns",
+        nrec as f64 / analyze.secs_per_iter().max(1e-12) / 1e6,
+        ctx_on.secs_per_iter() * 1e9,
+        ctx_off.secs_per_iter() * 1e9,
     );
 }
 
@@ -362,6 +454,7 @@ fn main() {
     let mut recs = Vec::new();
     ring_depth_sweep(&mut recs);
     ring_epoch(&mut recs);
+    critpath_overhead(&mut recs);
     // Smoke runs time a single iteration; persisting those numbers
     // would overwrite the committed report with noise.
     if !smoke_mode() {

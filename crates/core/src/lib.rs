@@ -55,5 +55,5 @@ pub use estimator::CompEstimator;
 pub use history::{Direction, History, IoMode, TransferRecord};
 pub use ratemodel::RateModel;
 pub use regression::{r2_simple, Design, LinearFit};
-pub use report::{IntegritySummary, RecoverySummary, ReportBuilder};
+pub use report::{IntegritySummary, RecoverySummary, ReportBuilder, StragglerEpoch, StragglerReport};
 pub use tracefeed::{extend_history_from_trace, history_from_trace};

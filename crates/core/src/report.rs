@@ -63,6 +63,58 @@ pub struct IntegritySummary {
     pub crash_failures: u64,
 }
 
+/// One epoch's cross-rank straggler attribution (DESIGN.md §16): which
+/// rank bounded the epoch and where that rank's time went. Produced by
+/// `mpisim`'s critical-path analysis; the model crate only renders it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StragglerEpoch {
+    /// 0-based epoch index.
+    pub epoch: u64,
+    /// The rank the critical path runs through.
+    pub straggler: u32,
+    /// Epoch wall time in nanoseconds.
+    pub wall_nanos: u64,
+    /// Straggler's compute share of the wall.
+    pub compute_nanos: u64,
+    /// Straggler's visible-I/O share.
+    pub write_nanos: u64,
+    /// Straggler's metadata share.
+    pub meta_nanos: u64,
+    /// Straggler's wait share (barrier + buffer parks).
+    pub wait_nanos: u64,
+    /// Median per-rank busy time.
+    pub skew_p50_nanos: u64,
+    /// 99th-percentile per-rank busy time.
+    pub skew_p99_nanos: u64,
+}
+
+impl StragglerEpoch {
+    /// Straggler magnitude: p99 busy over p50 busy (1.0 when balanced).
+    pub fn skew_ratio(&self) -> f64 {
+        if self.skew_p50_nanos == 0 {
+            return if self.skew_p99_nanos == 0 { 1.0 } else { f64::INFINITY };
+        }
+        self.skew_p99_nanos as f64 / self.skew_p50_nanos as f64
+    }
+}
+
+/// The cross-rank straggler/overlap section of the operator report:
+/// per-epoch attribution plus observed-vs-predicted (Eq. 2) overlap
+/// efficiency for the background I/O.
+#[derive(Clone, Debug, Default)]
+pub struct StragglerReport {
+    /// Ranks the analysis covered.
+    pub ranks: u32,
+    /// Leading epochs excluded from the per-epoch rows (warmup).
+    pub warmup_epochs: u32,
+    /// Post-warmup epoch rows, in epoch order.
+    pub epochs: Vec<StragglerEpoch>,
+    /// Measured fraction of background I/O hidden under compute.
+    pub observed_overlap_efficiency: f64,
+    /// Eq. 2 prediction: `min(t_io, t_comp) / t_io` (0 for sync).
+    pub predicted_overlap_efficiency: f64,
+}
+
 /// One advisor decision, labelled by the caller (e.g. `"write"`).
 struct AdviceRow {
     label: String,
@@ -89,6 +141,7 @@ pub struct ReportBuilder {
     integrity: Option<IntegritySummary>,
     flight: Option<FlightRow>,
     refits: Option<u64>,
+    stragglers: Option<StragglerReport>,
 }
 
 fn mode_tag(mode: IoMode) -> &'static str {
@@ -205,6 +258,12 @@ impl ReportBuilder {
     /// Attach the drift-refit count from the adaptive runtime.
     pub fn refits(mut self, refits: u64) -> Self {
         self.refits = Some(refits);
+        self
+    }
+
+    /// Attach the cross-rank straggler attribution section.
+    pub fn stragglers(mut self, report: StragglerReport) -> Self {
+        self.stragglers = Some(report);
         self
     }
 
@@ -329,6 +388,25 @@ impl ReportBuilder {
                 f.capacity, f.recorded, f.dropped,
             ));
         }
+        if let Some(s) = &self.stragglers {
+            out.push_str(&format!(
+                "stragglers ({} ranks, warmup {}): overlap eff observed={:.3} predicted={:.3}\n",
+                s.ranks, s.warmup_epochs, s.observed_overlap_efficiency, s.predicted_overlap_efficiency,
+            ));
+            for e in &s.epochs {
+                out.push_str(&format!(
+                    "  epoch {:>3}: rank {:<4} wall={}ns compute={} write={} meta={} wait={} skew p99/p50={:.2}\n",
+                    e.epoch,
+                    e.straggler,
+                    e.wall_nanos,
+                    e.compute_nanos,
+                    e.write_nanos,
+                    e.meta_nanos,
+                    e.wait_nanos,
+                    e.skew_ratio(),
+                ));
+            }
+        }
         out
     }
 
@@ -440,6 +518,33 @@ impl ReportBuilder {
                 ",\"flight\":{{\"capacity\":{},\"recorded\":{},\"dropped\":{}}}",
                 f.capacity, f.recorded, f.dropped,
             ));
+        }
+        if let Some(s) = &self.stragglers {
+            out.push_str(&format!(
+                ",\"stragglers\":{{\"ranks\":{},\"warmup_epochs\":{},\"observed_overlap_efficiency\":{},\"predicted_overlap_efficiency\":{},\"epochs\":[",
+                s.ranks,
+                s.warmup_epochs,
+                jnum(s.observed_overlap_efficiency),
+                jnum(s.predicted_overlap_efficiency),
+            ));
+            for (i, e) in s.epochs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"epoch\":{},\"straggler_rank\":{},\"wall_nanos\":{},\"compute_nanos\":{},\"write_nanos\":{},\"meta_nanos\":{},\"wait_nanos\":{},\"skew_p50_nanos\":{},\"skew_p99_nanos\":{}}}",
+                    e.epoch,
+                    e.straggler,
+                    e.wall_nanos,
+                    e.compute_nanos,
+                    e.write_nanos,
+                    e.meta_nanos,
+                    e.wait_nanos,
+                    e.skew_p50_nanos,
+                    e.skew_p99_nanos,
+                ));
+            }
+            out.push_str("]}");
         }
         out.push('}');
         out
@@ -574,6 +679,49 @@ mod tests {
         assert!(text.contains("integrity: verified=40"));
         assert!(text.contains("crash sweep: points=57 failures=0"));
         assert!(text.contains("flight recorder: capacity=4096"));
+    }
+
+    #[test]
+    fn straggler_section_renders_in_both_formats() {
+        let report = ReportBuilder::new("skew").stragglers(StragglerReport {
+            ranks: 16,
+            warmup_epochs: 1,
+            epochs: vec![StragglerEpoch {
+                epoch: 1,
+                straggler: 7,
+                wall_nanos: 1_000,
+                compute_nanos: 800,
+                write_nanos: 150,
+                meta_nanos: 0,
+                wait_nanos: 50,
+                skew_p50_nanos: 250,
+                skew_p99_nanos: 950,
+            }],
+            observed_overlap_efficiency: 0.97,
+            predicted_overlap_efficiency: 1.0,
+        });
+        let json = report.render_json();
+        assert_balanced_json(&json);
+        assert!(json.contains("\"stragglers\":{\"ranks\":16,\"warmup_epochs\":1"));
+        assert!(json.contains("\"straggler_rank\":7"));
+        assert!(json.contains("\"observed_overlap_efficiency\":0.97"));
+        let text = report.render_text();
+        assert!(text.contains("stragglers (16 ranks, warmup 1)"));
+        assert!(text.contains("rank 7"));
+        assert!(text.contains("p99/p50=3.80"));
+        // Never-supplied sections stay omitted.
+        assert!(!ReportBuilder::new("x").render_json().contains("stragglers"));
+    }
+
+    #[test]
+    fn straggler_skew_ratio_handles_degenerate_rows() {
+        let balanced = StragglerEpoch::default();
+        assert_eq!(balanced.skew_ratio(), 1.0);
+        let skewed = StragglerEpoch {
+            skew_p99_nanos: 10,
+            ..StragglerEpoch::default()
+        };
+        assert!(skewed.skew_ratio().is_infinite());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use apio_core::history::Direction;
 use asyncvol::AsyncVol;
 use h5lite::{File, Hyperslab, Selection, Vol};
-use mpisim::Workload;
+use mpisim::{Perturbation, Workload};
 
 use crate::measure::{KernelMode, PhaseTiming, RealRunReport};
 use crate::vpic::{particle_value, VpicConfig, PAPER_BYTES_PER_RANK, PROPERTIES};
@@ -43,6 +43,7 @@ pub fn run_real(
 
     let t_start = Instant::now();
     let mut phases = Vec::with_capacity(cfg.timesteps as usize);
+    let mut rank_io_secs = Vec::with_capacity(cfg.timesteps as usize);
 
     for step in 0..cfg.timesteps {
         let group = file.root().open_group(&format!("Step#{step}"))?;
@@ -54,11 +55,12 @@ pub fn run_real(
         // Read phase: every rank reads its slab of every property and
         // checks a sample against the generator.
         let io_start = Instant::now();
-        std::thread::scope(|scope| {
+        let per_rank = std::thread::scope(|scope| {
             let mut joins = Vec::new();
             for rank in 0..cfg.ranks {
                 let datasets = &datasets;
-                joins.push(scope.spawn(move || -> h5lite::Result<()> {
+                joins.push(scope.spawn(move || -> h5lite::Result<f64> {
+                    let rank_start = Instant::now();
                     let base = rank as u64 * cfg.particles_per_rank;
                     let slab = Hyperslab::range1(base, cfg.particles_per_rank);
                     for (prop, ds) in datasets.iter().enumerate() {
@@ -76,15 +78,17 @@ pub fn run_real(
                             )));
                         }
                     }
-                    Ok(())
+                    Ok(rank_start.elapsed().as_secs_f64())
                 }));
             }
+            let mut per_rank = Vec::with_capacity(joins.len());
             for j in joins {
-                j.join().expect("rank thread panicked")?;
+                per_rank.push(j.join().expect("rank thread panicked")?);
             }
-            Ok::<(), h5lite::H5Error>(())
+            Ok::<Vec<f64>, h5lite::H5Error>(per_rank)
         })?;
         let visible_io_secs = io_start.elapsed().as_secs_f64();
+        rank_io_secs.push(per_rank);
 
         // Schedule the next step's prefetch before computing, so the
         // prefetch overlaps the clustering phase.
@@ -120,6 +124,7 @@ pub fn run_real(
         ranks: cfg.ranks,
         bytes_per_epoch: cfg.bytes_per_epoch(),
         phases,
+        rank_io_secs,
         wall_secs: t_start.elapsed().as_secs_f64(),
         async_stats: async_vol.map(|v| v.stats()),
     })
@@ -136,6 +141,7 @@ pub fn workload(ranks: u32, timesteps: u32, compute_secs: f64) -> Workload {
         direction: Direction::Read,
         t_init: 0.5,
         t_term: 0.2,
+        perturb: Perturbation::default(),
     }
 }
 

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use apio_core::history::Direction;
 use h5lite::{Dataspace, File, Hyperslab};
-use mpisim::Workload;
+use mpisim::{Perturbation, Workload};
 use platform::units::MIB;
 
 use crate::measure::{make_file, KernelMode, PhaseTiming, RealRunReport};
@@ -138,6 +138,7 @@ fn write_into(
     let total_particles = cfg.particles_per_rank * cfg.ranks as u64;
     let t_start = Instant::now();
     let mut phases = Vec::with_capacity(cfg.timesteps as usize);
+    let mut rank_io_secs = Vec::with_capacity(cfg.timesteps as usize);
     for step in 0..cfg.timesteps {
         let group = file.root().create_group(&format!("Step#{step}"))?;
         let datasets: Vec<h5lite::Dataset> = PROPERTIES
@@ -145,12 +146,13 @@ fn write_into(
             .map(|prop| group.create_dataset::<f32>(prop, &Dataspace::d1(total_particles)))
             .collect::<h5lite::Result<_>>()?;
         let io_start = Instant::now();
-        std::thread::scope(|scope| {
+        let per_rank = std::thread::scope(|scope| {
             let mut joins = Vec::new();
             for rank in 0..cfg.ranks {
                 let datasets = &datasets;
                 let cfg = &cfg;
-                joins.push(scope.spawn(move || -> h5lite::Result<()> {
+                joins.push(scope.spawn(move || -> h5lite::Result<f64> {
+                    let rank_start = Instant::now();
                     let slab = Hyperslab::range1(
                         rank as u64 * cfg.particles_per_rank,
                         cfg.particles_per_rank,
@@ -169,14 +171,16 @@ fn write_into(
                             }
                         }
                     }
-                    Ok(())
+                    Ok(rank_start.elapsed().as_secs_f64())
                 }));
             }
+            let mut per_rank = Vec::with_capacity(joins.len());
             for j in joins {
-                j.join().expect("rank thread panicked")?;
+                per_rank.push(j.join().expect("rank thread panicked")?);
             }
-            Ok::<(), h5lite::H5Error>(())
+            Ok::<Vec<f64>, h5lite::H5Error>(per_rank)
         })?;
+        rank_io_secs.push(per_rank);
         phases.push(PhaseTiming {
             compute_secs: cfg.compute_secs,
             visible_io_secs: io_start.elapsed().as_secs_f64(),
@@ -191,6 +195,7 @@ fn write_into(
         ranks: cfg.ranks,
         bytes_per_epoch: cfg.bytes_per_epoch(),
         phases,
+        rank_io_secs,
         wall_secs: t_start.elapsed().as_secs_f64(),
         async_stats: async_vol.map(|v| v.stats()),
     })
@@ -229,6 +234,7 @@ pub fn workload(ranks: u32, timesteps: u32, compute_secs: f64) -> Workload {
         direction: Direction::Write,
         t_init: 0.5,
         t_term: 0.2,
+        perturb: Perturbation::default(),
     }
 }
 

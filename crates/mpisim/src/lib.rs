@@ -20,11 +20,20 @@
 //!   file system as a processor-sharing resource). Their agreement on
 //!   uniform workloads is asserted in tests; the DES runner additionally
 //!   captures background-write queueing across epochs.
+//! - [`attribution`] — the cross-rank observability path (DESIGN.md
+//!   §16): [`runner::trace_rank_streams`] re-enacts a run as one
+//!   context-tagged span stream per rank, and
+//!   [`attribution::straggler_report`] folds `apio_trace::critpath`'s
+//!   analysis into the operator report's straggler section. The
+//!   [`workload::Perturbation`] knob (seeded straggler/jitter) makes the
+//!   attribution testable end-to-end.
 
+pub mod attribution;
 pub mod comm;
 pub mod runner;
 pub mod workload;
 
+pub use attribution::{predicted_overlap_efficiency, straggler_report};
 pub use comm::{CollectiveMode, Job};
-pub use runner::{run, run_analytic, run_des, trace_epochs};
-pub use workload::{PhaseMeasure, RunConfig, RunResult, Workload};
+pub use runner::{run, run_analytic, run_des, trace_epochs, trace_rank_streams};
+pub use workload::{Perturbation, PhaseMeasure, RunConfig, RunResult, Workload};

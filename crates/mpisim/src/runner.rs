@@ -28,7 +28,8 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use apio_core::history::{Direction, IoMode};
-use apio_trace::{Event, Tracer, VirtualClock};
+use apio_trace::critpath::{SPAN_COMPUTE, SPAN_META, SPAN_WAIT, SPAN_WRITE};
+use apio_trace::{Event, SpanContext, TraceClock, Tracer, VirtualClock};
 use desim::{Engine, SharedResource, SimDuration, SimTime};
 use platform::pfs::{FileSystemModel, IoPattern};
 
@@ -67,9 +68,12 @@ pub fn run_analytic(job: &Job, w: &Workload, cfg: &RunConfig) -> RunResult {
 fn sync_analytic(job: &Job, w: &Workload, cfg: &RunConfig) -> RunResult {
     let io = job.collective_io_time(w.per_rank_bytes, w.direction, cfg.contention);
     let mut phases = Vec::with_capacity(w.epochs as usize);
-    for _ in 0..w.epochs {
+    let mut wall = w.t_init;
+    for e in 0..w.epochs {
+        let comp = w.effective_compute_secs(e);
+        wall += comp + io;
         phases.push(PhaseMeasure {
-            t_comp: w.compute_secs,
+            t_comp: comp,
             visible_io_secs: io,
             overhead_secs: 0.0,
             background_io_secs: io,
@@ -77,7 +81,7 @@ fn sync_analytic(job: &Job, w: &Workload, cfg: &RunConfig) -> RunResult {
     }
     RunResult {
         phases,
-        wall_secs: w.t_init + w.epochs as f64 * (w.compute_secs + io) + w.t_term,
+        wall_secs: wall + w.t_term,
         phase_bytes: job.total_bytes(w.per_rank_bytes),
     }
 }
@@ -90,8 +94,9 @@ fn async_write_analytic(job: &Job, w: &Workload, cfg: &RunConfig) -> RunResult {
     let mut in_flight: VecDeque<f64> = VecDeque::new();
     let mut phases = Vec::with_capacity(w.epochs as usize);
 
-    for _ in 0..w.epochs {
-        t += w.compute_secs;
+    for e in 0..w.epochs {
+        let comp = w.effective_compute_secs(e);
+        t += comp;
         while let Some(&done) = in_flight.front() {
             if done <= t {
                 in_flight.pop_front();
@@ -111,7 +116,7 @@ fn async_write_analytic(job: &Job, w: &Workload, cfg: &RunConfig) -> RunResult {
         bg_free = done;
         in_flight.push_back(done);
         phases.push(PhaseMeasure {
-            t_comp: w.compute_secs,
+            t_comp: comp,
             visible_io_secs: wait + ov,
             overhead_secs: ov,
             background_io_secs: done - t,
@@ -134,26 +139,27 @@ fn async_read_analytic(job: &Job, w: &Workload, cfg: &RunConfig) -> RunResult {
     // blocking read finishes.
     let mut t = w.t_init + io;
     phases.push(PhaseMeasure {
-        t_comp: w.compute_secs,
+        t_comp: w.effective_compute_secs(0),
         visible_io_secs: io,
         overhead_secs: 0.0,
         background_io_secs: io,
     });
     let mut bg_free = t;
-    t += w.compute_secs;
+    t += w.effective_compute_secs(0);
 
-    for _ in 1..w.epochs {
+    for e in 1..w.epochs {
+        let comp = w.effective_compute_secs(e);
         let pf_done = bg_free + io;
         bg_free = pf_done;
         let wait = (pf_done - t).max(0.0);
         let visible = wait + deliver;
         phases.push(PhaseMeasure {
-            t_comp: w.compute_secs,
+            t_comp: comp,
             visible_io_secs: visible,
             overhead_secs: deliver,
             background_io_secs: wait + deliver,
         });
-        t += visible + w.compute_secs;
+        t += visible + comp;
     }
     RunResult {
         phases,
@@ -179,7 +185,7 @@ pub fn trace_epochs(result: &RunResult, tracer: &Tracer, clock: &VirtualClock) {
     for (i, p) in result.phases.iter().enumerate() {
         let comp_nanos = secs_to_nanos(p.t_comp);
         let io_nanos = secs_to_nanos(p.visible_io_secs);
-        let mut span = tracer.span("epoch");
+        let mut span = tracer.span_ctx("epoch", SpanContext::new(0, 0, i as u64));
         clock.advance(comp_nanos + io_nanos);
         span.set_event(Event::EpochMark {
             epoch: i as u64,
@@ -188,6 +194,87 @@ pub fn trace_epochs(result: &RunResult, tracer: &Tracer, clock: &VirtualClock) {
             bytes: result.phase_bytes,
         });
     }
+}
+
+/// Re-enact a finished run as one span stream per rank, tagged with a
+/// [`SpanContext`] so `apio_trace::critpath` can merge and attribute them
+/// (DESIGN.md §16).
+///
+/// Each rank's epoch is tiled `rank.compute → rank.wait → rank.meta →
+/// rank.write`, summing exactly to the epoch wall (`max compute +
+/// visible I/O`): ranks that compute faster than the epoch's straggler
+/// absorb the difference in their wait span, and an epoch's visible I/O
+/// splits into a buffer-park wait plus the snapshot (async) or metadata
+/// plus the transfer (blocking). Causal-edge instants mark the barrier
+/// around the collective and — for asynchronous epochs — the handoff of
+/// the snapshot to the background stream and the settle point where it
+/// became durable.
+pub fn trace_rank_streams(
+    job_id: u32,
+    job: &Job,
+    w: &Workload,
+    cfg: &RunConfig,
+    result: &RunResult,
+    tracer: &Tracer,
+    clock: &VirtualClock,
+) {
+    let meta_secs = job.system().pfs.metadata_time(job.ranks());
+    let mut epoch_start = clock.now_nanos() + secs_to_nanos(w.t_init);
+    let mut settle_high = epoch_start;
+    for (e, p) in result.phases.iter().enumerate() {
+        let c_max = secs_to_nanos(p.t_comp);
+        let v = secs_to_nanos(p.visible_io_secs);
+        let ov = secs_to_nanos(p.overhead_secs);
+        // Visible-I/O split: overlapped epochs are [buffer wait][snapshot];
+        // blocking epochs are [metadata][transfer].
+        let (buf_wait, meta) = if ov > 0 {
+            (v.saturating_sub(ov), 0)
+        } else {
+            (0, secs_to_nanos(meta_secs).min(v))
+        };
+        let write = v - buf_wait - meta;
+        for rank in 0..w.ranks {
+            let ctx = SpanContext::new(job_id, rank, e as u64);
+            let c_r = secs_to_nanos(w.rank_compute_secs(rank, e as u32)).min(c_max);
+            clock.set(epoch_start);
+            {
+                let _g = tracer.span_ctx(SPAN_COMPUTE, ctx);
+                clock.advance(c_r);
+            }
+            tracer.instant_ctx("barrier.enter", ctx, Event::BarrierEnter { epoch: e as u64 });
+            {
+                let _g = tracer.span_ctx(SPAN_WAIT, ctx);
+                clock.advance((c_max - c_r) + buf_wait);
+            }
+            tracer.instant_ctx("barrier.exit", ctx, Event::BarrierExit { epoch: e as u64 });
+            if meta > 0 {
+                let _g = tracer.span_ctx(SPAN_META, ctx);
+                clock.advance(meta);
+            }
+            {
+                let _g = tracer.span_ctx(SPAN_WRITE, ctx);
+                clock.advance(write);
+            }
+            if cfg.mode == IoMode::Async && p.background_io_secs.is_finite() {
+                tracer.instant_ctx(
+                    "handoff",
+                    ctx,
+                    Event::WriteHandoff {
+                        epoch: e as u64,
+                        bytes: w.per_rank_bytes,
+                    },
+                );
+                let settle_at = clock.now_nanos() + secs_to_nanos(p.background_io_secs).max(1);
+                clock.set(settle_at);
+                tracer.instant_ctx("settle", ctx, Event::Settle { epoch: e as u64, requests: 1 });
+                settle_high = settle_high.max(settle_at);
+            }
+        }
+        epoch_start += c_max + v;
+    }
+    // Leave the clock past everything emitted, so later spans on the same
+    // tracer do not travel back in time.
+    clock.set(epoch_start.max(settle_high));
 }
 
 // ----- event-driven executor -------------------------------------------
@@ -296,9 +383,9 @@ fn des_sync(engine: &mut Engine, pfs: SharedResource, job: Job, w: Workload, out
             out.borrow_mut().wall = engine.now().as_secs_f64();
             return;
         }
-        engine.schedule(SimDuration::from_secs_f64(w.compute_secs), move |engine| {
+        let comp = w.effective_compute_secs(i);
+        engine.schedule(SimDuration::from_secs_f64(comp), move |engine| {
             let io_start = engine.now();
-            let comp = w.compute_secs;
             let pfs2 = pfs.clone();
             let job2 = job.clone();
             let w2 = w.clone();
@@ -431,7 +518,8 @@ fn des_async_write(
             }
             return;
         }
-        engine.schedule(SimDuration::from_secs_f64(w.compute_secs), move |engine| {
+        let comp = w.effective_compute_secs(i);
+        engine.schedule(SimDuration::from_secs_f64(comp), move |engine| {
             let after_compute = engine.now().as_secs_f64();
             // Park if the buffer pool is exhausted; otherwise continue.
             let must_wait = st.borrow().in_flight >= depth;
@@ -451,7 +539,7 @@ fn des_async_write(
                         s.bg_queued += 1;
                     }
                     out.borrow_mut().phases.push(PhaseMeasure {
-                        t_comp: w.compute_secs,
+                        t_comp: comp,
                         visible_io_secs: wait + ov,
                         overhead_secs: ov,
                         background_io_secs: f64::NAN, // DES leaves this to
@@ -572,6 +660,7 @@ fn des_async_read(
         }
         let ready = st.borrow().ready[step as usize];
         let deliver = job.snapshot_time(w.per_rank_bytes);
+        let comp = w.effective_compute_secs(step);
         let finish = move |engine: &mut Engine,
                            job: Job,
                            w: Workload,
@@ -581,18 +670,15 @@ fn des_async_read(
             let wait = resumed - io_request_time;
             engine.schedule(SimDuration::from_secs_f64(deliver), move |engine| {
                 out.borrow_mut().phases.push(PhaseMeasure {
-                    t_comp: w.compute_secs,
+                    t_comp: comp,
                     visible_io_secs: wait + deliver,
                     overhead_secs: deliver,
                     background_io_secs: wait + deliver,
                 });
-                engine.schedule(
-                    SimDuration::from_secs_f64(w.compute_secs),
-                    move |engine| {
-                        let now = engine.now().as_secs_f64();
-                        epoch(engine, job, w, st, out, step + 1, now);
-                    },
-                );
+                engine.schedule(SimDuration::from_secs_f64(comp), move |engine| {
+                    let now = engine.now().as_secs_f64();
+                    epoch(engine, job, w, st, out, step + 1, now);
+                });
             });
         };
         if ready {
@@ -615,8 +701,9 @@ fn des_async_read(
             let w3 = w2.clone();
             des_collective(engine, &pfs, &job, w2.per_rank_bytes, move |engine, end| {
                 let io = (end - io_start).as_secs_f64();
+                let comp0 = w3.effective_compute_secs(0);
                 out.borrow_mut().phases.push(PhaseMeasure {
-                    t_comp: w3.compute_secs,
+                    t_comp: comp0,
                     visible_io_secs: io,
                     overhead_secs: 0.0,
                     background_io_secs: io,
@@ -630,13 +717,10 @@ fn des_async_read(
                     st.clone(),
                     1,
                 );
-                engine.schedule(
-                    SimDuration::from_secs_f64(w3.compute_secs),
-                    move |engine| {
-                        let now = engine.now().as_secs_f64();
-                        epoch(engine, job2, w3, st, out, 1, now);
-                    },
-                );
+                engine.schedule(SimDuration::from_secs_f64(comp0), move |engine| {
+                    let now = engine.now().as_secs_f64();
+                    epoch(engine, job2, w3, st, out, 1, now);
+                });
             });
         }
     });

@@ -2,6 +2,77 @@
 
 use apio_core::history::{Direction, IoMode};
 
+/// SplitMix64 finalizer: a well-mixed 64-bit hash of `z`.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded straggler/interference perturbation of the compute phases
+/// (DESIGN.md §16). The default is the identity: every rank computes the
+/// workload's nominal `compute_secs`, which keeps the unperturbed
+/// executors bit-identical to the pre-perturbation model.
+///
+/// Both executors apply the same perturbation (an epoch's effective
+/// compute is the slowest rank's), so their cross-check agreement holds
+/// under any knob setting — and the per-rank spread is what the
+/// cross-rank tracer attributes.
+#[derive(Clone, Debug)]
+pub struct Perturbation {
+    /// Rank whose compute runs `straggler_factor`× slower every epoch.
+    pub straggler_rank: Option<u32>,
+    /// Slowdown multiplier for the straggler rank (≥ 1).
+    pub straggler_factor: f64,
+    /// Per-(rank, epoch) uniform compute jitter in `[0, jitter_frac)` of
+    /// the nominal compute time — the interference knob.
+    pub jitter_frac: f64,
+    /// Seed for the jitter draws (deterministic across executors).
+    pub seed: u64,
+}
+
+impl Default for Perturbation {
+    fn default() -> Self {
+        Perturbation {
+            straggler_rank: None,
+            straggler_factor: 1.0,
+            jitter_frac: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl Perturbation {
+    /// Whether this perturbation leaves every compute phase unchanged.
+    pub fn is_identity(&self) -> bool {
+        (self.straggler_rank.is_none() || self.straggler_factor == 1.0) && self.jitter_frac == 0.0
+    }
+
+    /// Deterministic jitter draw in `[0, 1)` for one (rank, epoch) cell.
+    fn unit_draw(&self, rank: u32, epoch: u32) -> f64 {
+        let cell = mix64(self.seed ^ (u64::from(rank) << 32) ^ u64::from(epoch));
+        // 53 mantissa bits -> uniform in [0, 1).
+        (cell >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The perturbed compute time of `rank` in `epoch`, given the
+    /// workload's nominal compute time.
+    pub fn rank_compute_secs(&self, base: f64, rank: u32, epoch: u32) -> f64 {
+        if self.is_identity() {
+            return base;
+        }
+        let mut secs = base;
+        if self.straggler_rank == Some(rank) {
+            secs *= self.straggler_factor;
+        }
+        if self.jitter_frac > 0.0 {
+            secs *= 1.0 + self.jitter_frac * self.unit_draw(rank, epoch);
+        }
+        secs
+    }
+}
+
 /// A bulk-synchronous iterative workload: `epochs` repetitions of
 /// (compute phase, collective I/O phase).
 #[derive(Clone, Debug)]
@@ -21,6 +92,8 @@ pub struct Workload {
     pub t_init: f64,
     /// One-time teardown cost — `t_term` in Eq. 1.
     pub t_term: f64,
+    /// Seeded straggler/interference knob (identity by default).
+    pub perturb: Perturbation,
 }
 
 impl Workload {
@@ -34,6 +107,7 @@ impl Workload {
             direction: Direction::Write,
             t_init: 0.5,
             t_term: 0.2,
+            perturb: Perturbation::default(),
         }
     }
 
@@ -43,6 +117,40 @@ impl Workload {
             direction: Direction::Read,
             ..Workload::checkpoint(ranks, per_rank_bytes, epochs, compute_secs)
         }
+    }
+
+    /// Slow one rank's compute phases by `factor`× every epoch.
+    pub fn with_straggler(mut self, rank: u32, factor: f64) -> Self {
+        assert!(rank < self.ranks, "straggler rank must participate");
+        assert!(factor >= 1.0, "straggler factor must be >= 1");
+        self.perturb.straggler_rank = Some(rank);
+        self.perturb.straggler_factor = factor;
+        self
+    }
+
+    /// Add seeded per-(rank, epoch) compute jitter in `[0, frac)`.
+    pub fn with_jitter(mut self, frac: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&frac), "jitter fraction in [0, 1)");
+        self.perturb.jitter_frac = frac;
+        self.perturb.seed = seed;
+        self
+    }
+
+    /// The perturbed compute time of one rank in one epoch.
+    pub fn rank_compute_secs(&self, rank: u32, epoch: u32) -> f64 {
+        self.perturb.rank_compute_secs(self.compute_secs, rank, epoch)
+    }
+
+    /// The epoch's effective (bulk-synchronous) compute time: the slowest
+    /// rank's, since the collective phase cannot start until every rank
+    /// reaches it. Equals `compute_secs` for the identity perturbation.
+    pub fn effective_compute_secs(&self, epoch: u32) -> f64 {
+        if self.perturb.is_identity() {
+            return self.compute_secs;
+        }
+        (0..self.ranks)
+            .map(|r| self.rank_compute_secs(r, epoch))
+            .fold(self.compute_secs, f64::max)
     }
 }
 
@@ -197,6 +305,58 @@ mod tests {
     #[should_panic(expected = "contention")]
     fn invalid_contention_rejected() {
         RunConfig::sync().with_contention(0.0);
+    }
+
+    #[test]
+    fn default_perturbation_is_the_identity() {
+        let w = Workload::checkpoint(16, 1024, 4, 5.0);
+        assert!(w.perturb.is_identity());
+        for e in 0..4 {
+            assert_eq!(w.effective_compute_secs(e), 5.0);
+            for r in 0..16 {
+                assert_eq!(w.rank_compute_secs(r, e), 5.0);
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_slows_exactly_one_rank() {
+        let w = Workload::checkpoint(16, 1024, 4, 5.0).with_straggler(7, 4.0);
+        for e in 0..4 {
+            assert_eq!(w.rank_compute_secs(7, e), 20.0);
+            assert_eq!(w.rank_compute_secs(6, e), 5.0);
+            assert_eq!(w.effective_compute_secs(e), 20.0, "slowest rank gates the epoch");
+        }
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let w = Workload::checkpoint(16, 1024, 4, 5.0).with_jitter(0.2, 42);
+        let w2 = Workload::checkpoint(16, 1024, 4, 5.0).with_jitter(0.2, 42);
+        let mut saw_spread = false;
+        for e in 0..4 {
+            for r in 0..16 {
+                let c = w.rank_compute_secs(r, e);
+                assert_eq!(c, w2.rank_compute_secs(r, e), "same seed, same draw");
+                assert!((5.0..5.0 * 1.2).contains(&c), "jitter bounded: {c}");
+                if c != w.rank_compute_secs((r + 1) % 16, e) {
+                    saw_spread = true;
+                }
+            }
+        }
+        assert!(saw_spread, "jitter must actually vary across ranks");
+        let w3 = Workload::checkpoint(16, 1024, 4, 5.0).with_jitter(0.2, 43);
+        assert_ne!(
+            w.rank_compute_secs(0, 0),
+            w3.rank_compute_secs(0, 0),
+            "different seed, different draw"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler rank")]
+    fn out_of_range_straggler_rejected() {
+        let _ = Workload::checkpoint(4, 1024, 1, 1.0).with_straggler(4, 2.0);
     }
 
     #[test]

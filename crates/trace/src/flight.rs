@@ -207,6 +207,7 @@ mod tests {
                 start_nanos: i,
                 dur_nanos: 0,
                 event: None,
+                ctx: None,
             });
         }
         assert_eq!(s.dropped(), 2);
@@ -229,6 +230,7 @@ mod tests {
                 start_nanos: i,
                 dur_nanos: 0,
                 event: None,
+                ctx: None,
             });
         }
         assert_eq!(s.records().len(), 100);

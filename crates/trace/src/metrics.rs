@@ -116,14 +116,24 @@ impl Histogram {
     /// Value at quantile `q` in `0.0..=1.0` (bucket upper bound); 0 when
     /// empty.
     pub fn percentile(&self, q: f64) -> u64 {
-        let count = self.count();
+        // Load the buckets once and derive the rank target from that same
+        // pass: the separate count cell can momentarily disagree with the
+        // buckets while a drain ([`snapshot_and_reset`](Self::snapshot_and_reset))
+        // or `record` is in flight, and a target beyond the walked total
+        // would fall through to the top bucket bound (`u64::MAX`) — a
+        // wild misread for a benign race.
+        let mut buckets = [0u64; BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.cells.buckets[i].load(Ordering::Relaxed);
+        }
+        let count: u64 = buckets.iter().sum();
         if count == 0 {
             return 0;
         }
         let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
-        for i in 0..BUCKETS {
-            seen += self.cells.buckets[i].load(Ordering::Relaxed);
+        for (i, b) in buckets.iter().enumerate() {
+            seen += b;
             if seen >= target {
                 return bucket_bound(i);
             }
@@ -212,12 +222,16 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Fold `other`'s observations into this snapshot.
+    /// Fold `other`'s observations into this snapshot. Merging an empty
+    /// snapshot is the identity — p50/p95/p99, count, and sum are
+    /// unchanged. Saturating, so pathological inputs (e.g. a snapshot
+    /// merged into itself in a loop) degrade to pinned buckets instead of
+    /// a panic or wraparound that would corrupt every percentile.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *b += o;
+            *b = b.saturating_add(*o);
         }
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     /// Observations in the snapshot (sum over buckets).
@@ -488,6 +502,86 @@ mod tests {
         assert!(HistogramSnapshot::empty().is_empty());
         assert_eq!(HistogramSnapshot::empty().percentile(0.99), 0);
         assert_eq!(HistogramSnapshot::empty().mean(), 0.0);
+    }
+
+    #[test]
+    fn merging_an_empty_snapshot_preserves_percentiles() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let mut s = h.snapshot();
+        let (p50, p95, p99) = (s.p50(), s.p95(), s.p99());
+        let (count, sum, mean) = (s.count(), s.sum(), s.mean());
+        s.merge(&HistogramSnapshot::empty());
+        assert_eq!(s.p50(), p50, "empty merge perturbed p50");
+        assert_eq!(s.p95(), p95, "empty merge perturbed p95");
+        assert_eq!(s.p99(), p99, "empty merge perturbed p99");
+        assert_eq!(s.count(), count);
+        assert_eq!(s.sum(), sum);
+        assert_eq!(s.mean(), mean);
+        // And the other direction: empty ∪ populated == populated.
+        let mut e = HistogramSnapshot::empty();
+        e.merge(&s);
+        assert_eq!((e.p50(), e.p95(), e.p99()), (p50, p95, p99));
+        assert_eq!((e.count(), e.sum()), (count, sum));
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = HistogramSnapshot::empty();
+        a.buckets[1] = u64::MAX - 1;
+        a.sum = u64::MAX - 1;
+        let mut b = HistogramSnapshot::empty();
+        b.buckets[1] = 5;
+        b.sum = 5;
+        a.merge(&b);
+        assert_eq!(a.buckets[1], u64::MAX);
+        assert_eq!(a.sum(), u64::MAX);
+        assert_eq!(a.p50(), 1, "percentiles still answer after saturation");
+    }
+
+    #[test]
+    fn percentile_stays_in_range_while_draining_concurrently() {
+        // A racing drain swaps buckets to zero before decrementing the
+        // count cell, so a percentile read using the stale count could
+        // walk past every loaded bucket and report u64::MAX. The
+        // single-pass walk derives its rank target from the loaded
+        // buckets themselves, so the answer is always the bound of a
+        // bucket that actually held observations.
+        let h = Histogram::new();
+        let stop = Arc::new(AtomicU64::new(0));
+        let recorder = {
+            let h = h.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while stop.load(Ordering::Relaxed) == 0 {
+                    h.record(1_000);
+                }
+            })
+        };
+        let drainer = {
+            let h = h.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let _ = h.snapshot_and_reset();
+                }
+            })
+        };
+        for _ in 0..50_000 {
+            let p = h.p99();
+            assert!(
+                p == 0 || (1_000..2_048).contains(&p),
+                "p99 misread under drain race: {p}"
+            );
+        }
+        stop.store(1, Ordering::Relaxed);
+        recorder.join().unwrap();
+        drainer.join().unwrap();
     }
 
     #[test]

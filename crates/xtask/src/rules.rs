@@ -20,8 +20,9 @@
 //! | `superblock-discipline` | h5lite `src/` except `superblock.rs` | the superblock area (offset 0) is written only through the dual-slot commit protocol |
 //! | `ring-discipline` | asyncvol `lib.rs`, `batch.rs`           | background-write paths reach storage via ring submission or planned vectored I/O, never scalar backend calls |
 //! | `snapshot-discipline` | h5lite `src/` except `meta.rs`       | metadata state is resolved through the sharded `MetaPlane` API, never by locking a monolithic `meta` field directly |
+//! | `rank-context` | mpisim `runner.rs`, kernels `measure.rs`     | epoch-runner spans carry a `SpanContext` (`span_ctx`), so per-rank streams stay attributable |
 //!
-//! Eleven of the rules are line-local token patterns; the other four
+//! Twelve of the rules are line-local token patterns; the other four
 //! ride the intra-procedural dataflow passes in [`crate::dataflow`].
 //! Lexing (see [`crate::lexer`]) makes every rule comment-, string-,
 //! and lifetime-aware for free.
@@ -59,7 +60,7 @@ impl std::fmt::Display for Violation {
 }
 
 /// Names of all rules, for reports and the fixture corpus.
-pub const RULE_NAMES: [&str; 15] = [
+pub const RULE_NAMES: [&str; 16] = [
     "virtual-time",
     "error-path",
     "lock-discipline",
@@ -75,6 +76,7 @@ pub const RULE_NAMES: [&str; 15] = [
     "superblock-discipline",
     "ring-discipline",
     "snapshot-discipline",
+    "rank-context",
 ];
 
 /// The one crate allowed to call the manual span API (`begin_span` /
@@ -106,6 +108,12 @@ const PLANNED_IO_FILES: [&str; 1] = ["crates/h5lite/src/container.rs"];
 /// own format.
 const RING_DISCIPLINE_FILES: [&str; 2] =
     ["crates/asyncvol/src/lib.rs", "crates/asyncvol/src/batch.rs"];
+/// Epoch-runner files whose spans must carry a `SpanContext`: an
+/// untagged `.span(..)` here lands every record on the shared untagged
+/// viewer row and the cross-rank analysis silently loses the rank.
+/// Instants are exempt — causal edges may come from either API.
+const RANK_CONTEXT_FILES: [&str; 2] =
+    ["crates/mpisim/src/runner.rs", "crates/kernels/src/measure.rs"];
 /// Type names (beyond the `*Guard` convention) that must be `#[must_use]`.
 const MUST_USE_TYPES: [&str; 6] = [
     "TaskHandle",
@@ -227,6 +235,7 @@ pub fn lint_source_full(rel: &str, src: &str) -> FileLint {
     let bounded_retry = in_src(rel, &BOUNDED_RETRY_CRATES);
     let planned_io = PLANNED_IO_FILES.contains(&rel);
     let ring_discipline = RING_DISCIPLINE_FILES.contains(&rel);
+    let rank_context = RANK_CONTEXT_FILES.contains(&rel);
     let trace_discipline = !rel.starts_with(TRACE_CRATE);
     let scheduled = in_src(rel, &SCHEDULED_CRATES);
     let offset_arith = OFFSET_ARITH_FILES.contains(&rel);
@@ -349,6 +358,18 @@ pub fn lint_source_full(rel: &str, src: &str) -> FileLint {
                         line,
                         "ring-discipline",
                         format!("scalar `.{name}(..)` on an asyncvol background-write path; submit through the ring (`submit_keyed` / `RingOp`) or the container's planned vectored path so requests coalesce"),
+                    );
+                }
+            }
+        }
+
+        if rank_context {
+            for name in ["span", "span_with"] {
+                if seq(&[".", name, "("]) {
+                    push(
+                        line,
+                        "rank-context",
+                        format!("untagged `.{name}(..)` in an epoch runner; use `span_ctx`/`span_ctx_with` so the record carries its (job, rank, epoch) and lands on the rank's viewer row"),
                     );
                 }
             }
@@ -854,6 +875,30 @@ fn f(policy: &RetryPolicy, started: SimInstant) {
         let waived =
             "fn f() { t.begin_span(\"x\", None); } // xtask: allow(trace-discipline) ffi boundary\n";
         assert!(lint_source("crates/asyncvol/src/lib.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn rank_context_fires_on_untagged_spans_in_epoch_runners() {
+        let bad = "fn f(t: &Tracer) { let _g = t.span(\"epoch\"); t.span_with(\"epoch\", ev); }\n";
+        assert_eq!(rules_fired("crates/mpisim/src/runner.rs", bad), ["rank-context"]);
+        assert_eq!(lint_source("crates/mpisim/src/runner.rs", bad).len(), 2);
+        assert_eq!(rules_fired("crates/kernels/src/measure.rs", bad), ["rank-context"]);
+        // Everywhere else the untagged guard API is the normal path.
+        assert!(lint_source("crates/asyncvol/src/lib.rs", bad).is_empty());
+        assert!(lint_source("crates/mpisim/src/workload.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn rank_context_permits_the_ctx_api_and_instants() {
+        let ok = "fn f(t: &Tracer) { let _g = t.span_ctx(\"epoch\", ctx); \
+                  t.span_ctx_with(\"rank.write\", ctx, ev); \
+                  t.instant_ctx(\"handoff\", ctx, ev); t.instant(\"x\", ev); }\n";
+        assert!(lint_source("crates/mpisim/src/runner.rs", ok).is_empty());
+        assert!(lint_source("crates/kernels/src/measure.rs", ok).is_empty());
+        // Waivable inline like every other rule.
+        let waived =
+            "fn f(t: &Tracer) { let _g = t.span(\"x\"); } // xtask: allow(rank-context) jobless probe\n";
+        assert!(lint_source("crates/mpisim/src/runner.rs", waived).is_empty());
     }
 
     #[test]

@@ -1,0 +1,10 @@
+//@ lint-as: crates/mpisim/src/runner.rs
+fn trace_epochs(tracer: &Tracer, clock: &VirtualClock) {
+    let ctx = SpanContext::new(0, rank, epoch);
+    let mut span = tracer.span_ctx("epoch", ctx);
+    clock.advance(1_000);
+    span.set_event(ev);
+    tracer.span_ctx_with("rank.compute", ctx, ev);
+    tracer.instant_ctx("barrier.enter", ctx, ev);
+    tracer.instant("ring.submit", ev);
+}

@@ -1,0 +1,7 @@
+//@ lint-as: crates/mpisim/src/runner.rs
+fn trace_epochs(tracer: &Tracer, clock: &VirtualClock) {
+    let mut span = tracer.span("epoch"); //~ rank-context
+    clock.advance(1_000);
+    span.set_event(ev);
+    tracer.span_with("epoch", ev); //~ rank-context
+}
